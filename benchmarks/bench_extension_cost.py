@@ -1,0 +1,35 @@
+"""Extension (paper Section V, "other metrics"): operational cost.
+
+Scores the five designs with the documented cost model; the trade-off
+the paper describes in prose (hardware cost vs downtime and breach risk)
+becomes a single comparable number per design.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.cost import CostModel
+
+
+def _cost_all(design_evaluations):
+    model = CostModel()
+    return {
+        evaluation.label: model.breakdown(evaluation, patched_vulnerabilities=9)
+        for evaluation in design_evaluations
+    }
+
+
+def test_extension_cost(benchmark, design_evaluations):
+    breakdowns = benchmark(_cost_all, design_evaluations)
+
+    d1 = breakdowns["1 DNS + 1 WEB + 1 APP + 1 DB"]
+    d4 = breakdowns["1 DNS + 1 WEB + 2 APP + 1 DB"]
+    assert d4.servers > d1.servers
+    assert d4.downtime < d1.downtime
+
+    print("\n[extension] monthly cost breakdown per design")
+    print("  design                          servers  downtime  breach   total")
+    for label, b in breakdowns.items():
+        print(
+            f"  {label:<30}  {b.servers:7.0f}  {b.downtime:8.0f}"
+            f"  {b.breach_risk:7.0f}  {b.total:7.0f}"
+        )

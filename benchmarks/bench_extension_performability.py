@@ -1,0 +1,37 @@
+"""Extension (paper Section V, "user oriented performance"): queueing.
+
+Availability-weighted M/M/c response times per design: redundancy both
+raises COA and cuts the response time, quantifying the paper's
+future-work sketch.
+"""
+
+from __future__ import annotations
+
+from repro.performance import expected_response_time
+
+
+def _response_times(availability_evaluator, five_designs):
+    results = {}
+    for design in five_designs:
+        model = availability_evaluator.network_model(design)
+        result = expected_response_time(
+            model, "web", arrival_rate=40.0, service_rate=60.0
+        )
+        results[design.label] = result
+    return results
+
+
+def test_extension_performability(benchmark, availability_evaluator, five_designs):
+    results = benchmark(_response_times, availability_evaluator, five_designs)
+
+    single_web = results["1 DNS + 1 WEB + 1 APP + 1 DB"]
+    double_web = results["1 DNS + 2 WEB + 1 APP + 1 DB"]
+    assert double_web.mean_response_time < single_web.mean_response_time
+    assert double_web.outage_probability <= single_web.outage_probability
+
+    print("\n[extension] web-tier mean response time (lambda=40/h, mu=60/h)")
+    for label, result in results.items():
+        print(
+            f"  {label:<30} E[T] = {result.mean_response_time*60:7.3f} min"
+            f"   P(outage) = {result.outage_probability:.2e}"
+        )

@@ -1,0 +1,31 @@
+"""Extension: one-at-a-time COA sensitivity (tornado data).
+
+Ranks the availability levers: the patch cadence dominates, patch and
+reboot durations follow, and component failure rates are invisible to
+COA because the upper-layer model captures patch downtime only.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import coa_sensitivity
+
+
+def _tornado(case_study, example_design, critical_policy):
+    return coa_sensitivity(case_study, example_design, critical_policy)
+
+
+def test_extension_sensitivity(
+    benchmark, case_study, example_design, critical_policy
+):
+    entries = benchmark(_tornado, case_study, example_design, critical_policy)
+
+    assert entries[0].parameter == "patch_interval"
+    swings = [entry.swing for entry in entries]
+    assert swings == sorted(swings, reverse=True)
+
+    print("\n[extension] COA tornado (x0.5 / x2.0 scans), example network")
+    for entry in entries:
+        print(
+            f"  {entry.parameter:<24} swing={entry.swing:.6f}"
+            f"  low={entry.coa_low:.6f} high={entry.coa_high:.6f}"
+        )

@@ -1,0 +1,38 @@
+"""Figure 3: construction of the two-layered HARMs before/after patch.
+
+Benchmarks the security-model-generator phase (host expansion, tree
+construction, pruning) and checks the structural facts the figure shows:
+entry points, the DNS tier dropping off after patch, and the tree shapes.
+"""
+
+from __future__ import annotations
+
+
+def _build_both(case_study, example_design, critical_policy):
+    before = case_study.build_harm(example_design)
+    after = case_study.build_harm(example_design, critical_policy)
+    return before, after
+
+
+def test_fig3_harm_construction(
+    benchmark, case_study, example_design, critical_policy
+):
+    before, after = benchmark(
+        _build_both, case_study, example_design, critical_policy
+    )
+
+    before_surface = before.attack_surface()
+    after_surface = after.attack_surface()
+    assert before_surface.entry_points() == ["dns1", "web1", "web2"]
+    assert after_surface.entry_points() == ["web1", "web2"]
+    assert before_surface.number_of_attack_paths() == 8
+    assert after_surface.number_of_attack_paths() == 4
+    assert "dns1" not in after.trees
+
+    print("\n[Fig. 3] HARMs of the example network")
+    print("  before patch:")
+    for host in before.exploitable_hosts():
+        print(f"    {host}: {before.tree_for(host).to_expression()}")
+    print("  after patch:")
+    for host in after.exploitable_hosts():
+        print(f"    {host}: {after.tree_for(host).to_expression()}")

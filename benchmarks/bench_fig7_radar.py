@@ -1,0 +1,42 @@
+"""Figure 7: six-metric radar comparison plus the Eq. (4) regions.
+
+Paper results after patch: region 1 (phi=0.2, xi=9, omega=2, kappa=1,
+psi=0.9962) selects design 4; region 2 (phi=0.1, xi=7, omega=1, kappa=1,
+psi=0.9961) selects design 2.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.charts import radar_data, render_radar_table
+from repro.evaluation.requirements import (
+    PAPER_REGION_1_MULTI_METRIC,
+    PAPER_REGION_2_MULTI_METRIC,
+    satisfying_designs,
+)
+
+
+def _radar_both_sides(design_evaluations):
+    return (
+        radar_data(design_evaluations, after_patch=False),
+        radar_data(design_evaluations, after_patch=True),
+    )
+
+
+def test_fig7_radar(benchmark, design_evaluations):
+    before, after = benchmark(_radar_both_sides, design_evaluations)
+
+    assert len(before) == len(after) == 5
+    for series in after:
+        assert set(series.values) == {"NoEP", "COA", "ASP", "AIM", "NoEV", "NoAP"}
+
+    region1 = satisfying_designs(design_evaluations, PAPER_REGION_1_MULTI_METRIC)
+    region2 = satisfying_designs(design_evaluations, PAPER_REGION_2_MULTI_METRIC)
+    assert [e.label for e in region1] == ["1 DNS + 1 WEB + 2 APP + 1 DB"]
+    assert [e.label for e in region2] == ["2 DNS + 1 WEB + 1 APP + 1 DB"]
+
+    print("\n[Fig. 7a] metric values before patch")
+    print(render_radar_table(before))
+    print("\n[Fig. 7b] metric values after patch")
+    print(render_radar_table(after))
+    print(f"  Eq.4 region 1: {[e.label for e in region1]}")
+    print(f"  Eq.4 region 2: {[e.label for e in region2]}")

@@ -1,0 +1,43 @@
+"""Scalability: HARM construction and path enumeration vs replica count.
+
+Path count grows as the product of tier widths (plus the DNS entry
+variants); this bench pins the combinatorial formula and times the
+enumeration, mirroring the HARM scalability argument of Hong & Kim that
+the paper builds on.
+"""
+
+from __future__ import annotations
+
+from repro.enterprise import RedundancyDesign
+from repro.harm import evaluate_security
+
+
+def _paths_for_width(case_study, width):
+    design = RedundancyDesign(
+        {"dns": width, "web": width, "app": width, "db": width}
+    )
+    harm = case_study.build_harm(design)
+    metrics = evaluate_security(harm)
+    return metrics.number_of_attack_paths
+
+
+def expected_paths(width):
+    """(dns entries x web + direct web) x app x db paths."""
+    return (width * width + width) * width * width
+
+
+def test_scalability_harm_width_2(benchmark, case_study):
+    paths = benchmark(_paths_for_width, case_study, 2)
+    assert paths == expected_paths(2)
+    print(f"\n[scalability] width 2: {paths} attack paths")
+
+
+def test_scalability_harm_width_3(benchmark, case_study):
+    paths = benchmark(_paths_for_width, case_study, 3)
+    assert paths == expected_paths(3)
+    print(f"\n[scalability] width 3: {paths} attack paths")
+
+
+def test_scalability_path_formula(case_study):
+    for width in (1, 2, 3, 4):
+        assert _paths_for_width(case_study, width) == expected_paths(width)

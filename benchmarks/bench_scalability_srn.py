@@ -1,0 +1,48 @@
+"""Scalability: upper-layer SRN state space and solve time vs replicas.
+
+The paper's Section V plans larger networks; this bench grows every tier
+to n replicas and measures the exact-solution pipeline.  State count is
+(n+1)^4, so n=6 already means 2401 tangible states — comfortably solved
+by the sparse pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.availability import NetworkAvailabilityModel
+
+
+def _solve_uniform_design(aggregates, replicas):
+    counts = {role: replicas for role in ("dns", "web", "app", "db")}
+    model = NetworkAvailabilityModel(counts, aggregates)
+    coa = model.capacity_oriented_availability()
+    return model.solve().graph.number_of_states, coa
+
+
+def test_scalability_srn_replicas_4(
+    benchmark, availability_evaluator, example_design
+):
+    aggregates = availability_evaluator.aggregates_for(example_design)
+    states, coa = benchmark(_solve_uniform_design, aggregates, 4)
+    assert states == 5**4
+    assert 0.998 < coa < 1.0
+    print(f"\n[scalability] n=4 replicas/tier: {states} states, COA={coa:.8f}")
+
+
+def test_scalability_srn_replicas_6(
+    benchmark, availability_evaluator, example_design
+):
+    aggregates = availability_evaluator.aggregates_for(example_design)
+    states, coa = benchmark(_solve_uniform_design, aggregates, 6)
+    assert states == 7**4
+    assert 0.998 < coa < 1.0
+    print(f"\n[scalability] n=6 replicas/tier: {states} states, COA={coa:.8f}")
+
+
+def test_scalability_coa_monotone_in_replicas(
+    availability_evaluator, example_design
+):
+    aggregates = availability_evaluator.aggregates_for(example_design)
+    coas = [
+        _solve_uniform_design(aggregates, replicas)[1] for replicas in (1, 2, 3, 4)
+    ]
+    assert coas == sorted(coas)

@@ -1,0 +1,44 @@
+"""Table II: security metrics of the example network before/after patch.
+
+Paper row:  AIM 52.2 -> 42.2, ASP 1.0 -> 0.265*, NoEV 25* -> 11,
+NoAP 8 -> 4, NoEP 3 -> 2.  (* documented deviations: NoEV before is 26 —
+the after-patch value confirms per-instance counting, 25 is a slip —
+and the after-patch ASP is 0.217 under the independent-paths
+aggregation; see EXPERIMENTS.md.)
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.report import security_metrics_table
+from repro.harm import evaluate_security
+
+
+def _full_security_pipeline(case_study, example_design, critical_policy):
+    before = evaluate_security(case_study.build_harm(example_design))
+    after = evaluate_security(
+        case_study.build_harm(example_design, critical_policy)
+    )
+    return before, after
+
+
+def test_table2_security_metrics(
+    benchmark, case_study, example_design, critical_policy
+):
+    before, after = benchmark(
+        _full_security_pipeline, case_study, example_design, critical_policy
+    )
+
+    assert before.attack_impact == 52.2 or abs(before.attack_impact - 52.2) < 1e-9
+    assert before.attack_success_probability == 1.0
+    assert before.number_of_exploitable_vulnerabilities == 26  # paper: 25
+    assert before.number_of_attack_paths == 8
+    assert before.number_of_entry_points == 3
+
+    assert abs(after.attack_impact - 42.2) < 1e-9
+    assert abs(after.attack_success_probability - 0.217) < 5e-4  # paper: 0.265
+    assert after.number_of_exploitable_vulnerabilities == 11
+    assert after.number_of_attack_paths == 4
+    assert after.number_of_entry_points == 2
+
+    print("\n[Table II] security metrics for the example network")
+    print(security_metrics_table(before, after))

@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper and
+asserts the reproduced values; ``pytest benchmarks/ --benchmark-only``
+prints timing plus the regenerated rows (run with ``-s`` to see them).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enterprise import (
+    example_network_design,
+    paper_case_study,
+    paper_designs,
+)
+from repro.evaluation import AvailabilityEvaluator, evaluate_designs
+from repro.patching import CriticalVulnerabilityPolicy
+
+
+@pytest.fixture(scope="session")
+def case_study():
+    return paper_case_study()
+
+
+@pytest.fixture(scope="session")
+def critical_policy():
+    return CriticalVulnerabilityPolicy()
+
+
+@pytest.fixture(scope="session")
+def example_design():
+    return example_network_design()
+
+
+@pytest.fixture(scope="session")
+def five_designs():
+    return paper_designs()
+
+
+@pytest.fixture(scope="session")
+def availability_evaluator(case_study, critical_policy):
+    return AvailabilityEvaluator(case_study, critical_policy)
+
+
+@pytest.fixture(scope="session")
+def design_evaluations(case_study, critical_policy, five_designs):
+    return evaluate_designs(
+        five_designs, case_study=case_study, policy=critical_policy
+    )

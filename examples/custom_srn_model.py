@@ -1,0 +1,107 @@
+"""Using the SRN engine directly: a software-rejuvenation model.
+
+The engine behind the paper's availability analysis is general-purpose.
+This example builds a classic two-stage software-aging model — healthy
+-> degraded -> failed, with periodic rejuvenation racing the aging
+process — and compares steady-state availability with and without
+rejuvenation, cross-checking the analytic answer with the discrete-event
+simulator.
+
+Usage::
+
+    python examples/custom_srn_model.py
+"""
+
+from __future__ import annotations
+
+from repro.srn import StochasticRewardNet, simulate, solve
+
+HOURS = 1.0
+
+
+def build_rejuvenation_net(with_rejuvenation: bool) -> StochasticRewardNet:
+    """Aging: healthy --0.01/h--> degraded --0.05/h--> failed --repair-->
+    healthy.  Rejuvenation: a weekly clock restarts a *degraded* process
+    in 6 minutes (a tenth of the 1-hour failure repair)."""
+    net = StochasticRewardNet("rejuvenation")
+    net.add_place("healthy", tokens=1)
+    net.add_place("degraded")
+    net.add_place("failed")
+    net.add_timed_transition("age", rate=0.01)
+    net.add_arc("healthy", "age")
+    net.add_arc("age", "degraded")
+    net.add_timed_transition("crash", rate=0.05)
+    net.add_arc("degraded", "crash")
+    net.add_arc("crash", "failed")
+    net.add_timed_transition("repair", rate=1.0)
+    net.add_arc("failed", "repair")
+    net.add_arc("repair", "healthy")
+
+    if with_rejuvenation:
+        net.add_place("clock", tokens=1)
+        net.add_place("due")
+        net.add_timed_transition("tick", rate=1.0 / (7 * 24 * HOURS))
+        net.add_arc("clock", "tick")
+        net.add_arc("tick", "due")
+        # rejuvenate only when degraded; reset the clock either way
+        net.add_timed_transition(
+            "rejuvenate",
+            rate=10.0,
+            guard=lambda m: m["degraded"] == 1,
+        )
+        net.add_arc("due", "rejuvenate")
+        net.add_arc("degraded", "rejuvenate")
+        net.add_arc("rejuvenate", "healthy")
+        net.add_arc("rejuvenate", "clock")
+        # if the process is healthy when the clock fires, skip this cycle
+        net.add_immediate_transition(
+            "skip", guard=lambda m: m["degraded"] == 0 and m["failed"] == 0
+        )
+        net.add_arc("due", "skip")
+        net.add_arc("skip", "clock")
+        # a failed process is repaired anyway; rearm the clock
+        net.add_immediate_transition(
+            "rearm", guard=lambda m: m["failed"] == 1
+        )
+        net.add_arc("due", "rearm")
+        net.add_arc("rearm", "clock")
+    return net
+
+
+def uptime(net: StochasticRewardNet) -> float:
+    """P(process not failed) at steady state."""
+    return solve(net).probability_of(lambda m: m["failed"] == 0)
+
+
+def main() -> None:
+    plain = build_rejuvenation_net(with_rejuvenation=False)
+    rejuvenated = build_rejuvenation_net(with_rejuvenation=True)
+
+    a_plain = uptime(plain)
+    a_rejuvenated = uptime(rejuvenated)
+    print(f"availability without rejuvenation: {a_plain:.6f}")
+    print(f"availability with    rejuvenation: {a_rejuvenated:.6f}")
+    print(f"downtime reduction: {(1 - a_plain) / (1 - a_rejuvenated):.2f}x")
+
+    solution = solve(rejuvenated)
+    print(
+        f"\nstate space: {solution.graph.number_of_states} tangible markings,"
+        f" {solution.graph.vanishing_count} vanishing eliminated"
+    )
+
+    result = simulate(
+        rejuvenated,
+        lambda m: float(m["failed"] == 0),
+        horizon=500_000.0,
+        seed=42,
+    )
+    low, high = result.confidence_interval
+    print(
+        f"simulation cross-check: {result.time_averaged_reward:.6f}"
+        f" (95% CI [{low:.6f}, {high:.6f}])"
+    )
+    assert low - 1e-4 <= a_rejuvenated <= high + 1e-4, "simulation disagrees"
+
+
+if __name__ == "__main__":
+    main()

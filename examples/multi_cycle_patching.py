@@ -1,0 +1,66 @@
+"""Multi-cycle patching: the attack surface over a year of monthly cycles.
+
+The paper analyses a single patch cycle and defers "monthly patch of 3
+months" to future work.  This example runs twelve consecutive cycles
+with a synthetic disclosure feed and compares the critical-only policy
+against patch-everything: criticals-only keeps up with the severe
+vulnerabilities but accumulates a medium-severity backlog that steadily
+inflates NoEV and ASP.
+
+Usage::
+
+    python examples/multi_cycle_patching.py
+"""
+
+from __future__ import annotations
+
+from repro.enterprise import paper_case_study, paper_designs
+from repro.patching import (
+    CriticalVulnerabilityPolicy,
+    PatchAllPolicy,
+    SyntheticDisclosureFeed,
+    simulate_patch_lifecycle,
+)
+
+CYCLES = 12
+RATE = 1.5  # expected new disclosures per product per month
+SEED = 2017
+
+
+def run(policy, label: str) -> None:
+    case_study = paper_case_study()
+    design = paper_designs()[0]  # 1 DNS + 1 WEB + 1 APP + 1 DB
+    feed = SyntheticDisclosureFeed(rate_per_product=RATE, seed=SEED)
+    outcomes = simulate_patch_lifecycle(
+        case_study, design, policy, cycles=CYCLES, feed=feed
+    )
+    print(f"== {label} ==")
+    print("cycle  new  patched  backlog   NoEV before->after   ASP after")
+    for outcome in outcomes:
+        print(
+            f"{outcome.cycle:5d}  {outcome.disclosed:3d}  {outcome.patched:7d}"
+            f"  {outcome.backlog:7d}"
+            f"   {outcome.before.number_of_exploitable_vulnerabilities:4d}"
+            f" -> {outcome.after.number_of_exploitable_vulnerabilities:4d}"
+            f"        {outcome.after.attack_success_probability:8.4f}"
+        )
+    final = outcomes[-1]
+    print(
+        f"after {CYCLES} cycles: backlog {final.backlog} records,"
+        f" NoEV {final.after.number_of_exploitable_vulnerabilities},"
+        f" ASP {final.after.attack_success_probability:.4f}"
+    )
+    print()
+
+
+def main() -> None:
+    run(CriticalVulnerabilityPolicy(), "critical-only policy (the paper's)")
+    run(PatchAllPolicy(), "patch-everything policy")
+    print("the critical-only policy controls the worst exploits but lets the")
+    print("medium-severity surface grow without bound; complete patching")
+    print("holds the surface at zero at the cost of longer patch downtime")
+    print("each cycle (cf. examples/patch_schedule_study.py).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Patch-cadence study: availability, exposure, survivability, sensitivity.
+
+Extends the paper's monthly-only analysis along Section V's roadmap:
+
+1. sweeps four patch cadences and reports COA vs the exposure window,
+2. computes the time to the first patch-induced whole-tier outage,
+3. plots (textually) the transient COA right after a patch cycle starts,
+4. runs the one-at-a-time sensitivity scan to rank the availability levers.
+
+Usage::
+
+    python examples/patch_schedule_study.py
+"""
+
+from __future__ import annotations
+
+from repro.availability import mean_time_to_outage, transient_coa
+from repro.enterprise import example_network_design, paper_case_study
+from repro.evaluation import AvailabilityEvaluator, coa_sensitivity
+from repro.patching import (
+    BIWEEKLY,
+    CriticalVulnerabilityPolicy,
+    MONTHLY,
+    QUARTERLY,
+    WEEKLY,
+)
+
+
+def main() -> None:
+    design = example_network_design()
+    policy = CriticalVulnerabilityPolicy()
+
+    print("== patch-cadence sweep (example network) ==")
+    print("schedule    COA        mean exposure (days)  time to outage (h)")
+    for schedule in (WEEKLY, BIWEEKLY, MONTHLY, QUARTERLY):
+        case_study = paper_case_study(schedule=schedule)
+        evaluator = AvailabilityEvaluator(case_study, policy)
+        model = evaluator.network_model(design)
+        coa = model.capacity_oriented_availability()
+        outage = mean_time_to_outage(model)
+        print(
+            f"{schedule.label:<10}  {coa:.6f}   {schedule.interval_days / 2:5.1f}"
+            f"                 {outage:8.1f}"
+        )
+
+    print()
+    print("== transient COA after all servers start up (monthly cadence) ==")
+    case_study = paper_case_study()
+    evaluator = AvailabilityEvaluator(case_study, policy)
+    model = evaluator.network_model(design)
+    # relaxation rate is lambda_eq + mu_eq ~ 1-1.7/h, so the approach to
+    # steady state resolves on a scale of hours
+    times = [0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0]
+    values = transient_coa(model, times)
+    steady = model.capacity_oriented_availability()
+    for t, value in zip(times, values):
+        bar = "#" * int((value - steady) / max(1.0 - steady, 1e-12) * 40)
+        print(f"  t={t:5.2f} h   COA={value:.6f}  {bar}")
+    print(f"  steady state COA={steady:.6f}")
+
+    print()
+    print("== sensitivity: which knob moves COA? (x0.5 / x2 scans) ==")
+    entries = coa_sensitivity(case_study, design, policy)
+    for entry in entries:
+        print(
+            f"  {entry.parameter:<24} swing={entry.swing:.6f}"
+            f"  [{entry.coa_low:.6f} .. {entry.coa_high:.6f}]"
+        )
+    print("\nthe patch cadence dominates; component failure rates are")
+    print("invisible to COA because the upper-layer model (like the paper's)")
+    print("captures patch-induced downtime only.")
+
+
+if __name__ == "__main__":
+    main()

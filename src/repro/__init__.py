@@ -1,0 +1,33 @@
+"""repro: security and availability evaluation of server-redundancy
+designs under security patching.
+
+A faithful, self-contained reproduction of Ge, Kim & Kim, *"Evaluating
+Security and Availability of Multiple Redundancy Designs when Applying
+Security Patches"* (DSN 2017 Workshops).  The library provides:
+
+- :mod:`repro.harm` — two-layered hierarchical attack representation
+  models (attack graph + attack trees) and the paper's security metrics;
+- :mod:`repro.srn` / :mod:`repro.ctmc` — a stochastic-reward-net engine
+  (SPNP equivalent) with exact CTMC solution and simulation;
+- :mod:`repro.availability` — the paper's hierarchical availability model
+  with patch pipelines and capacity-oriented availability (COA);
+- :mod:`repro.enterprise` / :mod:`repro.patching` — the case-study
+  network, redundancy designs and patch policies;
+- :mod:`repro.evaluation` — the combined security/availability
+  evaluation, requirement regions (Eqs. 3-4) and chart data.
+
+Quickstart::
+
+    from repro.enterprise import paper_designs
+    from repro.evaluation import evaluate_design
+
+    for design in paper_designs():
+        result = evaluate_design(design)
+        print(design.label, result.after.security.as_dict(), result.after.coa)
+"""
+
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "__version__"]

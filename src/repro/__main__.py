@@ -1,0 +1,115 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``reproduce``
+    Print every table/figure of the paper (the full pipeline).
+``bundle --out DIR``
+    Write the experiment artifacts (tables, figure data, CSV) to DIR.
+``designs``
+    Print the five paper designs with their after-patch metrics and the
+    Eq. (3)/(4) region selections.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+__all__ = ["main"]
+
+
+def _reproduce(_: argparse.Namespace) -> int:
+    from repro.enterprise import example_network_design, paper_case_study
+    from repro.evaluation import AvailabilityEvaluator, SecurityEvaluator
+    from repro.evaluation.report import (
+        aggregated_rates_table,
+        security_metrics_table,
+        vulnerability_table,
+    )
+    from repro.patching import CriticalVulnerabilityPolicy
+
+    case_study = paper_case_study()
+    policy = CriticalVulnerabilityPolicy()
+    example = example_network_design()
+    print("[Table I]")
+    print(vulnerability_table(case_study))
+    security = SecurityEvaluator(case_study)
+    print("\n[Table II]")
+    print(
+        security_metrics_table(
+            security.before_patch(example),
+            security.after_patch(example, policy),
+        )
+    )
+    availability = AvailabilityEvaluator(case_study, policy)
+    print("\n[Table V]")
+    print(aggregated_rates_table(availability.aggregates_for(example)))
+    print("\n[Table VI]")
+    print(f"COA({example.label}) = {availability.coa(example):.6f}")
+    return 0
+
+
+def _designs(_: argparse.Namespace) -> int:
+    from repro.enterprise import paper_designs
+    from repro.evaluation import evaluate_designs, satisfying_designs
+    from repro.evaluation.report import design_comparison_table
+    from repro.evaluation.requirements import (
+        PAPER_REGION_1_MULTI_METRIC,
+        PAPER_REGION_1_TWO_METRIC,
+        PAPER_REGION_2_MULTI_METRIC,
+        PAPER_REGION_2_TWO_METRIC,
+    )
+
+    evaluations = evaluate_designs(paper_designs())
+    print(design_comparison_table(evaluations))
+    for label, region in (
+        ("Eq.3 region 1", PAPER_REGION_1_TWO_METRIC),
+        ("Eq.3 region 2", PAPER_REGION_2_TWO_METRIC),
+        ("Eq.4 region 1", PAPER_REGION_1_MULTI_METRIC),
+        ("Eq.4 region 2", PAPER_REGION_2_MULTI_METRIC),
+    ):
+        names = [e.label for e in satisfying_designs(evaluations, region)]
+        print(f"{label}: {', '.join(names) if names else '(none)'}")
+    return 0
+
+
+def _bundle(args: argparse.Namespace) -> int:
+    from repro.evaluation import write_experiment_bundle
+
+    paths = write_experiment_bundle(args.out)
+    for path in paths:
+        print(path)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI dispatcher; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Reproduction of Ge, Kim & Kim (DSN-W 2017): security and "
+            "availability of redundancy designs under security patching."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser(
+        "reproduce", help="print the paper's tables for the example network"
+    ).set_defaults(handler=_reproduce)
+    commands.add_parser(
+        "designs", help="score the five paper designs and the Eq.3/4 regions"
+    ).set_defaults(handler=_designs)
+    bundle = commands.add_parser(
+        "bundle", help="write the experiment artifacts to a directory"
+    )
+    bundle.add_argument("--out", default="artifacts", help="output directory")
+    bundle.set_defaults(handler=_bundle)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""Small argument-validation helpers used across the library.
+
+These helpers raise :class:`repro.errors.ValidationError` with uniform,
+descriptive messages.  They return the validated value so they can be used
+inline in assignments.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import TypeVar
+
+from repro.errors import ValidationError
+
+T = TypeVar("T")
+
+__all__ = [
+    "require",
+    "check_name",
+    "check_probability",
+    "check_non_negative",
+    "check_positive",
+    "check_positive_int",
+    "check_non_negative_int",
+    "check_rate",
+    "check_in",
+    "check_unique",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with *message* unless *condition*."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def check_name(value: object, what: str = "name") -> str:
+    """Validate that *value* is a non-empty string and return it."""
+    if not isinstance(value, str) or not value:
+        raise ValidationError(f"{what} must be a non-empty string, got {value!r}")
+    return value
+
+
+def check_probability(value: object, what: str = "probability") -> float:
+    """Validate that *value* lies in the closed interval [0, 1]."""
+    number = _as_float(value, what)
+    if not 0.0 <= number <= 1.0:
+        raise ValidationError(f"{what} must be within [0, 1], got {number!r}")
+    return number
+
+
+def check_non_negative(value: object, what: str = "value") -> float:
+    """Validate that *value* is a finite float >= 0."""
+    number = _as_float(value, what)
+    if number < 0.0:
+        raise ValidationError(f"{what} must be >= 0, got {number!r}")
+    return number
+
+
+def check_positive(value: object, what: str = "value") -> float:
+    """Validate that *value* is a finite float > 0."""
+    number = _as_float(value, what)
+    if number <= 0.0:
+        raise ValidationError(f"{what} must be > 0, got {number!r}")
+    return number
+
+
+def check_positive_int(value: object, what: str = "value") -> int:
+    """Validate that *value* is an integer >= 1."""
+    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        raise ValidationError(f"{what} must be a positive integer, got {value!r}")
+    return value
+
+
+def check_non_negative_int(value: object, what: str = "value") -> int:
+    """Validate that *value* is an integer >= 0."""
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise ValidationError(f"{what} must be a non-negative integer, got {value!r}")
+    return value
+
+
+def check_rate(value: object, what: str = "rate") -> float:
+    """Validate an exponential-transition rate (finite, strictly positive)."""
+    return check_positive(value, what)
+
+
+def check_in(value: T, allowed: Iterable[T], what: str = "value") -> T:
+    """Validate that *value* is one of *allowed* and return it."""
+    options = tuple(allowed)
+    if value not in options:
+        raise ValidationError(f"{what} must be one of {options!r}, got {value!r}")
+    return value
+
+
+def check_unique(values: Iterable[object], what: str = "values") -> None:
+    """Validate that *values* contains no duplicates."""
+    seen = set()
+    for value in values:
+        if value in seen:
+            raise ValidationError(f"duplicate {what}: {value!r}")
+        seen.add(value)
+
+
+def _as_float(value: object, what: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValidationError(f"{what} must be a number, got {value!r}")
+    number = float(value)
+    if number != number or number in (float("inf"), float("-inf")):
+        raise ValidationError(f"{what} must be finite, got {number!r}")
+    return number

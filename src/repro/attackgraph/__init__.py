@@ -1,0 +1,10 @@
+"""Attack graphs: the upper layer of the two-layered HARM.
+
+Nodes are hosts (plus a distinguished attacker node); edges encode
+network reachability.  Attack paths are simple paths from the attacker to
+a target host.
+"""
+
+from repro.attackgraph.graph import ATTACKER, AttackGraph
+
+__all__ = ["AttackGraph", "ATTACKER"]

@@ -1,0 +1,165 @@
+"""Reachability-layer attack graph."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import HarmError
+from repro.graphs import DiGraph, all_simple_paths
+
+__all__ = ["AttackGraph", "ATTACKER"]
+
+#: The distinguished source node representing the external attacker.
+ATTACKER = "__attacker__"
+
+
+class AttackGraph:
+    """Network-reachability graph with a distinguished attacker node.
+
+    Hosts are added by name; ``add_entry_point`` connects the attacker to
+    a host; ``add_reachability`` adds host-to-host connectivity.  Targets
+    are the attack goals (the database servers in the paper).
+
+    Examples
+    --------
+    >>> ag = AttackGraph(["web", "db"], targets=["db"])
+    >>> ag.add_entry_point("web")
+    >>> ag.add_reachability("web", "db")
+    >>> ag.attack_paths()
+    [['web', 'db']]
+    """
+
+    def __init__(
+        self,
+        hosts: Iterable[str] = (),
+        targets: Iterable[str] = (),
+    ) -> None:
+        self._graph = DiGraph()
+        self._graph.add_node(ATTACKER)
+        self._targets: list[str] = []
+        for host in hosts:
+            self.add_host(host)
+        for target in targets:
+            self.add_target(target)
+
+    # -- construction ----------------------------------------------------------
+
+    def add_host(self, host: str) -> None:
+        """Add a host node (idempotent)."""
+        _check_host_name(host)
+        self._graph.add_node(host)
+
+    def add_target(self, host: str) -> None:
+        """Mark *host* (added if necessary) as an attack goal."""
+        self.add_host(host)
+        if host not in self._targets:
+            self._targets.append(host)
+
+    def add_entry_point(self, host: str) -> None:
+        """Make *host* reachable directly from the external attacker."""
+        self.add_host(host)
+        self._graph.add_edge(ATTACKER, host)
+
+    def add_reachability(self, src: str, dst: str) -> None:
+        """Record that *src* can open connections to *dst*."""
+        _check_host_name(src)
+        _check_host_name(dst)
+        self.add_host(src)
+        self.add_host(dst)
+        self._graph.add_edge(src, dst)
+
+    def remove_host(self, host: str) -> None:
+        """Remove *host* and its edges (e.g. fully patched, unexploitable)."""
+        if host not in self._graph:
+            raise HarmError(f"unknown host {host!r}")
+        self._graph.remove_node(host)
+        self._targets = [target for target in self._targets if target != host]
+
+    # -- structure ----------------------------------------------------------------
+
+    @property
+    def hosts(self) -> list[str]:
+        """All host names (attacker excluded) in insertion order."""
+        return [node for node in self._graph.nodes() if node != ATTACKER]
+
+    @property
+    def targets(self) -> list[str]:
+        """The attack-goal hosts."""
+        return list(self._targets)
+
+    def entry_points(self) -> list[str]:
+        """Hosts directly reachable from the attacker."""
+        return self._graph.successors(ATTACKER)
+
+    def reachable_hosts(self, src: str) -> list[str]:
+        """Hosts directly reachable from *src*."""
+        if src not in self._graph:
+            raise HarmError(f"unknown host {src!r}")
+        return self._graph.successors(src)
+
+    def has_host(self, host: str) -> bool:
+        """Whether *host* is present."""
+        return host != ATTACKER and self._graph.has_node(host)
+
+    def number_of_hosts(self) -> int:
+        """Host count (attacker excluded)."""
+        return self._graph.number_of_nodes() - 1
+
+    # -- analysis -----------------------------------------------------------------
+
+    def attack_paths(self, max_length: int | None = None) -> list[list[str]]:
+        """Every simple path from the attacker to any target.
+
+        The attacker node itself is stripped from the returned paths, so a
+        path reads like the paper's ``ap1 = {dns1, web1, app1, db1}``.
+        A graph with no targets (every goal host fully patched) has no
+        attack paths.
+        """
+        if not self._targets:
+            return []
+        return [path[1:] for path in self.iter_attack_paths(max_length)]
+
+    def iter_attack_paths(
+        self, max_length: int | None = None
+    ) -> Iterator[list[str]]:
+        """Iterate attacker-rooted paths (attacker node included)."""
+        return all_simple_paths(self._graph, ATTACKER, self._targets, max_length)
+
+    def number_of_attack_paths(self) -> int:
+        """Paper metric NoAP."""
+        return len(self.attack_paths())
+
+    def number_of_entry_points(self) -> int:
+        """Paper metric NoEP."""
+        return len(self.entry_points())
+
+    def restricted_to(self, keep: Iterable[str]) -> "AttackGraph":
+        """A new graph induced on *keep* (attacker retained).
+
+        Used after patching: hosts with no remaining exploitable
+        vulnerability drop out of the attack surface.
+        """
+        keep_set = set(keep) | {ATTACKER}
+        restricted = AttackGraph()
+        restricted._graph = self._graph.subgraph(keep_set)
+        if ATTACKER not in restricted._graph:
+            restricted._graph.add_node(ATTACKER)
+        restricted._targets = [t for t in self._targets if t in keep_set]
+        return restricted
+
+    def to_digraph(self) -> DiGraph:
+        """A copy of the underlying directed graph (attacker included)."""
+        return self._graph.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"AttackGraph(hosts={self.number_of_hosts()}, "
+            f"targets={self._targets!r})"
+        )
+
+
+def _check_host_name(host: str) -> None:
+    if not isinstance(host, str) or not host:
+        raise HarmError(f"host name must be a non-empty string, got {host!r}")
+    if host == ATTACKER:
+        raise HarmError(f"{ATTACKER!r} is reserved for the attacker node")

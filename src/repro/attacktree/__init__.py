@@ -1,0 +1,14 @@
+"""Attack trees: the lower layer of the two-layered HARM.
+
+An attack tree describes how a single host is compromised: leaves are
+exploitable vulnerabilities, internal AND/OR gates combine them.  The
+paper evaluates attack impact (OR = max, AND = sum) and attack success
+probability (OR = attacker-best = max, AND = product); the probabilistic
+OR variant (1 - prod(1-p)) is also provided.
+"""
+
+from repro.attacktree.nodes import Gate
+from repro.attacktree.semantics import GateSemantics, PROBABILISTIC, WORST_CASE
+from repro.attacktree.tree import AttackTree
+
+__all__ = ["AttackTree", "Gate", "GateSemantics", "WORST_CASE", "PROBABILISTIC"]

@@ -1,0 +1,78 @@
+"""Attack-tree node types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro._validation import check_name, check_non_negative, check_probability
+from repro.errors import AttackTreeError
+
+__all__ = ["Gate", "LeafNode", "GateNode", "TreeNode"]
+
+
+class Gate(str, Enum):
+    """Gate type of an internal attack-tree node."""
+
+    AND = "and"
+    OR = "or"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class LeafNode:
+    """A leaf: one exploitable vulnerability with its two paper metrics.
+
+    Parameters
+    ----------
+    name:
+        Identifier, conventionally the CVE id.
+    impact:
+        Attack impact (CVSS v2 impact sub-score, in [0, 10]).
+    probability:
+        Attack success probability (exploitability sub-score / 10).
+    """
+
+    name: str
+    impact: float
+    probability: float
+
+    def __post_init__(self) -> None:
+        check_name(self.name, "leaf name")
+        check_non_negative(self.impact, "impact")
+        if self.impact > 10.0:
+            raise AttackTreeError(f"impact must be <= 10, got {self.impact}")
+        check_probability(self.probability, "probability")
+
+    @property
+    def is_leaf(self) -> bool:
+        """Always True for leaves."""
+        return True
+
+
+@dataclass(frozen=True)
+class GateNode:
+    """An internal AND/OR gate over one or more child nodes."""
+
+    gate: Gate
+    children: tuple["TreeNode", ...]
+    name: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.gate, Gate):
+            raise AttackTreeError(f"gate must be a Gate, got {self.gate!r}")
+        if not self.children:
+            raise AttackTreeError("a gate needs at least one child")
+        for child in self.children:
+            if not isinstance(child, (LeafNode, GateNode)):
+                raise AttackTreeError(f"invalid child node {child!r}")
+
+    @property
+    def is_leaf(self) -> bool:
+        """Always False for gates."""
+        return False
+
+
+TreeNode = LeafNode | GateNode

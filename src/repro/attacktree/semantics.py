@@ -1,0 +1,93 @@
+"""Gate combination semantics for attack-tree metrics.
+
+The HARM literature (Hong & Kim 2016; Ge et al. 2017) uses *worst-case*
+semantics: the attacker picks the best OR branch (max) and must take every
+AND branch (impact adds, probabilities multiply).  The *probabilistic*
+variant treats OR branches as independent exploitation attempts
+(p = 1 - prod(1 - p_i)); impact combination is unchanged because impact
+models damage of the chosen strategy, not chance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from math import prod
+
+from repro.errors import AttackTreeError
+
+__all__ = ["GateSemantics", "WORST_CASE", "PROBABILISTIC"]
+
+
+def _or_max(values: Sequence[float]) -> float:
+    return max(values)
+
+def _or_independent(values: Sequence[float]) -> float:
+    return 1.0 - prod(1.0 - value for value in values)
+
+def _and_sum(values: Sequence[float]) -> float:
+    return float(sum(values))
+
+def _and_product(values: Sequence[float]) -> float:
+    return prod(values)
+
+
+@dataclass(frozen=True)
+class GateSemantics:
+    """How AND/OR gates combine impact and probability values.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports.
+    or_probability, and_probability:
+        Combinators for attack success probability.
+    or_impact, and_impact:
+        Combinators for attack impact.
+    """
+
+    name: str
+    or_probability: "CombineFn"
+    and_probability: "CombineFn"
+    or_impact: "CombineFn"
+    and_impact: "CombineFn"
+
+    def combine_probability(self, gate_is_and: bool, values: Sequence[float]) -> float:
+        """Combine child probabilities for an AND (True) or OR gate."""
+        _check_values(values)
+        combine = self.and_probability if gate_is_and else self.or_probability
+        return combine(values)
+
+    def combine_impact(self, gate_is_and: bool, values: Sequence[float]) -> float:
+        """Combine child impacts for an AND (True) or OR gate."""
+        _check_values(values)
+        combine = self.and_impact if gate_is_and else self.or_impact
+        return combine(values)
+
+
+def _check_values(values: Sequence[float]) -> None:
+    if not values:
+        raise AttackTreeError("cannot combine an empty value sequence")
+
+
+from collections.abc import Callable  # noqa: E402  (type alias after use)
+
+CombineFn = Callable[[Sequence[float]], float]
+
+#: Paper semantics: attacker picks the best OR branch.
+WORST_CASE = GateSemantics(
+    name="worst_case",
+    or_probability=_or_max,
+    and_probability=_and_product,
+    or_impact=_or_max,
+    and_impact=_and_sum,
+)
+
+#: OR branches as independent attempts.
+PROBABILISTIC = GateSemantics(
+    name="probabilistic",
+    or_probability=_or_independent,
+    and_probability=_and_product,
+    or_impact=_or_max,
+    and_impact=_and_sum,
+)

@@ -1,0 +1,225 @@
+"""The attack tree itself: construction, evaluation, pruning."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.errors import AttackTreeError
+from repro.attacktree.nodes import Gate, GateNode, LeafNode, TreeNode
+from repro.attacktree.semantics import GateSemantics, WORST_CASE
+from repro.vulnerability.model import Vulnerability
+
+__all__ = ["AttackTree"]
+
+#: A branch spec entry: a leaf name, or a tuple of names forming an AND group.
+BranchSpec = str | tuple[str, ...]
+
+
+class AttackTree:
+    """A host-level attack tree rooted at a single node.
+
+    The paper's trees are one OR root whose branches are single
+    vulnerabilities or AND pairs; arbitrary nesting is supported.
+
+    Examples
+    --------
+    >>> leaves = {"a": (10.0, 1.0), "b": (2.9, 1.0), "c": (10.0, 0.39)}
+    >>> tree = AttackTree.from_branches(
+    ...     {name: LeafNode(name, *metrics) for name, metrics in leaves.items()},
+    ...     ["a", ("b", "c")])
+    >>> tree.impact()
+    12.9
+    """
+
+    def __init__(self, root: TreeNode) -> None:
+        if not isinstance(root, (LeafNode, GateNode)):
+            raise AttackTreeError(f"root must be a tree node, got {root!r}")
+        self._root = root
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def single(cls, leaf: LeafNode) -> "AttackTree":
+        """A tree consisting of one vulnerability."""
+        return cls(leaf)
+
+    @classmethod
+    def from_branches(
+        cls,
+        leaves: dict[str, LeafNode],
+        branches: Sequence[BranchSpec],
+    ) -> "AttackTree":
+        """Build ``OR(branch, ...)`` where tuple branches become AND gates.
+
+        This is the paper's tree shape: ``["v1", "v2", ("v4", "v5")]``
+        reads "v1 OR v2 OR (v4 AND v5)".
+        """
+        if not branches:
+            raise AttackTreeError("an attack tree needs at least one branch")
+        children: list[TreeNode] = []
+        for branch in branches:
+            if isinstance(branch, str):
+                children.append(_lookup(leaves, branch))
+            elif isinstance(branch, tuple):
+                if not branch:
+                    raise AttackTreeError("empty AND group in branch spec")
+                group = tuple(_lookup(leaves, name) for name in branch)
+                if len(group) == 1:
+                    children.append(group[0])
+                else:
+                    children.append(GateNode(Gate.AND, group))
+            else:
+                raise AttackTreeError(f"invalid branch spec entry {branch!r}")
+        if len(children) == 1:
+            return cls(children[0])
+        return cls(GateNode(Gate.OR, tuple(children)))
+
+    @classmethod
+    def from_vulnerabilities(
+        cls,
+        vulnerabilities: Iterable[Vulnerability],
+        branches: Sequence[BranchSpec] | None = None,
+    ) -> "AttackTree":
+        """Build a tree from vulnerability records.
+
+        Without *branches*, every vulnerability becomes an alternative
+        (flat OR) — the generic default when no expert tree is available.
+        With *branches*, names refer to CVE identifiers.
+        """
+        leaves = {
+            vuln.cve_id: LeafNode(
+                vuln.cve_id, vuln.attack_impact, vuln.attack_success_probability
+            )
+            for vuln in vulnerabilities
+        }
+        if not leaves:
+            raise AttackTreeError("cannot build a tree from zero vulnerabilities")
+        if branches is None:
+            branches = list(leaves)
+        return cls.from_branches(leaves, branches)
+
+    # -- structure -------------------------------------------------------------
+
+    @property
+    def root(self) -> TreeNode:
+        """The root node."""
+        return self._root
+
+    def leaves(self) -> list[LeafNode]:
+        """All leaves in depth-first order."""
+        found: list[LeafNode] = []
+
+        def _walk(node: TreeNode) -> None:
+            if isinstance(node, LeafNode):
+                found.append(node)
+            else:
+                for child in node.children:
+                    _walk(child)
+
+        _walk(self._root)
+        return found
+
+    def leaf_names(self) -> list[str]:
+        """Names of all leaves in depth-first order."""
+        return [leaf.name for leaf in self.leaves()]
+
+    def size(self) -> int:
+        """Total number of nodes (gates plus leaves)."""
+
+        def _count(node: TreeNode) -> int:
+            if isinstance(node, LeafNode):
+                return 1
+            return 1 + sum(_count(child) for child in node.children)
+
+        return _count(self._root)
+
+    def depth(self) -> int:
+        """Longest root-to-leaf node count (a lone leaf has depth 1)."""
+
+        def _depth(node: TreeNode) -> int:
+            if isinstance(node, LeafNode):
+                return 1
+            return 1 + max(_depth(child) for child in node.children)
+
+        return _depth(self._root)
+
+    # -- evaluation --------------------------------------------------------------
+
+    def impact(self, semantics: GateSemantics = WORST_CASE) -> float:
+        """Attack impact at the root (paper: aim_root)."""
+
+        def _eval(node: TreeNode) -> float:
+            if isinstance(node, LeafNode):
+                return node.impact
+            values = [_eval(child) for child in node.children]
+            return semantics.combine_impact(node.gate is Gate.AND, values)
+
+        return _eval(self._root)
+
+    def probability(self, semantics: GateSemantics = WORST_CASE) -> float:
+        """Attack success probability at the root."""
+
+        def _eval(node: TreeNode) -> float:
+            if isinstance(node, LeafNode):
+                return node.probability
+            values = [_eval(child) for child in node.children]
+            return semantics.combine_probability(node.gate is Gate.AND, values)
+
+        return _eval(self._root)
+
+    def risk(self, semantics: GateSemantics = WORST_CASE) -> float:
+        """Risk = impact x probability (survey-style composite metric)."""
+        return self.impact(semantics) * self.probability(semantics)
+
+    # -- transformation ------------------------------------------------------------
+
+    def without_leaves(self, names: Iterable[str]) -> "AttackTree | None":
+        """A new tree with the named leaves removed (patched).
+
+        Removing a child of an AND gate removes the whole gate: the attack
+        step chain is broken.  Returns ``None`` when nothing remains — the
+        host is no longer exploitable.
+        """
+        drop = set(names)
+
+        def _prune(node: TreeNode) -> TreeNode | None:
+            if isinstance(node, LeafNode):
+                return None if node.name in drop else node
+            pruned = [_prune(child) for child in node.children]
+            if node.gate is Gate.AND:
+                if any(child is None for child in pruned):
+                    return None
+                kept = [child for child in pruned if child is not None]
+            else:
+                kept = [child for child in pruned if child is not None]
+                if not kept:
+                    return None
+            if len(kept) == 1:
+                return kept[0]
+            return GateNode(node.gate, tuple(kept), name=node.name)
+
+        new_root = _prune(self._root)
+        if new_root is None:
+            return None
+        return AttackTree(new_root)
+
+    def to_expression(self) -> str:
+        """Readable boolean-style expression, e.g. ``(a | (b & c))``."""
+
+        def _fmt(node: TreeNode) -> str:
+            if isinstance(node, LeafNode):
+                return node.name
+            symbol = " & " if node.gate is Gate.AND else " | "
+            return "(" + symbol.join(_fmt(child) for child in node.children) + ")"
+
+        return _fmt(self._root)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"AttackTree({self.to_expression()})"
+
+
+def _lookup(leaves: dict[str, LeafNode], name: str) -> LeafNode:
+    try:
+        return leaves[name]
+    except KeyError:
+        raise AttackTreeError(f"unknown leaf {name!r} in branch spec") from None

@@ -1,0 +1,94 @@
+"""Eqs. (1)-(2): collapse a server SRN into equivalent patch/repair rates.
+
+The upper-layer network model sees each server as a two-state chain:
+
+    lambda_eq = tau_p                       (Eq. 1)
+    mu_eq     = beta_svc * p_prrb / p_pd    (Eq. 2)
+
+``lambda_eq`` is exactly the patch-clock rate because every up-state
+leaves for the pipeline at rate tau_p.  ``mu_eq`` is the aggregate exit
+rate of the patch-down macro-state: only its final stage (service ready
+to reboot, hardware and OS up) returns to up, at the service reboot rate.
+
+Table V of the paper is this module applied to the four server roles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.availability.measures import ServerMeasures, compute_measures
+from repro.availability.parameters import ServerParameters
+from repro.availability.server import solve_server
+from repro.errors import EvaluationError
+from repro.srn import SrnSolution
+
+__all__ = ["ServiceAggregate", "aggregate_service", "aggregate_from_solution"]
+
+
+@dataclass(frozen=True)
+class ServiceAggregate:
+    """The Table V row for one service."""
+
+    name: str
+    patch_rate: float
+    recovery_rate: float
+    measures: ServerMeasures
+
+    @property
+    def mttp_hours(self) -> float:
+        """Mean time to patch, ``1 / patch_rate`` (720 h in the paper)."""
+        return 1.0 / self.patch_rate
+
+    @property
+    def mttr_hours(self) -> float:
+        """Mean time to recovery from a patch, ``1 / recovery_rate``."""
+        return 1.0 / self.recovery_rate
+
+    @property
+    def equivalent_availability(self) -> float:
+        """Availability of the equivalent two-state chain."""
+        return self.recovery_rate / (self.patch_rate + self.recovery_rate)
+
+
+def aggregate_service(
+    parameters: ServerParameters,
+    hardware_can_fail_during_patch: bool = True,
+    software_can_fail_during_patch: bool = True,
+) -> ServiceAggregate:
+    """Solve the server SRN for *parameters* and apply Eqs. (1)-(2)."""
+    solution = solve_server(
+        parameters,
+        hardware_can_fail_during_patch=hardware_can_fail_during_patch,
+        software_can_fail_during_patch=software_can_fail_during_patch,
+    )
+    return aggregate_from_solution(parameters, solution)
+
+
+def aggregate_from_solution(
+    parameters: ServerParameters, solution: SrnSolution
+) -> ServiceAggregate:
+    """Apply Eqs. (1)-(2) to an already-solved server SRN."""
+    measures = compute_measures(solution)
+    if measures.patch_down <= 0.0:
+        raise EvaluationError(
+            f"server {parameters.name!r} never enters the patch pipeline; "
+            "check the patch clock guard"
+        )
+    if measures.patch_ready_to_reboot <= 0.0:
+        raise EvaluationError(
+            f"server {parameters.name!r} never reaches the ready-to-reboot "
+            "stage; the patch pipeline is broken"
+        )
+    patch_rate = parameters.patch_clock_rate  # Eq. (1)
+    recovery_rate = (
+        parameters.patch.service_patch_reboot
+        * measures.patch_ready_to_reboot
+        / measures.patch_down
+    )  # Eq. (2)
+    return ServiceAggregate(
+        name=parameters.name,
+        patch_rate=patch_rate,
+        recovery_rate=recovery_rate,
+        measures=measures,
+    )

@@ -1,0 +1,58 @@
+"""Capacity-oriented availability (COA) reward functions.
+
+Table VI of the paper assigns to each marking the fraction of running
+servers, *provided every service still has at least one server up*;
+otherwise the reward is 0 (the web service being entirely down makes the
+whole system useless regardless of how many application servers run).
+The generalization below reproduces Table VI exactly for the example
+network (1 DNS + 2 WEB + 2 APP + 1 DB).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+from repro._validation import check_positive_int
+from repro.errors import EvaluationError
+from repro.srn import Marking
+
+__all__ = ["coa_reward", "up_place"]
+
+
+def up_place(service: str) -> str:
+    """Name of the tokens-up place for *service* in the network SRN."""
+    return f"P{service}up"
+
+
+def coa_reward(capacities: Mapping[str, int]) -> Callable[[Marking], float]:
+    """Build the Table VI reward function for the given design.
+
+    Parameters
+    ----------
+    capacities:
+        Service name -> number of deployed servers (e.g.
+        ``{"dns": 1, "web": 2, "app": 2, "db": 1}``).
+
+    Returns
+    -------
+    A reward-rate function over markings of the network SRN: the number
+    of running servers divided by the total, or 0 when any service has
+    no server up.
+    """
+    if not capacities:
+        raise EvaluationError("COA needs at least one service")
+    for service, count in capacities.items():
+        check_positive_int(count, f"capacity of {service!r}")
+    places = {service: up_place(service) for service in capacities}
+    total = sum(capacities.values())
+
+    def reward(marking: Marking) -> float:
+        running = 0
+        for service, place in places.items():
+            up = marking[place]
+            if up == 0:
+                return 0.0
+            running += up
+        return running / total
+
+    return reward

@@ -1,0 +1,134 @@
+"""Availability of heterogeneous (diverse-software) redundancy designs.
+
+The paper evaluates identical replicas and lists heterogeneous
+redundancy as future work.  Here each service tier may mix *variants*
+(distinct software stacks with their own patch pipelines): the tier is
+up while any replica of any variant runs, and each variant group gets
+its own marking-dependent patch/recovery transitions because different
+stacks have different aggregated rates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro._validation import check_positive_int
+from repro.availability.aggregation import ServiceAggregate
+from repro.errors import EvaluationError
+from repro.srn import Marking, SrnSolution, StochasticRewardNet, solve
+
+__all__ = ["HeterogeneousAvailabilityModel"]
+
+
+class HeterogeneousAvailabilityModel:
+    """Joint availability model with per-variant server groups.
+
+    Parameters
+    ----------
+    tiers:
+        Role name -> {variant name -> replica count}.  A homogeneous tier
+        is simply a single-variant mapping.
+    aggregates:
+        Variant name -> :class:`ServiceAggregate` (lower-layer results).
+
+    Examples
+    --------
+    >>> tiers = {"web": {"web_apache": 1, "web_nginx": 1}, "db": {"db": 1}}
+    """
+
+    def __init__(
+        self,
+        tiers: Mapping[str, Mapping[str, int]],
+        aggregates: Mapping[str, ServiceAggregate],
+    ) -> None:
+        if not tiers:
+            raise EvaluationError("a network needs at least one tier")
+        self._tiers: dict[str, dict[str, int]] = {}
+        seen_variants: set[str] = set()
+        for role, variants in tiers.items():
+            if not variants:
+                raise EvaluationError(f"tier {role!r} has no variants")
+            for variant, count in variants.items():
+                check_positive_int(count, f"count of {variant!r}")
+                if variant in seen_variants:
+                    raise EvaluationError(
+                        f"variant {variant!r} appears in more than one tier"
+                    )
+                seen_variants.add(variant)
+                if variant not in aggregates:
+                    raise EvaluationError(f"no aggregate rates for {variant!r}")
+            self._tiers[role] = dict(variants)
+        self._aggregates = dict(aggregates)
+        self._solution: SrnSolution | None = None
+
+    # -- model -------------------------------------------------------------
+
+    @property
+    def tiers(self) -> dict[str, dict[str, int]]:
+        """Role -> variant -> count."""
+        return {role: dict(variants) for role, variants in self._tiers.items()}
+
+    @property
+    def total_servers(self) -> int:
+        """Total deployed servers across all variants."""
+        return sum(
+            count for variants in self._tiers.values() for count in variants.values()
+        )
+
+    def build_srn(self) -> StochasticRewardNet:
+        """One up/down place pair and transition pair per variant group."""
+        net = StochasticRewardNet("heterogeneous-availability")
+        for variants in self._tiers.values():
+            for variant, count in variants.items():
+                aggregate = self._aggregates[variant]
+                place_up = f"P{variant}up"
+                place_down = f"P{variant}d"
+                net.add_place(place_up, tokens=count)
+                net.add_place(place_down)
+
+                def patch(m, _p=place_up, _r=aggregate.patch_rate):
+                    return _r * m[_p]
+
+                def repair(m, _p=place_down, _r=aggregate.recovery_rate):
+                    return _r * m[_p]
+
+                net.add_timed_transition(f"T{variant}d", rate=patch)
+                net.add_arc(place_up, f"T{variant}d")
+                net.add_arc(f"T{variant}d", place_down)
+                net.add_timed_transition(f"T{variant}up", rate=repair)
+                net.add_arc(place_down, f"T{variant}up")
+                net.add_arc(f"T{variant}up", place_up)
+        return net
+
+    def solve(self) -> SrnSolution:
+        """Solve (and cache) the steady state."""
+        if self._solution is None:
+            self._solution = solve(self.build_srn())
+        return self._solution
+
+    # -- measures ------------------------------------------------------------
+
+    def _reward(self, marking: Marking) -> float:
+        running = 0
+        for variants in self._tiers.values():
+            tier_up = sum(marking[f"P{v}up"] for v in variants)
+            if tier_up == 0:
+                return 0.0
+            running += tier_up
+        return running / self.total_servers
+
+    def capacity_oriented_availability(self) -> float:
+        """COA with the tier-up condition over all variants of a role."""
+        return self.solve().expected_reward(self._reward)
+
+    def system_availability(self) -> float:
+        """P(every tier has at least one running server of any variant)."""
+        solution = self.solve()
+
+        def all_tiers_up(marking: Marking) -> bool:
+            return all(
+                sum(marking[f"P{v}up"] for v in variants) >= 1
+                for variants in self._tiers.values()
+            )
+
+        return solution.probability_of(all_tiers_up)

@@ -1,0 +1,52 @@
+"""Steady-state measures extracted from the server SRN.
+
+These are the probabilities the paper feeds into Eqs. (1)-(2):
+``p_svcup`` (service running), ``p_svcpd`` (service down due to patch:
+token in any patch-pipeline place) and ``p_svcprrb`` (final
+service-reboot stage enabled, i.e. token in ``Psvcrrb`` with hardware
+and OS up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.srn import Marking, SrnSolution
+from repro.availability.server import SERVICE_PATCH_DOWN_PLACES
+
+__all__ = ["ServerMeasures", "compute_measures"]
+
+
+@dataclass(frozen=True)
+class ServerMeasures:
+    """Steady-state probabilities of one server's SRN."""
+
+    service_up: float
+    patch_down: float
+    patch_ready_to_reboot: float
+    service_failed: float
+    hardware_down: float
+    os_not_up: float
+
+    @property
+    def availability(self) -> float:
+        """Plain service availability, P(service up)."""
+        return self.service_up
+
+
+def _in_patch_pipeline(marking: Marking) -> bool:
+    return any(marking[place] == 1 for place in SERVICE_PATCH_DOWN_PLACES)
+
+
+def compute_measures(solution: SrnSolution) -> ServerMeasures:
+    """Extract :class:`ServerMeasures` from a solved server SRN."""
+    return ServerMeasures(
+        service_up=solution.probability_of(lambda m: m["Psvcup"] == 1),
+        patch_down=solution.probability_of(_in_patch_pipeline),
+        patch_ready_to_reboot=solution.probability_of(
+            lambda m: m["Psvcrrb"] == 1 and m["Posup"] == 1 and m["Phwup"] == 1
+        ),
+        service_failed=solution.probability_of(lambda m: m["Psvcfd"] == 1),
+        hardware_down=solution.probability_of(lambda m: m["Phwd"] == 1),
+        os_not_up=solution.probability_of(lambda m: m["Posup"] == 0),
+    )

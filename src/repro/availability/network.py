@@ -1,0 +1,132 @@
+"""Upper-layer network availability model (the paper's Fig. 4).
+
+Each service tier becomes a pair of places ``P<svc>up`` / ``P<svc>d``
+holding as many tokens as the tier has servers.  The patch transition
+``T<svc>d`` fires with the marking-dependent rate
+``lambda_eq * #P<svc>up`` (each running server is patched independently
+at the aggregated rate) and the recovery transition ``T<svc>up`` with
+``mu_eq * #P<svc>d``.  Solving the joint SRN and weighting markings with
+the Table VI reward yields the capacity-oriented availability.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro._validation import check_positive_int
+from repro.availability.aggregation import ServiceAggregate
+from repro.availability.coa import coa_reward, up_place
+from repro.errors import EvaluationError
+from repro.srn import SrnSolution, StochasticRewardNet, solve
+
+__all__ = ["NetworkAvailabilityModel"]
+
+
+class NetworkAvailabilityModel:
+    """Joint availability model of a redundancy design.
+
+    Parameters
+    ----------
+    capacities:
+        Service name -> number of deployed servers.
+    aggregates:
+        Service name -> :class:`ServiceAggregate` (or any object with
+        ``patch_rate`` and ``recovery_rate`` attributes) from the lower
+        layer.
+
+    Examples
+    --------
+    >>> from repro.availability import ServiceAggregate, ServerMeasures
+    >>> # (aggregates normally come from aggregate_service)
+    """
+
+    def __init__(
+        self,
+        capacities: Mapping[str, int],
+        aggregates: Mapping[str, ServiceAggregate],
+    ) -> None:
+        if not capacities:
+            raise EvaluationError("a network needs at least one service")
+        missing = [svc for svc in capacities if svc not in aggregates]
+        if missing:
+            raise EvaluationError(f"no aggregate rates for services {missing}")
+        self._capacities = {
+            svc: check_positive_int(count, f"capacity of {svc!r}")
+            for svc, count in capacities.items()
+        }
+        self._aggregates = dict(aggregates)
+        self._solution: SrnSolution | None = None
+
+    # -- model ------------------------------------------------------------
+
+    @property
+    def capacities(self) -> dict[str, int]:
+        """Service name -> server count."""
+        return dict(self._capacities)
+
+    def build_srn(self) -> StochasticRewardNet:
+        """Construct the upper-layer SRN."""
+        net = StochasticRewardNet("network-availability")
+        for service, count in self._capacities.items():
+            aggregate = self._aggregates[service]
+            place_up = up_place(service)
+            place_down = f"P{service}d"
+            net.add_place(place_up, tokens=count)
+            net.add_place(place_down)
+
+            def patch_rate(m, _place=place_up, _rate=aggregate.patch_rate):
+                return _rate * m[_place]
+
+            def repair_rate(m, _place=place_down, _rate=aggregate.recovery_rate):
+                return _rate * m[_place]
+
+            down_name = f"T{service}d"
+            net.add_timed_transition(down_name, rate=patch_rate)
+            net.add_arc(place_up, down_name)
+            net.add_arc(down_name, place_down)
+            up_name = f"T{service}up"
+            net.add_timed_transition(up_name, rate=repair_rate)
+            net.add_arc(place_down, up_name)
+            net.add_arc(up_name, place_up)
+        return net
+
+    def solve(self) -> SrnSolution:
+        """Solve (and cache) the steady state of the network SRN."""
+        if self._solution is None:
+            self._solution = solve(self.build_srn())
+        return self._solution
+
+    # -- measures ------------------------------------------------------------
+
+    def capacity_oriented_availability(self) -> float:
+        """COA: the expected Table VI reward at steady state."""
+        solution = self.solve()
+        return solution.expected_reward(coa_reward(self._capacities))
+
+    def system_availability(self) -> float:
+        """P(every service has at least one server up)."""
+        solution = self.solve()
+        places = {svc: up_place(svc) for svc in self._capacities}
+        return solution.probability_of(
+            lambda m: all(m[place] >= 1 for place in places.values())
+        )
+
+    def expected_running_servers(self) -> float:
+        """Expected number of servers that are up."""
+        solution = self.solve()
+        places = [up_place(svc) for svc in self._capacities]
+        return solution.expected_reward(
+            lambda m: float(sum(m[place] for place in places))
+        )
+
+    def service_up_distribution(self, service: str) -> dict[int, float]:
+        """Steady-state distribution of the number of up servers of one tier."""
+        if service not in self._capacities:
+            raise EvaluationError(f"unknown service {service!r}")
+        solution = self.solve()
+        place = up_place(service)
+        distribution: dict[int, float] = {}
+        for marking, probability in zip(solution.markings, solution.probabilities):
+            count = marking[place]
+            distribution[count] = distribution.get(count, 0.0) + float(probability)
+        return dict(sorted(distribution.items()))

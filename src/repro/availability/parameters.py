@@ -1,0 +1,187 @@
+"""Input parameters of the server SRN sub-models (the paper's Table IV).
+
+All rates are per hour.  Patch durations derive from the number of
+critical vulnerabilities to patch: the paper assumes an application
+vulnerability takes 5 minutes and an OS vulnerability 10 minutes on
+average, patched sequentially, with a single merged reboot (10 minutes
+OS + 5 minutes service) after both stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro._validation import check_name, check_non_negative_int, check_positive
+
+__all__ = [
+    "MINUTES_PER_HOUR",
+    "APP_VULN_PATCH_MINUTES",
+    "OS_VULN_PATCH_MINUTES",
+    "ComponentRates",
+    "PatchPipeline",
+    "ServerParameters",
+    "dns_server_parameters",
+    "paper_server_parameters",
+]
+
+MINUTES_PER_HOUR = 60.0
+
+#: Average minutes to patch one application-layer vulnerability.
+APP_VULN_PATCH_MINUTES = 5.0
+#: Average minutes to patch one OS-layer vulnerability.
+OS_VULN_PATCH_MINUTES = 10.0
+
+
+def _rate_from_minutes(minutes: float) -> float:
+    """Exponential rate (per hour) with the given mean in minutes."""
+    check_positive(minutes, "duration in minutes")
+    return MINUTES_PER_HOUR / minutes
+
+
+@dataclass(frozen=True)
+class ComponentRates:
+    """Failure/recovery behaviour of one server (Table IV, non-patch rows).
+
+    All values are rates per hour.  ``*_reboot`` rates are the
+    reboot-after-failure transitions (delta in the paper); patch-related
+    reboots live in :class:`PatchPipeline`.
+    """
+
+    hardware_failure: float = 1.0 / 87600.0
+    hardware_repair: float = 1.0
+    os_failure: float = 1.0 / 1440.0
+    os_repair: float = 1.0
+    os_reboot: float = _rate_from_minutes(10.0)
+    service_failure: float = 1.0 / 336.0
+    service_repair: float = _rate_from_minutes(30.0)
+    service_reboot: float = _rate_from_minutes(5.0)
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "hardware_failure",
+            "hardware_repair",
+            "os_failure",
+            "os_repair",
+            "os_reboot",
+            "service_failure",
+            "service_repair",
+            "service_reboot",
+        ):
+            check_positive(getattr(self, field_name), field_name)
+
+
+@dataclass(frozen=True)
+class PatchPipeline:
+    """Patch-stage rates of one server (Table IV, patch rows).
+
+    The pipeline is sequential: service (application) patch, then OS
+    patch, then OS reboot, then service reboot.
+    """
+
+    service_patch: float
+    os_patch: float
+    os_patch_reboot: float = _rate_from_minutes(10.0)
+    service_patch_reboot: float = _rate_from_minutes(5.0)
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "service_patch",
+            "os_patch",
+            "os_patch_reboot",
+            "service_patch_reboot",
+        ):
+            check_positive(getattr(self, field_name), field_name)
+
+    @classmethod
+    def from_vulnerability_counts(
+        cls,
+        app_critical_count: int,
+        os_critical_count: int,
+        app_minutes_per_vuln: float = APP_VULN_PATCH_MINUTES,
+        os_minutes_per_vuln: float = OS_VULN_PATCH_MINUTES,
+    ) -> "PatchPipeline":
+        """Derive stage rates from critical-vulnerability counts.
+
+        The paper's DNS server has one critical application vulnerability
+        (5 minutes) and two critical OS vulnerabilities (20 minutes).
+        A count of zero is modelled as a negligible (30 second) stage so
+        the pipeline structure stays intact.
+        """
+        check_non_negative_int(app_critical_count, "app_critical_count")
+        check_non_negative_int(os_critical_count, "os_critical_count")
+        app_minutes = app_critical_count * app_minutes_per_vuln
+        os_minutes = os_critical_count * os_minutes_per_vuln
+        negligible = 0.5
+        return cls(
+            service_patch=_rate_from_minutes(app_minutes or negligible),
+            os_patch=_rate_from_minutes(os_minutes or negligible),
+        )
+
+    @property
+    def expected_downtime_hours(self) -> float:
+        """Mean patch downtime: the four sequential stage means."""
+        return (
+            1.0 / self.service_patch
+            + 1.0 / self.os_patch
+            + 1.0 / self.os_patch_reboot
+            + 1.0 / self.service_patch_reboot
+        )
+
+
+@dataclass(frozen=True)
+class ServerParameters:
+    """Everything the lower-layer SRN needs for one server."""
+
+    name: str
+    rates: ComponentRates
+    patch: PatchPipeline
+    patch_interval_hours: float = 720.0
+
+    def __post_init__(self) -> None:
+        check_name(self.name, "server name")
+        check_positive(self.patch_interval_hours, "patch_interval_hours")
+
+    @property
+    def patch_clock_rate(self) -> float:
+        """The paper's tau_p: 1 / patch interval."""
+        return 1.0 / self.patch_interval_hours
+
+    def with_patch_interval(self, hours: float) -> "ServerParameters":
+        """Copy with a different patch interval (schedule studies)."""
+        return replace(self, patch_interval_hours=check_positive(hours, "hours"))
+
+
+def dns_server_parameters() -> ServerParameters:
+    """Table IV: the DNS server (1 app critical, 2 OS criticals)."""
+    return ServerParameters(
+        name="dns",
+        rates=ComponentRates(service_failure=1.0 / 336.0),
+        patch=PatchPipeline.from_vulnerability_counts(1, 2),
+    )
+
+
+def paper_server_parameters() -> dict[str, ServerParameters]:
+    """Parameter sets for all four server roles of the case study.
+
+    Critical-vulnerability counts per role (derived from the catalog —
+    see :mod:`repro.vulnerability.catalog` — and consistent with the
+    Table V recovery rates):
+
+    ====  ====================  ==========
+    role  application criticals OS criticals
+    ====  ====================  ==========
+    dns   1                     2
+    web   2                     1
+    app   3                     3
+    db    2                     3
+    ====  ====================  ==========
+    """
+    counts = {"dns": (1, 2), "web": (2, 1), "app": (3, 3), "db": (2, 3)}
+    return {
+        role: ServerParameters(
+            name=role,
+            rates=ComponentRates(),
+            patch=PatchPipeline.from_vulnerability_counts(app_count, os_count),
+        )
+        for role, (app_count, os_count) in counts.items()
+    }

@@ -1,0 +1,69 @@
+"""Closed-form COA for independent service tiers (cross-validation).
+
+Because the upper-layer SRN is a product of independent birth-death
+chains (each server patches and recovers independently), the joint
+steady state factorises: the number of up servers in a tier of size n is
+Binomial(n, p_up) with ``p_up = mu_eq / (lambda_eq + mu_eq)``.  The COA
+then has the closed form implemented here, which the SRN pipeline must
+match to solver precision.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from itertools import product
+from math import comb
+
+from repro._validation import check_positive, check_positive_int
+from repro.errors import EvaluationError
+
+__all__ = ["product_form_coa", "tier_up_distribution"]
+
+
+def tier_up_distribution(count: int, up_probability: float) -> list[float]:
+    """Binomial pmf over 0..count servers up."""
+    check_positive_int(count, "count")
+    if not 0.0 <= up_probability <= 1.0:
+        raise EvaluationError(f"up_probability must be in [0,1], got {up_probability}")
+    return [
+        comb(count, k) * up_probability**k * (1.0 - up_probability) ** (count - k)
+        for k in range(count + 1)
+    ]
+
+
+def product_form_coa(
+    capacities: Mapping[str, int],
+    patch_rates: Mapping[str, float],
+    recovery_rates: Mapping[str, float],
+) -> float:
+    """Exact COA of a design from the per-service equivalent rates.
+
+    Parameters
+    ----------
+    capacities:
+        Service name -> number of servers.
+    patch_rates, recovery_rates:
+        Service name -> lambda_eq / mu_eq.
+    """
+    if not capacities:
+        raise EvaluationError("COA needs at least one service")
+    services = list(capacities)
+    distributions: list[list[float]] = []
+    for service in services:
+        if service not in patch_rates or service not in recovery_rates:
+            raise EvaluationError(f"missing rates for service {service!r}")
+        lam = check_positive(patch_rates[service], f"patch rate of {service!r}")
+        mu = check_positive(recovery_rates[service], f"recovery rate of {service!r}")
+        p_up = mu / (lam + mu)
+        distributions.append(tier_up_distribution(capacities[service], p_up))
+
+    total = sum(capacities.values())
+    coa = 0.0
+    for combo in product(*(range(len(d)) for d in distributions)):
+        if min(combo) == 0:
+            continue
+        probability = 1.0
+        for dist, k in zip(distributions, combo):
+            probability *= dist[k]
+        coa += probability * (sum(combo) / total)
+    return coa

@@ -1,0 +1,69 @@
+"""Survivability extensions of the network availability model.
+
+Two questions beyond the paper's steady-state COA:
+
+- **time to first outage**: starting from all servers up, the expected
+  time until some service tier first has zero running servers (the
+  system-down condition of the Table VI reward).  Computed by making the
+  outage markings absorbing and solving for the mean time to absorption.
+- **transient COA**: the expected Table VI reward as a function of time
+  from a given starting marking (uniformisation), showing how quickly
+  the patch process erodes and restores capacity.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.availability.coa import coa_reward, up_place
+from repro.availability.network import NetworkAvailabilityModel
+from repro.ctmc import make_absorbing, mean_time_to_absorption
+from repro.errors import EvaluationError
+from repro.srn import Marking
+
+__all__ = ["mean_time_to_outage", "transient_coa"]
+
+
+def _is_outage(marking: Marking, services: Sequence[str]) -> bool:
+    return any(marking[up_place(service)] == 0 for service in services)
+
+
+def mean_time_to_outage(model: NetworkAvailabilityModel) -> float:
+    """Expected hours from all-up until some tier first loses all servers.
+
+    Patch downs are short and independent, so for redundant designs this
+    is dominated by the rare coincidence of every replica of one tier
+    being patched at once.
+    """
+    solution = model.solve()
+    services = list(model.capacities)
+    chain = make_absorbing(
+        solution.chain, lambda marking: _is_outage(marking, services)
+    )
+    all_up = next(
+        (
+            marking
+            for marking in solution.markings
+            if all(
+                marking[up_place(service)] == model.capacities[service]
+                for service in services
+            )
+        ),
+        None,
+    )
+    if all_up is None:
+        raise EvaluationError("no all-up marking found in the state space")
+    return float(mean_time_to_absorption(chain, start=all_up))
+
+
+def transient_coa(
+    model: NetworkAvailabilityModel, times: Sequence[float]
+) -> np.ndarray:
+    """Expected COA at each time, starting from the all-up marking."""
+    if any(t < 0 for t in times):
+        raise EvaluationError("times must be non-negative")
+    solution = model.solve()
+    reward = coa_reward(model.capacities)
+    return solution.transient_reward(reward, times)

@@ -1,0 +1,114 @@
+"""Trivedi-style two-state aggregation (the paper's Eqs. (1)-(2)).
+
+A detailed availability sub-model is collapsed into an equivalent
+two-state (up/down) chain whose rates preserve the steady-state flow
+between the up and down macro-states:
+
+    lambda_eq = (sum of flow rates from up-states into down-states) / P(up)
+    mu_eq     = (sum of flow rates from down-states into up-states) / P(down)
+
+The paper's Eq. (1) instance is ``lambda_eq = tau_p * p_up / p_up = tau_p``
+(every up-state leaves for the patch pipeline at the clock rate) and
+Eq. (2) is ``mu_eq = beta_svc * p_prrb / p_pd`` (only the final
+ready-to-reboot state returns to up, at the service reboot rate).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ctmc.chain import Ctmc, State
+from repro.ctmc.steady import steady_state
+from repro.errors import CtmcError
+
+__all__ = ["TwoStateAggregate", "aggregate_two_state"]
+
+
+@dataclass(frozen=True)
+class TwoStateAggregate:
+    """The result of collapsing a chain into an up/down pair.
+
+    Attributes
+    ----------
+    failure_rate:
+        Equivalent up -> down rate (the paper's lambda_eq).
+    repair_rate:
+        Equivalent down -> up rate (the paper's mu_eq).
+    up_probability, down_probability:
+        Steady-state macro-state masses of the detailed chain.
+    """
+
+    failure_rate: float
+    repair_rate: float
+    up_probability: float
+    down_probability: float
+
+    @property
+    def mttf(self) -> float:
+        """Mean time to (macro) failure, ``1 / failure_rate``."""
+        return 1.0 / self.failure_rate
+
+    @property
+    def mttr(self) -> float:
+        """Mean time to (macro) repair, ``1 / repair_rate``."""
+        return 1.0 / self.repair_rate
+
+    @property
+    def availability(self) -> float:
+        """Availability of the equivalent two-state chain."""
+        return self.repair_rate / (self.failure_rate + self.repair_rate)
+
+
+def aggregate_two_state(
+    chain: Ctmc,
+    is_up: Callable[[State], bool],
+    probabilities: np.ndarray | None = None,
+) -> TwoStateAggregate:
+    """Collapse *chain* into an equivalent two-state up/down chain.
+
+    Parameters
+    ----------
+    chain:
+        The detailed chain (must be irreducible for meaningful output).
+    is_up:
+        Predicate classifying each state label as up (True) or down.
+    probabilities:
+        Optional precomputed steady-state vector.
+
+    Raises
+    ------
+    CtmcError
+        If every state is up, or every state is down, or a macro-state
+        has zero probability mass.
+    """
+    if probabilities is None:
+        probabilities = steady_state(chain)
+    states = chain.states
+    up_mask = np.array([bool(is_up(state)) for state in states])
+    if up_mask.all() or not up_mask.any():
+        raise CtmcError("aggregation needs at least one up and one down state")
+
+    pi = probabilities
+    p_up = float(pi[up_mask].sum())
+    p_down = float(pi[~up_mask].sum())
+    if p_up <= 0.0 or p_down <= 0.0:
+        raise CtmcError("a macro-state has zero steady-state probability")
+
+    flow_up_to_down = 0.0
+    flow_down_to_up = 0.0
+    for i, j, rate in chain.transitions():
+        if up_mask[i] and not up_mask[j]:
+            flow_up_to_down += pi[i] * rate
+        elif not up_mask[i] and up_mask[j]:
+            flow_down_to_up += pi[i] * rate
+
+    return TwoStateAggregate(
+        failure_rate=flow_up_to_down / p_up,
+        repair_rate=flow_down_to_up / p_down,
+        up_probability=p_up,
+        down_probability=p_down,
+    )

@@ -1,0 +1,49 @@
+"""Closed-form birth-death chains for cross-validation.
+
+The upper-layer network availability model is a product of independent
+birth-death chains (one per service tier); this module provides the exact
+closed form used to validate the SRN/CTMC pipeline.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import CtmcError
+
+__all__ = ["birth_death_steady_state"]
+
+
+def birth_death_steady_state(
+    birth_rates: Sequence[float],
+    death_rates: Sequence[float],
+) -> np.ndarray:
+    """Steady state of a finite birth-death chain on states 0..n.
+
+    ``birth_rates[k]`` is the rate from state k to k+1 and
+    ``death_rates[k]`` the rate from state k+1 to k, for k in 0..n-1.
+
+    Returns the probability vector over states 0..n via the standard
+    detailed-balance product form.
+
+    Examples
+    --------
+    >>> pi = birth_death_steady_state([2.0], [8.0])
+    >>> float(round(pi[1], 3))
+    0.2
+    """
+    if len(birth_rates) != len(death_rates):
+        raise CtmcError(
+            "birth and death rate sequences must have equal length, got "
+            f"{len(birth_rates)} and {len(death_rates)}"
+        )
+    for rate in list(birth_rates) + list(death_rates):
+        if rate <= 0:
+            raise CtmcError(f"birth/death rates must be > 0, got {rate!r}")
+    n = len(birth_rates)
+    weights = np.ones(n + 1)
+    for k in range(n):
+        weights[k + 1] = weights[k] * birth_rates[k] / death_rates[k]
+    return weights / weights.sum()

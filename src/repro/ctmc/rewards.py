@@ -1,0 +1,54 @@
+"""Reward-rate evaluation over CTMC states (SPNP-style output measures)."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+import numpy as np
+
+from repro.ctmc.chain import Ctmc, State
+from repro.ctmc.steady import steady_state
+from repro.errors import CtmcError
+
+__all__ = ["reward_vector", "expected_reward_rate"]
+
+
+def reward_vector(
+    chain: Ctmc,
+    reward: Mapping[State, float] | Callable[[State], float],
+) -> np.ndarray:
+    """Per-state reward rates aligned with ``chain.states``.
+
+    *reward* is either a mapping (missing states get reward 0) or a
+    callable evaluated on each state label — the analogue of an SPNP
+    reward function over markings.
+    """
+    states = chain.states
+    if callable(reward):
+        values = [float(reward(state)) for state in states]
+    else:
+        values = [float(reward.get(state, 0.0)) for state in states]
+    vector = np.asarray(values, dtype=float)
+    if not np.all(np.isfinite(vector)):
+        raise CtmcError("reward function produced non-finite values")
+    return vector
+
+
+def expected_reward_rate(
+    chain: Ctmc,
+    reward: Mapping[State, float] | Callable[[State], float],
+    probabilities: np.ndarray | None = None,
+) -> float:
+    """Expected steady-state reward rate ``sum_i pi_i * r_i``.
+
+    If *probabilities* is omitted the steady state is solved on demand.
+    """
+    if probabilities is None:
+        probabilities = steady_state(chain)
+    vector = reward_vector(chain, reward)
+    if probabilities.shape != vector.shape:
+        raise CtmcError(
+            f"probability vector shape {probabilities.shape} does not match "
+            f"state count {vector.shape}"
+        )
+    return float(probabilities @ vector)

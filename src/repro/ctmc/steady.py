@@ -1,0 +1,155 @@
+"""Steady-state solvers.
+
+The steady-state distribution satisfies ``pi Q = 0`` with ``sum(pi) = 1``.
+Three methods are provided:
+
+``direct``
+    Replace one balance equation by the normalisation condition and solve
+    the sparse linear system.  Fast and accurate for irreducible chains.
+``gth``
+    The Grassmann-Taksar-Heyman elimination: division-free of subtractions,
+    numerically exact up to rounding even for stiff chains; O(n^3) dense,
+    used for small or ill-conditioned models and for cross-checking.
+``power``
+    Uniformised power iteration; a derivative-free fallback.
+
+``steady_state`` picks ``gth`` for small chains and ``direct`` otherwise,
+falling back across methods on numerical failure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import linalg as sparse_linalg
+
+from repro.ctmc.chain import Ctmc
+from repro.errors import SolverError
+
+__all__ = ["steady_state", "steady_state_direct", "steady_state_gth", "steady_state_power"]
+
+_GTH_CUTOFF = 200
+
+
+def steady_state(chain: Ctmc, method: str = "auto") -> np.ndarray:
+    """Steady-state probability vector of *chain* (indexed like states).
+
+    Parameters
+    ----------
+    chain:
+        The CTMC to solve.  It must have a single recurrent class for the
+        result to be meaningful.
+    method:
+        ``"auto"``, ``"direct"``, ``"gth"`` or ``"power"``.
+    """
+    if method == "auto":
+        if chain.number_of_states() <= _GTH_CUTOFF:
+            return steady_state_gth(chain)
+        try:
+            return steady_state_direct(chain)
+        except SolverError:
+            return steady_state_power(chain)
+    if method == "direct":
+        return steady_state_direct(chain)
+    if method == "gth":
+        return steady_state_gth(chain)
+    if method == "power":
+        return steady_state_power(chain)
+    raise SolverError(f"unknown steady-state method {method!r}")
+
+
+def steady_state_direct(chain: Ctmc) -> np.ndarray:
+    """Sparse direct solve of ``pi Q = 0`` with normalisation."""
+    n = chain.number_of_states()
+    if n == 1:
+        return np.array([1.0])
+    q = chain.generator().transpose().tocsr().astype(float)
+    # Replace the last equation with sum(pi) = 1.
+    a = q.tolil()
+    a[n - 1, :] = np.ones(n)
+    b = np.zeros(n)
+    b[n - 1] = 1.0
+    try:
+        pi = sparse_linalg.spsolve(a.tocsr(), b)
+    except Exception as exc:  # scipy raises several distinct types
+        raise SolverError(f"sparse steady-state solve failed: {exc}") from exc
+    if not np.all(np.isfinite(pi)):
+        raise SolverError("sparse steady-state solve produced non-finite values")
+    pi = np.where(np.abs(pi) < 1e-300, 0.0, pi)
+    if np.any(pi < -1e-8):
+        raise SolverError("sparse steady-state solve produced negative probabilities")
+    pi = np.clip(pi, 0.0, None)
+    total = pi.sum()
+    if total <= 0:
+        raise SolverError("sparse steady-state solve produced a zero vector")
+    return pi / total
+
+
+def steady_state_gth(chain: Ctmc) -> np.ndarray:
+    """Grassmann-Taksar-Heyman elimination (dense, subtraction-free)."""
+    n = chain.number_of_states()
+    if n == 1:
+        return np.array([1.0])
+    q = chain.dense_generator()
+    # Work on the off-diagonal rate matrix.
+    a = q.copy()
+    np.fill_diagonal(a, 0.0)
+    a = np.abs(a)
+    # Forward elimination.
+    for k in range(n - 1, 0, -1):
+        total = a[k, :k].sum()
+        if total <= 0.0:
+            # State k unreachable-from/isolated in the reduced chain; give it
+            # an infinitesimal self-consistency to avoid division by zero.
+            raise SolverError(
+                "GTH elimination hit a state with no outflow to lower indices; "
+                "the chain is reducible"
+            )
+        a[:k, k] /= total
+        for j in range(k):
+            if a[k, j] != 0.0:
+                a[:k, j] += a[:k, k] * a[k, j]
+    # Back substitution.
+    pi = np.zeros(n)
+    pi[0] = 1.0
+    for k in range(1, n):
+        pi[k] = pi[:k] @ a[:k, k]
+    total = pi.sum()
+    if not np.isfinite(total) or total <= 0:
+        raise SolverError("GTH produced a non-normalisable vector")
+    return pi / total
+
+
+def steady_state_power(
+    chain: Ctmc,
+    tolerance: float = 1e-12,
+    max_iterations: int = 2_000_000,
+) -> np.ndarray:
+    """Uniformised power iteration.
+
+    Builds ``P = I + Q / Lambda`` with ``Lambda`` slightly above the
+    largest exit rate and iterates ``pi P`` until the L1 change falls
+    below *tolerance*.
+    """
+    n = chain.number_of_states()
+    if n == 1:
+        return np.array([1.0])
+    q = chain.generator().tocsr().astype(float)
+    max_exit = float(np.max(-q.diagonal())) if n else 0.0
+    if max_exit <= 0.0:
+        # No transitions at all: every state is absorbing.
+        raise SolverError("chain has no transitions; steady state undefined")
+    lam = max_exit * 1.02
+    p = sparse.identity(n, format="csr") + q / lam
+    pi = np.full(n, 1.0 / n)
+    for _ in range(max_iterations):
+        nxt = pi @ p
+        nxt = np.asarray(nxt).ravel()
+        delta = np.abs(nxt - pi).sum()
+        pi = nxt
+        if delta < tolerance:
+            total = pi.sum()
+            return np.clip(pi, 0.0, None) / total
+    raise SolverError(
+        f"power iteration did not converge within {max_iterations} iterations"
+    )

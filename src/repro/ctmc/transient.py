@@ -1,0 +1,137 @@
+"""Transient analysis by uniformisation (Jensen's method).
+
+``pi(t) = sum_k PoissonPMF(k; Lambda t) * pi(0) P^k`` with
+``P = I + Q / Lambda``.  The truncation point is chosen so the neglected
+Poisson tail is below the requested tolerance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.ctmc.chain import Ctmc, State
+from repro.errors import SolverError
+
+__all__ = ["transient_distribution", "transient_rewards"]
+
+
+def transient_distribution(
+    chain: Ctmc,
+    initial: Mapping[State, float] | np.ndarray,
+    time: float,
+    tolerance: float = 1e-10,
+) -> np.ndarray:
+    """Distribution over states at *time*, starting from *initial*.
+
+    *initial* is either a probability vector indexed like
+    ``chain.states`` or a mapping from state label to probability.
+    """
+    if time < 0:
+        raise SolverError(f"time must be >= 0, got {time}")
+    pi0 = _initial_vector(chain, initial)
+    if time == 0:
+        return pi0
+    n = chain.number_of_states()
+    q = chain.generator().tocsr().astype(float)
+    max_exit = float(np.max(-q.diagonal())) if n else 0.0
+    if max_exit == 0.0:
+        return pi0  # no transitions: distribution is frozen
+    lam = max_exit * 1.02
+    p = sparse.identity(n, format="csr") + q / lam
+
+    # Poisson weights with left/right truncation.
+    mean = lam * time
+    weights, left = _poisson_weights(mean, tolerance)
+
+    term = pi0.copy()
+    # Advance to the left truncation point.
+    for _ in range(left):
+        term = np.asarray(term @ p).ravel()
+    result = np.zeros(n)
+    for weight in weights:
+        result += weight * term
+        term = np.asarray(term @ p).ravel()
+    result = np.clip(result, 0.0, None)
+    total = result.sum()
+    if total <= 0:
+        raise SolverError("uniformisation lost all probability mass")
+    return result / total
+
+
+def transient_rewards(
+    chain: Ctmc,
+    initial: Mapping[State, float] | np.ndarray,
+    rewards: np.ndarray,
+    times: Sequence[float],
+    tolerance: float = 1e-10,
+) -> np.ndarray:
+    """Expected instantaneous reward rate at each time in *times*."""
+    rewards = np.asarray(rewards, dtype=float)
+    if rewards.shape != (chain.number_of_states(),):
+        raise SolverError(
+            f"reward vector has shape {rewards.shape}, expected "
+            f"({chain.number_of_states()},)"
+        )
+    return np.array(
+        [
+            float(transient_distribution(chain, initial, t, tolerance) @ rewards)
+            for t in times
+        ]
+    )
+
+
+def _initial_vector(
+    chain: Ctmc, initial: Mapping[State, float] | np.ndarray
+) -> np.ndarray:
+    n = chain.number_of_states()
+    if isinstance(initial, np.ndarray):
+        vector = initial.astype(float)
+        if vector.shape != (n,):
+            raise SolverError(f"initial vector has shape {vector.shape}, expected ({n},)")
+    else:
+        vector = np.zeros(n)
+        for state, mass in initial.items():
+            vector[chain.index_of(state)] = float(mass)
+    if np.any(vector < 0) or not np.isclose(vector.sum(), 1.0, atol=1e-9):
+        raise SolverError("initial distribution must be non-negative and sum to 1")
+    return vector / vector.sum()
+
+
+def _poisson_weights(mean: float, tolerance: float) -> tuple[list[float], int]:
+    """Poisson(mean) pmf values covering 1 - tolerance mass.
+
+    Returns the weights and the left truncation index.  Weights are
+    computed in a numerically stable way by starting at the mode.
+    """
+    if mean <= 0:
+        return [1.0], 0
+    mode = int(mean)
+    # Unnormalised pmf via recurrence from the mode.
+    right = [1.0]
+    k = mode
+    while True:
+        k += 1
+        nxt = right[-1] * mean / k
+        right.append(nxt)
+        if nxt < tolerance * 1e-4 and k > mean:
+            break
+        if k - mode > 100_000:  # pragma: no cover - safety net
+            break
+    left_part = []
+    k = mode
+    value = 1.0
+    while k > 0:
+        value = value * k / mean
+        left_part.append(value)
+        k -= 1
+        if value < tolerance * 1e-4 and k < mean:
+            break
+        if mode - k > 100_000:  # pragma: no cover - safety net
+            break
+    left_index = k
+    weights = list(reversed(left_part)) + right
+    total = sum(weights)
+    return [w / total for w in weights], left_index

@@ -1,0 +1,29 @@
+"""CVSS v2 base-metric substrate.
+
+The paper derives every security parameter from CVSS v2 base metrics:
+attack impact = CVSS impact sub-score, attack success probability =
+exploitability sub-score / 10, and the patch policy selects "critical"
+vulnerabilities by base score.  This package implements the full CVSS v2
+base-score arithmetic from vector strings.
+"""
+
+from repro.cvss.scores import (
+    BaseScores,
+    base_score,
+    exploitability_subscore,
+    impact_subscore,
+    score_vector,
+)
+from repro.cvss.severity import Severity, severity_from_score
+from repro.cvss.vector import CvssVector
+
+__all__ = [
+    "CvssVector",
+    "BaseScores",
+    "score_vector",
+    "base_score",
+    "impact_subscore",
+    "exploitability_subscore",
+    "Severity",
+    "severity_from_score",
+]

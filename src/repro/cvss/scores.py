@@ -1,0 +1,113 @@
+"""CVSS v2 base-score arithmetic (specification section 3.2.1).
+
+Formulas::
+
+    Impact         = 10.41 * (1 - (1-C) * (1-I) * (1-A))
+    Exploitability = 20 * AV * AC * Au
+    f(Impact)      = 0 if Impact == 0 else 1.176
+    BaseScore      = ((0.6*Impact) + (0.4*Exploitability) - 1.5) * f(Impact)
+
+All scores are rounded to one decimal, as published by NVD.  The paper
+uses ``impact`` directly as the attack impact and ``exploitability / 10``
+as the attack success probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cvss.vector import CvssVector
+
+__all__ = [
+    "BaseScores",
+    "impact_subscore",
+    "exploitability_subscore",
+    "base_score",
+    "score_vector",
+]
+
+
+def _round1(value: float) -> float:
+    """Round half away from zero to one decimal (CVSS/NVD convention)."""
+    return float(int(value * 10 + (0.5 if value >= 0 else -0.5))) / 10.0
+
+
+def impact_subscore(vector: CvssVector, rounded: bool = True) -> float:
+    """CVSS v2 impact sub-score of *vector*.
+
+    With ``rounded=True`` (the display/NVD convention) the value is
+    rounded to one decimal and capped at 10.0; the raw value — which can
+    reach 10.0008 for C:C/I:C/A:C and is what the base equation uses —
+    is returned with ``rounded=False``.
+    """
+    raw = 10.41 * (
+        1.0
+        - (1.0 - vector.conf_impact_weight)
+        * (1.0 - vector.integ_impact_weight)
+        * (1.0 - vector.avail_impact_weight)
+    )
+    return _round1(min(raw, 10.0)) if rounded else raw
+
+
+def exploitability_subscore(vector: CvssVector, rounded: bool = True) -> float:
+    """CVSS v2 exploitability sub-score of *vector* in [0, 10]."""
+    raw = (
+        20.0
+        * vector.access_vector_weight
+        * vector.access_complexity_weight
+        * vector.authentication_weight
+    )
+    return _round1(min(raw, 10.0)) if rounded else raw
+
+
+def base_score(vector: CvssVector) -> float:
+    """CVSS v2 base score of *vector* in [0, 10].
+
+    Following NVD's published arithmetic, the base equation takes the
+    *unrounded* sub-scores; only the final score is rounded to one
+    decimal (e.g. AV:L/AC:L/Au:N/C:C/I:C/A:C scores 7.2, not 7.1).
+    """
+    impact = impact_subscore(vector, rounded=False)
+    exploitability = exploitability_subscore(vector, rounded=False)
+    f_impact = 0.0 if impact == 0.0 else 1.176
+    raw = ((0.6 * impact) + (0.4 * exploitability) - 1.5) * f_impact
+    raw = min(max(raw, 0.0), 10.0)
+    return _round1(raw)
+
+
+@dataclass(frozen=True)
+class BaseScores:
+    """The three CVSS v2 base numbers for one vector."""
+
+    impact: float
+    exploitability: float
+    base: float
+
+    @property
+    def attack_success_probability(self) -> float:
+        """Paper convention: exploitability sub-score divided by 10."""
+        return self.exploitability / 10.0
+
+    @property
+    def attack_impact(self) -> float:
+        """Paper convention: the impact sub-score itself."""
+        return self.impact
+
+
+def score_vector(vector: CvssVector | str) -> BaseScores:
+    """Compute :class:`BaseScores` for a vector or vector string.
+
+    Examples
+    --------
+    >>> score_vector("AV:N/AC:L/Au:N/C:C/I:C/A:C").base
+    10.0
+    >>> score_vector("AV:L/AC:L/Au:N/C:C/I:C/A:C").base
+    7.2
+    """
+    if isinstance(vector, str):
+        vector = CvssVector.parse(vector)
+    return BaseScores(
+        impact=impact_subscore(vector),
+        exploitability=exploitability_subscore(vector),
+        base=base_score(vector),
+    )

@@ -1,0 +1,47 @@
+"""Severity banding for CVSS base scores.
+
+NVD's CVSS v2 qualitative bands are LOW [0, 4), MEDIUM [4, 7) and
+HIGH [7, 10].  The paper additionally defines *critical* vulnerabilities
+as those with base score strictly above 8.0; that threshold drives the
+patch policy and lives in :mod:`repro.patching.policy`.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro._validation import check_non_negative
+from repro.errors import CvssError
+
+__all__ = ["Severity", "severity_from_score"]
+
+
+class Severity(str, Enum):
+    """NVD CVSS v2 qualitative severity band."""
+
+    LOW = "low"
+    MEDIUM = "medium"
+    HIGH = "high"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def severity_from_score(score: float) -> Severity:
+    """Map a CVSS v2 base score in [0, 10] to its NVD severity band.
+
+    Examples
+    --------
+    >>> severity_from_score(9.3)
+    <Severity.HIGH: 'high'>
+    >>> severity_from_score(5.0)
+    <Severity.MEDIUM: 'medium'>
+    """
+    value = check_non_negative(score, "CVSS base score")
+    if value > 10.0:
+        raise CvssError(f"CVSS base score must be <= 10, got {value}")
+    if value < 4.0:
+        return Severity.LOW
+    if value < 7.0:
+        return Severity.MEDIUM
+    return Severity.HIGH

@@ -1,0 +1,154 @@
+"""CVSS v2 base-vector parsing.
+
+A CVSS v2 base vector looks like ``AV:N/AC:L/Au:N/C:C/I:C/A:C``; the six
+metrics are access vector, access complexity, authentication and the
+confidentiality / integrity / availability impacts.  Numeric weights
+follow the CVSS v2.0 specification (first.org).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CvssError
+
+__all__ = ["CvssVector"]
+
+_ACCESS_VECTOR = {"L": 0.395, "A": 0.646, "N": 1.0}
+_ACCESS_COMPLEXITY = {"H": 0.35, "M": 0.61, "L": 0.71}
+_AUTHENTICATION = {"M": 0.45, "S": 0.56, "N": 0.704}
+_IMPACT = {"N": 0.0, "P": 0.275, "C": 0.660}
+
+_FIELDS = ("AV", "AC", "Au", "C", "I", "A")
+_TABLES = {
+    "AV": _ACCESS_VECTOR,
+    "AC": _ACCESS_COMPLEXITY,
+    "Au": _AUTHENTICATION,
+    "C": _IMPACT,
+    "I": _IMPACT,
+    "A": _IMPACT,
+}
+
+
+@dataclass(frozen=True)
+class CvssVector:
+    """A parsed CVSS v2 base vector.
+
+    Attributes hold the single-letter metric levels (e.g. ``access_vector
+    == "N"``); the ``*_weight`` properties expose the specification's
+    numeric weights.
+
+    Examples
+    --------
+    >>> v = CvssVector.parse("AV:N/AC:L/Au:N/C:C/I:C/A:C")
+    >>> v.access_vector, v.conf_impact
+    ('N', 'C')
+    """
+
+    access_vector: str
+    access_complexity: str
+    authentication: str
+    conf_impact: str
+    integ_impact: str
+    avail_impact: str
+
+    def __post_init__(self) -> None:
+        values = {
+            "AV": self.access_vector,
+            "AC": self.access_complexity,
+            "Au": self.authentication,
+            "C": self.conf_impact,
+            "I": self.integ_impact,
+            "A": self.avail_impact,
+        }
+        for field, value in values.items():
+            if value not in _TABLES[field]:
+                raise CvssError(
+                    f"invalid CVSS v2 level {value!r} for metric {field}; "
+                    f"expected one of {sorted(_TABLES[field])}"
+                )
+
+    @classmethod
+    def parse(cls, text: str) -> "CvssVector":
+        """Parse a ``AV:N/AC:L/Au:N/C:C/I:C/A:C`` style vector string.
+
+        A surrounding ``(...)`` pair and a leading ``CVSS2#`` prefix are
+        tolerated, matching common NVD export formats.
+        """
+        if not isinstance(text, str) or not text:
+            raise CvssError(f"CVSS vector must be a non-empty string, got {text!r}")
+        body = text.strip()
+        if body.startswith("(") and body.endswith(")"):
+            body = body[1:-1]
+        if body.upper().startswith("CVSS2#"):
+            body = body[6:]
+        parts = body.split("/")
+        if len(parts) != len(_FIELDS):
+            raise CvssError(
+                f"CVSS v2 base vector needs {len(_FIELDS)} metrics, got {text!r}"
+            )
+        seen: dict[str, str] = {}
+        for part in parts:
+            if ":" not in part:
+                raise CvssError(f"malformed CVSS metric {part!r} in {text!r}")
+            key, _, value = part.partition(":")
+            key = key.strip()
+            if key not in _FIELDS:
+                raise CvssError(f"unknown CVSS v2 metric {key!r} in {text!r}")
+            if key in seen:
+                raise CvssError(f"duplicate CVSS v2 metric {key!r} in {text!r}")
+            seen[key] = value.strip()
+        missing = [field for field in _FIELDS if field not in seen]
+        if missing:
+            raise CvssError(f"missing CVSS v2 metrics {missing} in {text!r}")
+        return cls(
+            access_vector=seen["AV"],
+            access_complexity=seen["AC"],
+            authentication=seen["Au"],
+            conf_impact=seen["C"],
+            integ_impact=seen["I"],
+            avail_impact=seen["A"],
+        )
+
+    # -- numeric weights ----------------------------------------------------
+
+    @property
+    def access_vector_weight(self) -> float:
+        """Numeric weight of the access-vector level."""
+        return _ACCESS_VECTOR[self.access_vector]
+
+    @property
+    def access_complexity_weight(self) -> float:
+        """Numeric weight of the access-complexity level."""
+        return _ACCESS_COMPLEXITY[self.access_complexity]
+
+    @property
+    def authentication_weight(self) -> float:
+        """Numeric weight of the authentication level."""
+        return _AUTHENTICATION[self.authentication]
+
+    @property
+    def conf_impact_weight(self) -> float:
+        """Numeric weight of the confidentiality-impact level."""
+        return _IMPACT[self.conf_impact]
+
+    @property
+    def integ_impact_weight(self) -> float:
+        """Numeric weight of the integrity-impact level."""
+        return _IMPACT[self.integ_impact]
+
+    @property
+    def avail_impact_weight(self) -> float:
+        """Numeric weight of the availability-impact level."""
+        return _IMPACT[self.avail_impact]
+
+    def to_string(self) -> str:
+        """Canonical ``AV:_/AC:_/Au:_/C:_/I:_/A:_`` representation."""
+        return (
+            f"AV:{self.access_vector}/AC:{self.access_complexity}"
+            f"/Au:{self.authentication}/C:{self.conf_impact}"
+            f"/I:{self.integ_impact}/A:{self.avail_impact}"
+        )
+
+    def __str__(self) -> str:
+        return self.to_string()

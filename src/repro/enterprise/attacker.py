@@ -1,0 +1,41 @@
+"""The attacker model (Section III-B of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AttackerModel"]
+
+
+@dataclass(frozen=True)
+class AttackerModel:
+    """Assumptions about the adversary.
+
+    The paper's attacker sits outside the network, aims to compromise the
+    database tier through privilege-escalation chains, and spends
+    uncorrelated effort per server (no single tool exploits two tiers at
+    once) — which is why path probabilities multiply across hosts.
+
+    Attributes
+    ----------
+    external:
+        The attacker starts outside the network (entry points only).
+    goal_roles:
+        Role names the attacker ultimately wants to compromise.
+    uncorrelated_effort:
+        Whether per-host compromise efforts are independent.
+    """
+
+    external: bool = True
+    goal_roles: tuple[str, ...] = ("db",)
+    uncorrelated_effort: bool = True
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        origin = "external" if self.external else "internal"
+        goals = ", ".join(self.goal_roles)
+        return (
+            f"{origin} attacker targeting [{goals}] with "
+            f"{'independent' if self.uncorrelated_effort else 'correlated'} "
+            "per-host effort"
+        )

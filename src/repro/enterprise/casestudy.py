@@ -1,0 +1,269 @@
+"""The paper's example enterprise network, fully assembled.
+
+:class:`EnterpriseCaseStudy` bundles the roles, the role-level topology,
+the vulnerability catalog, the attacker model and the patch schedule,
+and expands any :class:`RedundancyDesign` into
+
+- a host-level two-layered HARM (before or after a patch policy), and
+- per-role availability parameters (patch pipelines derived from the
+  policy-selected vulnerabilities).
+
+:func:`paper_case_study` instantiates the exact Section III case study:
+three-tier web service, DNS and web tiers exposed to the attacker,
+database tier as the goal, attack trees shaped as in Fig. 3.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.attacktree.tree import BranchSpec
+from repro.availability.parameters import ComponentRates, ServerParameters
+from repro.enterprise.attacker import AttackerModel
+from repro.enterprise.design import RedundancyDesign
+from repro.enterprise.roles import ServerRole
+from repro.enterprise.topology import NetworkTopology
+from repro.errors import ValidationError
+from repro.harm import Harm, build_harm
+from repro.patching.policy import PatchPolicy
+from repro.patching.schedule import MONTHLY, PatchSchedule
+from repro.patching.workload import derive_pipeline
+from repro.vulnerability.catalog import (
+    PRODUCT_APACHE,
+    PRODUCT_MS_DNS,
+    PRODUCT_MYSQL,
+    PRODUCT_ORACLE_LINUX,
+    PRODUCT_RHEL,
+    PRODUCT_WEBLOGIC,
+    PRODUCT_WINDOWS,
+    paper_database,
+)
+from repro.vulnerability.database import VulnerabilityDatabase
+from repro.vulnerability.model import Vulnerability
+
+__all__ = ["EnterpriseCaseStudy", "paper_case_study"]
+
+
+class EnterpriseCaseStudy:
+    """A reusable enterprise-network description.
+
+    Parameters
+    ----------
+    roles:
+        Role name -> :class:`ServerRole`.
+    topology:
+        Role-level reachability with entry and target roles.
+    database:
+        The vulnerability database covering every role's products.
+    attacker:
+        The adversary assumptions.
+    schedule:
+        The patch cadence (monthly in the paper).
+    component_rates:
+        Optional role name -> :class:`ComponentRates` overrides; roles
+        without an entry use the Table IV defaults.
+    """
+
+    def __init__(
+        self,
+        roles: Mapping[str, ServerRole],
+        topology: NetworkTopology,
+        database: VulnerabilityDatabase,
+        attacker: AttackerModel | None = None,
+        schedule: PatchSchedule = MONTHLY,
+        component_rates: Mapping[str, ComponentRates] | None = None,
+    ) -> None:
+        if not roles:
+            raise ValidationError("a case study needs at least one role")
+        for role_name in topology.roles:
+            if role_name not in roles:
+                raise ValidationError(
+                    f"topology role {role_name!r} has no ServerRole definition"
+                )
+        topology.validate()
+        self.roles = dict(roles)
+        self.topology = topology
+        self.database = database
+        self.attacker = attacker if attacker is not None else AttackerModel()
+        self.schedule = schedule
+        self._component_rates = dict(component_rates or {})
+
+    # -- vulnerability views ------------------------------------------------
+
+    def role_vulnerabilities(self, role: str) -> list[Vulnerability]:
+        """All records (OS + application products) for *role*."""
+        definition = self._role(role)
+        return self.database.for_products(definition.products)
+
+    def role_exploitable(self, role: str) -> list[Vulnerability]:
+        """The remotely exploitable subset for *role*."""
+        return [vuln for vuln in self.role_vulnerabilities(role) if vuln.exploitable]
+
+    # -- security side ---------------------------------------------------------
+
+    def build_harm(
+        self,
+        design: RedundancyDesign,
+        policy: PatchPolicy | None = None,
+    ) -> Harm:
+        """Host-level HARM for *design*.
+
+        Without *policy* the HARM reflects the network before patch; with
+        a policy, the selected vulnerabilities are pruned from every
+        host's tree (hosts losing every leaf drop off the attack
+        surface, like the paper's DNS tier).
+        """
+        self._check_design(design)
+        host_vulns: dict[str, list[Vulnerability]] = {}
+        tree_specs: dict[str, tuple[BranchSpec, ...]] = {}
+        for role_name in design.roles:
+            definition = self._role(role_name)
+            vulns = self.role_vulnerabilities(role_name)
+            for instance in design.instances(role_name):
+                host_vulns[instance] = vulns
+                if definition.attack_tree_spec is not None:
+                    tree_specs[instance] = definition.attack_tree_spec
+
+        reachability = [
+            (src_instance, dst_instance)
+            for src_role, dst_role in self.topology.role_edges()
+            if src_role in design.counts and dst_role in design.counts
+            for src_instance in design.instances(src_role)
+            for dst_instance in design.instances(dst_role)
+        ]
+        entry_hosts = [
+            instance
+            for role_name in self.topology.entry_roles
+            if role_name in design.counts
+            for instance in design.instances(role_name)
+        ]
+        targets = [
+            instance
+            for role_name in self.topology.target_roles
+            if role_name in design.counts
+            for instance in design.instances(role_name)
+        ]
+
+        harm = build_harm(
+            host_vulnerabilities=host_vulns,
+            reachability=reachability,
+            entry_hosts=entry_hosts,
+            targets=targets,
+            tree_specs=tree_specs,
+        )
+        if policy is None:
+            return harm
+        patched = {
+            instance: policy.patched_cve_ids(host_vulns[instance])
+            for instance in host_vulns
+        }
+        return harm.after_patching(patched)
+
+    # -- availability side ---------------------------------------------------------
+
+    def server_parameters(
+        self, role: str, policy: PatchPolicy
+    ) -> ServerParameters:
+        """Lower-layer SRN parameters for *role* under *policy*."""
+        definition = self._role(role)
+        pipeline = derive_pipeline(self.role_vulnerabilities(role), policy)
+        rates = self._component_rates.get(definition.name, ComponentRates())
+        return ServerParameters(
+            name=definition.name,
+            rates=rates,
+            patch=pipeline,
+            patch_interval_hours=self.schedule.interval_hours,
+        )
+
+    def with_schedule(self, schedule: PatchSchedule) -> "EnterpriseCaseStudy":
+        """A copy of the case study under a different patch cadence."""
+        return EnterpriseCaseStudy(
+            roles=self.roles,
+            topology=self.topology,
+            database=self.database,
+            attacker=self.attacker,
+            schedule=schedule,
+            component_rates=self._component_rates,
+        )
+
+    # -- internal ----------------------------------------------------------------
+
+    def _role(self, role: str) -> ServerRole:
+        try:
+            return self.roles[role]
+        except KeyError:
+            raise ValidationError(f"unknown role {role!r}") from None
+
+    def _check_design(self, design: RedundancyDesign) -> None:
+        for role_name in design.roles:
+            self._role(role_name)
+
+
+def paper_case_study(schedule: PatchSchedule = MONTHLY) -> EnterpriseCaseStudy:
+    """The Section III example network with the Fig. 3 attack trees.
+
+    Tree shapes (v-labels as in Table I):
+
+    - dns: ``v1dns``
+    - web: ``v1 | v2 | v3 | (v4 & v5)``
+    - app: ``v1 | v2 | v3 | (v4 & v5)``
+    - db:  ``v1 | v2 | (v3 & v4) | v5`` — the unique shape (up to the
+      symmetric v4/v5 swap) consistent with the paper's path impact of
+      12.9 both before and after patch.
+    """
+    roles = {
+        "dns": ServerRole(
+            name="dns",
+            operating_system=PRODUCT_WINDOWS,
+            application=PRODUCT_MS_DNS,
+            attack_tree_spec=("CVE-2016-3227",),
+        ),
+        "web": ServerRole(
+            name="web",
+            operating_system=PRODUCT_RHEL,
+            application=PRODUCT_APACHE,
+            attack_tree_spec=(
+                "CVE-2016-4448",
+                "CVE-2015-4602",
+                "CVE-2015-4603",
+                ("CVE-2016-4979", "CVE-2016-4805"),
+            ),
+        ),
+        "app": ServerRole(
+            name="app",
+            operating_system=PRODUCT_ORACLE_LINUX,
+            application=PRODUCT_WEBLOGIC,
+            attack_tree_spec=(
+                "CVE-2016-3586",
+                "CVE-2016-3510",
+                "CVE-2016-3499",
+                ("CVE-2016-0638", "CVE-2016-4997"),
+            ),
+        ),
+        "db": ServerRole(
+            name="db",
+            operating_system=PRODUCT_ORACLE_LINUX,
+            application=PRODUCT_MYSQL,
+            attack_tree_spec=(
+                "CVE-2016-6662",
+                "CVE-2016-0639",
+                ("CVE-2015-3152", "CVE-2016-3471"),
+                "CVE-2016-4997",
+            ),
+        ),
+    }
+    topology = NetworkTopology(["dns", "web", "app", "db"])
+    topology.add_entry_role("dns")
+    topology.add_entry_role("web")
+    topology.add_role_reachability("dns", "web")
+    topology.add_role_reachability("web", "app")
+    topology.add_role_reachability("app", "db")
+    topology.add_target_role("db")
+
+    return EnterpriseCaseStudy(
+        roles=roles,
+        topology=topology,
+        database=paper_database(),
+        attacker=AttackerModel(goal_roles=("db",)),
+        schedule=schedule,
+    )

@@ -1,0 +1,268 @@
+"""Heterogeneous redundancy: mixing software variants within a tier.
+
+Implements the paper's §V future-work item: a
+:class:`HeterogeneousDesign` assigns replica counts per *variant* (a
+:class:`ServerRole` describing an alternative stack), and the builders
+expand it into a host-level HARM and a variant-aware availability model.
+
+Security intuition: with identical replicas, compromising one web server
+strategy compromises both; with diverse stacks an attacker needs a
+separate exploit per variant, and an exploit for one stack opens only
+that stack's paths.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro._validation import check_positive_int
+from repro.attacktree.tree import BranchSpec
+from repro.availability.aggregation import ServiceAggregate, aggregate_service
+from repro.availability.heterogeneous import HeterogeneousAvailabilityModel
+from repro.availability.parameters import ComponentRates, ServerParameters
+from repro.enterprise.casestudy import EnterpriseCaseStudy
+from repro.enterprise.roles import ServerRole
+from repro.errors import ValidationError
+from repro.harm import Harm, build_harm
+from repro.patching.policy import PatchPolicy
+from repro.patching.workload import derive_pipeline
+from repro.vulnerability.database import VulnerabilityDatabase
+from repro.vulnerability.model import Vulnerability
+
+__all__ = [
+    "HeterogeneousDesign",
+    "build_heterogeneous_harm",
+    "heterogeneous_availability_model",
+    "paper_variants",
+]
+
+
+def paper_variants() -> dict[str, ServerRole]:
+    """Variant definitions for diversity studies on the paper's network.
+
+    Primary variants mirror the paper's four roles (same products, same
+    tree shapes, names suffixed with the stack); alternatives come from
+    :mod:`repro.vulnerability.diversity`.  The nginx tree mirrors the
+    paper's web-tree shape: a remote critical OR an (information leak AND
+    local escalation) chain.
+    """
+    from repro.enterprise.casestudy import paper_case_study
+    from repro.vulnerability.diversity import (
+        PRODUCT_NGINX,
+        PRODUCT_POSTGRES,
+        PRODUCT_UBUNTU,
+    )
+
+    roles = paper_case_study().roles
+    return {
+        "dns_ms": ServerRole(
+            "dns_ms",
+            roles["dns"].operating_system,
+            roles["dns"].application,
+            roles["dns"].attack_tree_spec,
+        ),
+        "web_apache": ServerRole(
+            "web_apache",
+            roles["web"].operating_system,
+            roles["web"].application,
+            roles["web"].attack_tree_spec,
+        ),
+        "web_nginx": ServerRole(
+            "web_nginx",
+            PRODUCT_UBUNTU,
+            PRODUCT_NGINX,
+            (
+                "SYN-NGINX-2016-0001",
+                ("SYN-NGINX-2016-0002", "SYN-UBUNTU-2016-0001"),
+            ),
+        ),
+        "app_weblogic": ServerRole(
+            "app_weblogic",
+            roles["app"].operating_system,
+            roles["app"].application,
+            roles["app"].attack_tree_spec,
+        ),
+        "db_mysql": ServerRole(
+            "db_mysql",
+            roles["db"].operating_system,
+            roles["db"].application,
+            roles["db"].attack_tree_spec,
+        ),
+        "db_postgres": ServerRole(
+            "db_postgres",
+            PRODUCT_UBUNTU,
+            PRODUCT_POSTGRES,
+            ("SYN-PG-2016-0001", "SYN-PG-2016-0002"),
+        ),
+    }
+
+
+class HeterogeneousDesign:
+    """Replica counts per (role, variant).
+
+    Parameters
+    ----------
+    assignment:
+        Role name -> {variant ServerRole -> count}.  Variant names must
+        be globally unique (they become host-name prefixes).
+
+    Examples
+    --------
+    >>> apache = ServerRole("web_apache", "RHEL", "Apache HTTP")
+    >>> nginx = ServerRole("web_nginx", "Ubuntu", "nginx")
+    >>> design = HeterogeneousDesign({"web": {apache: 1, nginx: 1}})
+    >>> design.total_servers
+    2
+    """
+
+    def __init__(self, assignment: Mapping[str, Mapping[ServerRole, int]]) -> None:
+        if not assignment:
+            raise ValidationError("a design needs at least one role")
+        self._assignment: dict[str, dict[ServerRole, int]] = {}
+        seen: set[str] = set()
+        for role, variants in assignment.items():
+            if not variants:
+                raise ValidationError(f"role {role!r} has no variants")
+            for variant, count in variants.items():
+                check_positive_int(count, f"count of {variant.name!r}")
+                if variant.name in seen:
+                    raise ValidationError(
+                        f"variant name {variant.name!r} used twice"
+                    )
+                seen.add(variant.name)
+            self._assignment[role] = dict(variants)
+
+    @property
+    def roles(self) -> list[str]:
+        """Role names in insertion order."""
+        return list(self._assignment)
+
+    def variants(self, role: str) -> dict[ServerRole, int]:
+        """Variant -> count mapping of *role*."""
+        try:
+            return dict(self._assignment[role])
+        except KeyError:
+            raise ValidationError(f"role {role!r} not in design") from None
+
+    @property
+    def total_servers(self) -> int:
+        """Total number of deployed servers."""
+        return sum(
+            count
+            for variants in self._assignment.values()
+            for count in variants.values()
+        )
+
+    def instances(self, role: str) -> dict[str, ServerRole]:
+        """Host name -> variant for every replica of *role*."""
+        hosts: dict[str, ServerRole] = {}
+        for variant, count in self._assignment[role].items():
+            for i in range(1, count + 1):
+                hosts[f"{variant.name}{i}"] = variant
+        return hosts
+
+    @property
+    def label(self) -> str:
+        """Readable summary, e.g. ``web[1 web_apache + 1 web_nginx]``."""
+        parts = []
+        for role, variants in self._assignment.items():
+            inner = " + ".join(
+                f"{count} {variant.name}" for variant, count in variants.items()
+            )
+            parts.append(f"{role}[{inner}]")
+        return " / ".join(parts)
+
+
+def _variant_vulnerabilities(
+    database: VulnerabilityDatabase, variant: ServerRole
+) -> list[Vulnerability]:
+    return database.for_products(variant.products)
+
+
+def build_heterogeneous_harm(
+    case_study: EnterpriseCaseStudy,
+    design: HeterogeneousDesign,
+    database: VulnerabilityDatabase,
+    policy: PatchPolicy | None = None,
+) -> Harm:
+    """Host-level HARM for a heterogeneous design.
+
+    The role-level topology comes from *case_study*; per-host
+    vulnerabilities and tree specs come from each variant.
+    """
+    host_vulns: dict[str, list[Vulnerability]] = {}
+    tree_specs: dict[str, tuple[BranchSpec, ...]] = {}
+    role_hosts: dict[str, list[str]] = {}
+    for role in design.roles:
+        if role not in case_study.topology.roles:
+            raise ValidationError(f"role {role!r} unknown to the topology")
+        hosts = design.instances(role)
+        role_hosts[role] = list(hosts)
+        for host, variant in hosts.items():
+            host_vulns[host] = _variant_vulnerabilities(database, variant)
+            if variant.attack_tree_spec is not None:
+                tree_specs[host] = variant.attack_tree_spec
+
+    reachability = [
+        (src_host, dst_host)
+        for src_role, dst_role in case_study.topology.role_edges()
+        if src_role in role_hosts and dst_role in role_hosts
+        for src_host in role_hosts[src_role]
+        for dst_host in role_hosts[dst_role]
+    ]
+    entry_hosts = [
+        host
+        for role in case_study.topology.entry_roles
+        if role in role_hosts
+        for host in role_hosts[role]
+    ]
+    targets = [
+        host
+        for role in case_study.topology.target_roles
+        if role in role_hosts
+        for host in role_hosts[role]
+    ]
+    harm = build_harm(
+        host_vulnerabilities=host_vulns,
+        reachability=reachability,
+        entry_hosts=entry_hosts,
+        targets=targets,
+        tree_specs=tree_specs,
+    )
+    if policy is None:
+        return harm
+    patched = {
+        host: policy.patched_cve_ids(vulns) for host, vulns in host_vulns.items()
+    }
+    return harm.after_patching(patched)
+
+
+def heterogeneous_availability_model(
+    case_study: EnterpriseCaseStudy,
+    design: HeterogeneousDesign,
+    database: VulnerabilityDatabase,
+    policy: PatchPolicy,
+    component_rates: Mapping[str, ComponentRates] | None = None,
+) -> HeterogeneousAvailabilityModel:
+    """Build the variant-aware availability model for *design*.
+
+    Each variant gets its own lower-layer SRN (its patch pipeline derives
+    from the vulnerabilities *policy* selects on that variant's products)
+    and becomes one group in the upper-layer model.
+    """
+    rates_overrides = dict(component_rates or {})
+    aggregates: dict[str, ServiceAggregate] = {}
+    tiers: dict[str, dict[str, int]] = {}
+    for role in design.roles:
+        tiers[role] = {}
+        for variant, count in design.variants(role).items():
+            vulns = _variant_vulnerabilities(database, variant)
+            parameters = ServerParameters(
+                name=variant.name,
+                rates=rates_overrides.get(variant.name, ComponentRates()),
+                patch=derive_pipeline(vulns, policy),
+                patch_interval_hours=case_study.schedule.interval_hours,
+            )
+            aggregates[variant.name] = aggregate_service(parameters)
+            tiers[role][variant.name] = count
+    return HeterogeneousAvailabilityModel(tiers, aggregates)

@@ -1,0 +1,55 @@
+"""Server roles: the building blocks of an enterprise design."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._validation import check_name
+from repro.attacktree.tree import BranchSpec
+from repro.errors import ValidationError
+
+__all__ = ["ServerRole"]
+
+
+@dataclass(frozen=True)
+class ServerRole:
+    """One server tier (DNS / web / application / database in the paper).
+
+    Parameters
+    ----------
+    name:
+        Short role identifier, e.g. ``"web"``; instances are named
+        ``web1``, ``web2``, ...
+    operating_system, application:
+        Product names used to query the vulnerability database.
+    attack_tree_spec:
+        Optional branch specification for the role's attack tree (see
+        :meth:`repro.attacktree.AttackTree.from_branches`); names are CVE
+        identifiers.  ``None`` means a flat OR over the exploitable
+        vulnerabilities.
+    """
+
+    name: str
+    operating_system: str
+    application: str
+    attack_tree_spec: tuple[BranchSpec, ...] | None = None
+
+    def __post_init__(self) -> None:
+        check_name(self.name, "role name")
+        check_name(self.operating_system, "operating_system")
+        check_name(self.application, "application")
+        if not self.name.isidentifier():
+            raise ValidationError(
+                f"role name must be identifier-like, got {self.name!r}"
+            )
+
+    @property
+    def products(self) -> tuple[str, str]:
+        """The (operating system, application) product pair."""
+        return (self.operating_system, self.application)
+
+    def instance_name(self, index: int) -> str:
+        """Host name of replica *index* (1-based), e.g. ``web2``."""
+        if index < 1:
+            raise ValidationError(f"replica index must be >= 1, got {index}")
+        return f"{self.name}{index}"

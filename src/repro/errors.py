@@ -1,0 +1,77 @@
+"""Exception hierarchy shared by every subsystem of :mod:`repro`.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class at API boundaries while still being able to discriminate
+between model-definition problems (bad input) and analysis problems
+(numerical failure, state-space explosion).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "ModelError",
+    "GraphError",
+    "CvssError",
+    "VulnerabilityError",
+    "AttackTreeError",
+    "HarmError",
+    "CtmcError",
+    "SrnError",
+    "StateSpaceError",
+    "SolverError",
+    "EvaluationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong type, range or structure)."""
+
+
+class ModelError(ReproError):
+    """A model definition is structurally inconsistent."""
+
+
+class GraphError(ModelError):
+    """A graph operation failed (unknown node, duplicate edge, ...)."""
+
+
+class CvssError(ValidationError):
+    """A CVSS vector or metric value could not be interpreted."""
+
+
+class VulnerabilityError(ModelError):
+    """A vulnerability record or database query is invalid."""
+
+
+class AttackTreeError(ModelError):
+    """An attack tree is malformed (cycle, unknown gate, empty gate)."""
+
+
+class HarmError(ModelError):
+    """A HARM is inconsistent (missing lower-layer tree, unknown host)."""
+
+
+class CtmcError(ModelError):
+    """A CTMC definition is invalid (non-square generator, bad labels)."""
+
+
+class SrnError(ModelError):
+    """A stochastic reward net definition is invalid."""
+
+
+class StateSpaceError(SrnError):
+    """State-space generation exceeded the configured limit."""
+
+
+class SolverError(ReproError, RuntimeError):
+    """A numerical solver failed to produce a usable result."""
+
+
+class EvaluationError(ReproError):
+    """An evaluation pipeline was asked for something it cannot compute."""

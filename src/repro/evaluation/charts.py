@@ -1,0 +1,172 @@
+"""Chart data for Figs. 6 (scatter) and 7 (radar), plus ASCII rendering
+and CSV export for terminal-only environments."""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.evaluation.combined import DesignEvaluation
+from repro.errors import EvaluationError
+
+__all__ = [
+    "ScatterPoint",
+    "scatter_data",
+    "render_scatter",
+    "RadarSeries",
+    "RADAR_METRICS",
+    "radar_data",
+    "render_radar_table",
+    "to_csv",
+]
+
+#: The six radar axes of Fig. 7, in plotting order.
+RADAR_METRICS = ("NoEP", "COA", "ASP", "AIM", "NoEV", "NoAP")
+
+
+@dataclass(frozen=True)
+class ScatterPoint:
+    """One design's position in the Fig. 6 plane."""
+
+    label: str
+    asp: float
+    coa: float
+
+
+def scatter_data(
+    evaluations: Iterable[DesignEvaluation], after_patch: bool = True
+) -> list[ScatterPoint]:
+    """ASP/COA pairs per design (Fig. 6a when ``after_patch=False``)."""
+    points = []
+    for evaluation in evaluations:
+        snapshot = evaluation.after if after_patch else evaluation.before
+        points.append(
+            ScatterPoint(
+                label=evaluation.label,
+                asp=snapshot.security.attack_success_probability,
+                coa=snapshot.coa,
+            )
+        )
+    return points
+
+
+def render_scatter(
+    points: Sequence[ScatterPoint], width: int = 64, height: int = 18
+) -> str:
+    """ASCII scatter plot: ASP on x, COA on y, one letter per design."""
+    if not points:
+        raise EvaluationError("no points to plot")
+    xs = [point.asp for point in points]
+    ys = [point.coa for point in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    legend = []
+    for position, point in enumerate(points):
+        marker = markers[position % len(markers)]
+        col = int((point.asp - x_lo) / x_span * (width - 1))
+        row = int((point.coa - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = marker
+        legend.append(
+            f"  {marker}: {point.label}  (ASP={point.asp:.4f}, COA={point.coa:.6f})"
+        )
+    lines = [f"COA {y_hi:.6f}"]
+    lines.extend("    |" + "".join(row) for row in grid)
+    lines.append(f"    {y_lo:.6f} " + "-" * (width - 10))
+    lines.append(f"    ASP: {x_lo:.4f} .. {x_hi:.4f}")
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class RadarSeries:
+    """One design's values on the six Fig. 7 axes (raw and normalised)."""
+
+    label: str
+    values: dict[str, float]
+    normalised: dict[str, float]
+
+
+def radar_data(
+    evaluations: Iterable[DesignEvaluation],
+    after_patch: bool = True,
+    metrics: Sequence[str] = RADAR_METRICS,
+) -> list[RadarSeries]:
+    """Per-design axis values for the radar chart.
+
+    Normalisation is min-max over the evaluated designs per axis (the
+    paper scales each spoke independently); constant axes normalise
+    to 1.0.
+    """
+    pool = list(evaluations)
+    if not pool:
+        raise EvaluationError("no designs to chart")
+    raw: list[dict[str, float]] = []
+    for evaluation in pool:
+        snapshot = evaluation.after if after_patch else evaluation.before
+        raw.append({metric: snapshot.metric(metric) for metric in metrics})
+    ranges = {
+        metric: (
+            min(values[metric] for values in raw),
+            max(values[metric] for values in raw),
+        )
+        for metric in metrics
+    }
+    series = []
+    for evaluation, values in zip(pool, raw):
+        normalised = {}
+        for metric in metrics:
+            lo, hi = ranges[metric]
+            span = hi - lo
+            normalised[metric] = 1.0 if span == 0 else (values[metric] - lo) / span
+        series.append(
+            RadarSeries(
+                label=evaluation.label, values=dict(values), normalised=normalised
+            )
+        )
+    return series
+
+
+def render_radar_table(series: Sequence[RadarSeries]) -> str:
+    """The radar chart as an aligned value table (one row per design)."""
+    if not series:
+        raise EvaluationError("no series to render")
+    metrics = list(series[0].values)
+    header = ["design"] + metrics
+    widths = [max(len(header[0]), max(len(s.label) for s in series))]
+    widths += [max(len(metric), 10) for metric in metrics]
+    lines = [
+        "  ".join(cell.ljust(width) for cell, width in zip(header, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for entry in series:
+        row = [entry.label.ljust(widths[0])]
+        for metric, width in zip(metrics, widths[1:]):
+            row.append(f"{entry.values[metric]:.6g}".ljust(width))
+        lines.append("  ".join(row))
+    return "\n".join(lines)
+
+
+def to_csv(
+    evaluations: Iterable[DesignEvaluation], after_patch: bool = True
+) -> str:
+    """CSV export of the six metrics per design."""
+    buffer = io.StringIO()
+    buffer.write("design,AIM,ASP,NoEV,NoAP,NoEP,COA\n")
+    for evaluation in evaluations:
+        snapshot = evaluation.after if after_patch else evaluation.before
+        security = snapshot.security
+        buffer.write(
+            f"\"{evaluation.label}\","
+            f"{security.attack_impact},"
+            f"{security.attack_success_probability},"
+            f"{security.number_of_exploitable_vulnerabilities},"
+            f"{security.number_of_attack_paths},"
+            f"{security.number_of_entry_points},"
+            f"{snapshot.coa}\n"
+        )
+    return buffer.getvalue()

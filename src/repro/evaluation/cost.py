@@ -1,0 +1,74 @@
+"""Operational-cost extension (Section V, "other metrics").
+
+The paper sketches adding economic measures to the trade-off: the gain
+of high availability versus the cost of redundancy, and the loss from
+successful attacks versus the cost of patching.  This module provides a
+simple, documented cost model over a design evaluation:
+
+    cost = servers * server_cost
+         + (1 - COA) * downtime_cost_per_hour * hours
+         + ASP_after * breach_loss
+         + patched_vulnerabilities * patch_labour_cost
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._validation import check_non_negative
+from repro.evaluation.combined import DesignEvaluation
+
+__all__ = ["CostModel", "CostBreakdown"]
+
+HOURS_PER_MONTH = 720.0
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Itemised monthly cost of one design."""
+
+    servers: float
+    downtime: float
+    breach_risk: float
+    patch_labour: float
+
+    @property
+    def total(self) -> float:
+        """Sum of all items."""
+        return self.servers + self.downtime + self.breach_risk + self.patch_labour
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Monthly cost parameters (currency units are the caller's choice)."""
+
+    server_cost_per_month: float = 500.0
+    downtime_cost_per_hour: float = 10_000.0
+    breach_loss: float = 250_000.0
+    patch_labour_cost: float = 50.0
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.server_cost_per_month, "server_cost_per_month")
+        check_non_negative(self.downtime_cost_per_hour, "downtime_cost_per_hour")
+        check_non_negative(self.breach_loss, "breach_loss")
+        check_non_negative(self.patch_labour_cost, "patch_labour_cost")
+
+    def breakdown(
+        self, evaluation: DesignEvaluation, patched_vulnerabilities: int = 0
+    ) -> CostBreakdown:
+        """Itemised monthly cost of *evaluation*'s design."""
+        design = evaluation.design
+        coa = evaluation.after.coa
+        asp = evaluation.after.security.attack_success_probability
+        return CostBreakdown(
+            servers=design.total_servers * self.server_cost_per_month,
+            downtime=(1.0 - coa) * self.downtime_cost_per_hour * HOURS_PER_MONTH,
+            breach_risk=asp * self.breach_loss,
+            patch_labour=patched_vulnerabilities * self.patch_labour_cost,
+        )
+
+    def total(
+        self, evaluation: DesignEvaluation, patched_vulnerabilities: int = 0
+    ) -> float:
+        """Total monthly cost of *evaluation*'s design."""
+        return self.breakdown(evaluation, patched_vulnerabilities).total

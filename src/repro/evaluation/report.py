@@ -1,0 +1,114 @@
+"""Text renderings of the paper's tables (Tables I, II, V) and summaries."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.availability.aggregation import ServiceAggregate
+from repro.enterprise.casestudy import EnterpriseCaseStudy
+from repro.evaluation.combined import DesignEvaluation
+from repro.harm import SecurityMetrics
+
+__all__ = [
+    "format_table",
+    "vulnerability_table",
+    "security_metrics_table",
+    "aggregated_rates_table",
+    "design_comparison_table",
+]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render rows as an aligned plain-text table."""
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    def _line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+    separator = "  ".join("-" * width for width in widths)
+    lines = [_line(list(headers)), separator]
+    lines.extend(_line(row) for row in materialised)
+    return "\n".join(lines)
+
+
+def vulnerability_table(case_study: EnterpriseCaseStudy) -> str:
+    """Table I: exploitable vulnerabilities with impact and probability."""
+    rows = []
+    for role in case_study.topology.roles:
+        for vuln in case_study.role_exploitable(role):
+            rows.append(
+                (
+                    role,
+                    vuln.cve_id,
+                    f"{vuln.attack_impact:.1f}",
+                    f"{vuln.attack_success_probability:.2f}",
+                    f"{vuln.base_score:.1f}",
+                    "critical" if vuln.is_critical() else "",
+                )
+            )
+    return format_table(
+        ("role", "CVE", "impact", "ASP", "base", "severity"), rows
+    )
+
+
+def security_metrics_table(
+    before: SecurityMetrics, after: SecurityMetrics
+) -> str:
+    """Table II: the five metrics before/after patch."""
+    rows = [
+        (
+            label,
+            f"{metrics.attack_impact:.1f}",
+            f"{metrics.attack_success_probability:.3f}",
+            metrics.number_of_exploitable_vulnerabilities,
+            metrics.number_of_attack_paths,
+            metrics.number_of_entry_points,
+        )
+        for label, metrics in (("before patch", before), ("after patch", after))
+    ]
+    return format_table(("HARM", "AIM", "ASP", "NoEV", "NoAP", "NoEP"), rows)
+
+
+def aggregated_rates_table(aggregates: Mapping[str, ServiceAggregate]) -> str:
+    """Table V: MTTP / patch rate / MTTR / recovery rate per service."""
+    rows = [
+        (
+            name,
+            f"{agg.mttp_hours:.0f}",
+            f"{agg.patch_rate:.5f}",
+            f"{agg.mttr_hours:.4f}",
+            f"{agg.recovery_rate:.5f}",
+        )
+        for name, agg in aggregates.items()
+    ]
+    return format_table(
+        ("service", "MTTP (h)", "patch rate", "MTTR (h)", "recovery rate"), rows
+    )
+
+
+def design_comparison_table(
+    evaluations: Iterable[DesignEvaluation], after_patch: bool = True
+) -> str:
+    """Figs. 6-7 as numbers: one row per design."""
+    rows = []
+    for evaluation in evaluations:
+        snapshot = evaluation.after if after_patch else evaluation.before
+        security = snapshot.security
+        rows.append(
+            (
+                evaluation.label,
+                f"{security.attack_impact:.1f}",
+                f"{security.attack_success_probability:.4f}",
+                security.number_of_exploitable_vulnerabilities,
+                security.number_of_attack_paths,
+                security.number_of_entry_points,
+                f"{snapshot.coa:.6f}",
+            )
+        )
+    return format_table(
+        ("design", "AIM", "ASP", "NoEV", "NoAP", "NoEP", "COA"), rows
+    )

@@ -1,0 +1,104 @@
+"""The paper's requirement functions (Eqs. (3) and (4)).
+
+Eq. (3) accepts a design when ``ASP <= phi`` and ``COA >= psi``.
+Eq. (4) additionally bounds NoEV (xi), NoAP (omega) and NoEP (kappa).
+Both return 1 (satisfied) or 0, here exposed as booleans with the same
+intersection semantics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro._validation import check_non_negative, check_probability
+from repro.evaluation.combined import DesignEvaluation, DesignSnapshot
+
+__all__ = [
+    "TwoMetricRequirement",
+    "MultiMetricRequirement",
+    "satisfying_designs",
+    "PAPER_REGION_1_TWO_METRIC",
+    "PAPER_REGION_2_TWO_METRIC",
+    "PAPER_REGION_1_MULTI_METRIC",
+    "PAPER_REGION_2_MULTI_METRIC",
+]
+
+
+@dataclass(frozen=True)
+class TwoMetricRequirement:
+    """Eq. (3): an ASP upper bound (phi) and a COA lower bound (psi)."""
+
+    asp_upper: float
+    coa_lower: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        check_probability(self.asp_upper, "asp_upper (phi)")
+        check_probability(self.coa_lower, "coa_lower (psi)")
+
+    def satisfied_by(self, snapshot: DesignSnapshot) -> bool:
+        """Eq. (3) evaluated on one design snapshot."""
+        return (
+            snapshot.security.attack_success_probability <= self.asp_upper
+            and snapshot.coa >= self.coa_lower
+        )
+
+
+@dataclass(frozen=True)
+class MultiMetricRequirement:
+    """Eq. (4): bounds on ASP, NoEV, NoAP, NoEP and COA."""
+
+    asp_upper: float
+    noev_upper: int
+    noap_upper: int
+    noep_upper: int
+    coa_lower: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        check_probability(self.asp_upper, "asp_upper (phi)")
+        check_non_negative(self.noev_upper, "noev_upper (xi)")
+        check_non_negative(self.noap_upper, "noap_upper (omega)")
+        check_non_negative(self.noep_upper, "noep_upper (kappa)")
+        check_probability(self.coa_lower, "coa_lower (psi)")
+
+    def satisfied_by(self, snapshot: DesignSnapshot) -> bool:
+        """Eq. (4) evaluated on one design snapshot."""
+        security = snapshot.security
+        return (
+            security.attack_success_probability <= self.asp_upper
+            and security.number_of_exploitable_vulnerabilities <= self.noev_upper
+            and security.number_of_attack_paths <= self.noap_upper
+            and security.number_of_entry_points <= self.noep_upper
+            and snapshot.coa >= self.coa_lower
+        )
+
+
+def satisfying_designs(
+    evaluations: Iterable[DesignEvaluation],
+    requirement: TwoMetricRequirement | MultiMetricRequirement,
+    after_patch: bool = True,
+) -> list[DesignEvaluation]:
+    """Designs whose (after-patch, by default) snapshot satisfies
+    *requirement*, preserving input order."""
+    selected = []
+    for evaluation in evaluations:
+        snapshot = evaluation.after if after_patch else evaluation.before
+        if requirement.satisfied_by(snapshot):
+            selected.append(evaluation)
+    return selected
+
+
+#: Section IV-A region 1: phi = 0.2, psi = 0.9962.
+PAPER_REGION_1_TWO_METRIC = TwoMetricRequirement(0.2, 0.9962, label="region 1")
+#: Section IV-A region 2: phi = 0.1, psi = 0.9961.
+PAPER_REGION_2_TWO_METRIC = TwoMetricRequirement(0.1, 0.9961, label="region 2")
+#: Section IV-B region 1: phi=0.2, xi=9, omega=2, kappa=1, psi=0.9962.
+PAPER_REGION_1_MULTI_METRIC = MultiMetricRequirement(
+    0.2, 9, 2, 1, 0.9962, label="region 1"
+)
+#: Section IV-B region 2: phi=0.1, xi=7, omega=1, kappa=1, psi=0.9961.
+PAPER_REGION_2_MULTI_METRIC = MultiMetricRequirement(
+    0.1, 7, 1, 1, 0.9961, label="region 2"
+)

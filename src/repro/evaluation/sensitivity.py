@@ -1,0 +1,145 @@
+"""One-at-a-time sensitivity analysis of the availability pipeline.
+
+Scales one model parameter at a time (patch interval, per-stage patch
+durations, reboot durations, failure rates) and reports the COA swing —
+the tornado-chart data an administrator uses to see which lever actually
+moves availability.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, replace
+
+from repro.availability.aggregation import aggregate_service
+from repro.availability.network import NetworkAvailabilityModel
+from repro.availability.parameters import ServerParameters
+from repro.enterprise.casestudy import EnterpriseCaseStudy
+from repro.enterprise.design import RedundancyDesign
+from repro.errors import EvaluationError
+from repro.patching.policy import PatchPolicy
+
+__all__ = ["SensitivityEntry", "coa_sensitivity", "PARAMETERS"]
+
+Scaler = Callable[[ServerParameters, float], ServerParameters]
+
+
+def _scale_interval(params: ServerParameters, factor: float) -> ServerParameters:
+    return params.with_patch_interval(params.patch_interval_hours * factor)
+
+
+def _scale_patch_durations(params: ServerParameters, factor: float) -> ServerParameters:
+    # durations scale by factor <=> rates scale by 1/factor
+    patch = replace(
+        params.patch,
+        service_patch=params.patch.service_patch / factor,
+        os_patch=params.patch.os_patch / factor,
+    )
+    return replace(params, patch=patch)
+
+
+def _scale_reboots(params: ServerParameters, factor: float) -> ServerParameters:
+    patch = replace(
+        params.patch,
+        os_patch_reboot=params.patch.os_patch_reboot / factor,
+        service_patch_reboot=params.patch.service_patch_reboot / factor,
+    )
+    return replace(params, patch=patch)
+
+
+def _scale_software_failures(
+    params: ServerParameters, factor: float
+) -> ServerParameters:
+    rates = replace(
+        params.rates,
+        os_failure=params.rates.os_failure * factor,
+        service_failure=params.rates.service_failure * factor,
+    )
+    return replace(params, rates=rates)
+
+
+def _scale_hardware_failures(
+    params: ServerParameters, factor: float
+) -> ServerParameters:
+    rates = replace(
+        params.rates, hardware_failure=params.rates.hardware_failure * factor
+    )
+    return replace(params, rates=rates)
+
+
+#: Parameter name -> scaler, in reporting order.
+PARAMETERS: dict[str, Scaler] = {
+    "patch_interval": _scale_interval,
+    "patch_durations": _scale_patch_durations,
+    "reboot_durations": _scale_reboots,
+    "software_failure_rate": _scale_software_failures,
+    "hardware_failure_rate": _scale_hardware_failures,
+}
+
+
+@dataclass(frozen=True)
+class SensitivityEntry:
+    """COA under low/baseline/high scaling of one parameter."""
+
+    parameter: str
+    low_factor: float
+    high_factor: float
+    coa_low: float
+    coa_baseline: float
+    coa_high: float
+
+    @property
+    def swing(self) -> float:
+        """Absolute COA range across the scan."""
+        values = (self.coa_low, self.coa_baseline, self.coa_high)
+        return max(values) - min(values)
+
+
+def coa_sensitivity(
+    case_study: EnterpriseCaseStudy,
+    design: RedundancyDesign,
+    policy: PatchPolicy,
+    parameters: Sequence[str] | None = None,
+    low: float = 0.5,
+    high: float = 2.0,
+) -> list[SensitivityEntry]:
+    """Tornado data: COA under one-at-a-time parameter scalings.
+
+    Every role's parameter is scaled together (e.g. all patch intervals
+    double at once), matching how an administrator would turn the knob.
+    """
+    if low <= 0 or high <= 0:
+        raise EvaluationError("scaling factors must be > 0")
+    names = list(parameters) if parameters is not None else list(PARAMETERS)
+    for name in names:
+        if name not in PARAMETERS:
+            raise EvaluationError(
+                f"unknown parameter {name!r}; choose from {sorted(PARAMETERS)}"
+            )
+
+    def coa_with(scaler: Scaler | None, factor: float) -> float:
+        aggregates = {}
+        for role in design.roles:
+            params = case_study.server_parameters(role, policy)
+            if scaler is not None:
+                params = scaler(params, factor)
+            aggregates[role] = aggregate_service(params)
+        model = NetworkAvailabilityModel(design.counts, aggregates)
+        return model.capacity_oriented_availability()
+
+    baseline = coa_with(None, 1.0)
+    entries = []
+    for name in names:
+        scaler = PARAMETERS[name]
+        entries.append(
+            SensitivityEntry(
+                parameter=name,
+                low_factor=low,
+                high_factor=high,
+                coa_low=coa_with(scaler, low),
+                coa_baseline=baseline,
+                coa_high=coa_with(scaler, high),
+            )
+        )
+    entries.sort(key=lambda entry: entry.swing, reverse=True)
+    return entries

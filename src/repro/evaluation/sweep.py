@@ -1,0 +1,78 @@
+"""Design-space exploration beyond the paper's five choices."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from itertools import product
+
+from repro._validation import check_positive_int
+from repro.enterprise.casestudy import EnterpriseCaseStudy
+from repro.enterprise.design import RedundancyDesign
+from repro.evaluation.combined import DesignEvaluation, evaluate_designs
+from repro.patching.policy import PatchPolicy
+
+__all__ = ["enumerate_designs", "sweep_designs", "pareto_front"]
+
+
+def enumerate_designs(
+    roles: Sequence[str],
+    max_replicas: int,
+    max_total: int | None = None,
+) -> Iterator[RedundancyDesign]:
+    """Yield every design with 1..max_replicas servers per role.
+
+    *max_total* optionally caps the total server count (budget limit).
+    Designs are yielded in lexicographic count order.
+    """
+    check_positive_int(max_replicas, "max_replicas")
+    if not roles:
+        return
+    for counts in product(range(1, max_replicas + 1), repeat=len(roles)):
+        if max_total is not None and sum(counts) > max_total:
+            continue
+        yield RedundancyDesign(dict(zip(roles, counts)))
+
+
+def sweep_designs(
+    case_study: EnterpriseCaseStudy,
+    policy: PatchPolicy,
+    designs: Iterable[RedundancyDesign],
+) -> list[DesignEvaluation]:
+    """Evaluate an arbitrary design collection with shared caches."""
+    return evaluate_designs(list(designs), case_study=case_study, policy=policy)
+
+
+def pareto_front(
+    evaluations: Iterable[DesignEvaluation],
+    after_patch: bool = True,
+) -> list[DesignEvaluation]:
+    """Designs not dominated on (lower ASP, higher COA).
+
+    A design dominates another when it is at least as good on both axes
+    and strictly better on one — the trade-off frontier an administrator
+    chooses from.
+    """
+    pool = list(evaluations)
+
+    def axes(evaluation: DesignEvaluation) -> tuple[float, float]:
+        snapshot = evaluation.after if after_patch else evaluation.before
+        return (snapshot.security.attack_success_probability, snapshot.coa)
+
+    front = []
+    for candidate in pool:
+        asp_c, coa_c = axes(candidate)
+        dominated = False
+        for other in pool:
+            if other is candidate:
+                continue
+            asp_o, coa_o = axes(other)
+            if (
+                asp_o <= asp_c
+                and coa_o >= coa_c
+                and (asp_o < asp_c or coa_o > coa_c)
+            ):
+                dominated = True
+                break
+        if not dominated:
+            front.append(candidate)
+    return front

@@ -1,0 +1,32 @@
+"""Lightweight directed-graph substrate.
+
+The attack-graph layer of the HARM and the reachability analysis of the
+SRN engine both need a small, dependency-free directed graph with
+deterministic iteration order.  :class:`DiGraph` stores nodes in insertion
+order and supports node/edge attributes; :mod:`repro.graphs.paths` adds
+simple-path enumeration, and :mod:`repro.graphs.traversal` adds
+BFS/DFS/reachability/topological utilities.
+"""
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.paths import all_simple_paths, count_simple_paths
+from repro.graphs.traversal import (
+    bfs_order,
+    dfs_order,
+    has_cycle,
+    reachable_from,
+    reaches,
+    topological_sort,
+)
+
+__all__ = [
+    "DiGraph",
+    "all_simple_paths",
+    "count_simple_paths",
+    "bfs_order",
+    "dfs_order",
+    "has_cycle",
+    "reachable_from",
+    "reaches",
+    "topological_sort",
+]

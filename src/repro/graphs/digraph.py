@@ -1,0 +1,193 @@
+"""A minimal directed graph with attributes and deterministic ordering."""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from typing import Any
+
+from repro.errors import GraphError
+
+__all__ = ["DiGraph"]
+
+Node = Hashable
+
+
+class DiGraph:
+    """Directed graph with node and edge attributes.
+
+    Nodes may be any hashable value.  Iteration over nodes, successors and
+    predecessors follows insertion order, which keeps every downstream
+    analysis (path enumeration, state-space generation) deterministic.
+
+    Examples
+    --------
+    >>> g = DiGraph()
+    >>> g.add_edge("a", "b", weight=2.0)
+    >>> sorted(g.nodes())
+    ['a', 'b']
+    >>> g.has_edge("a", "b")
+    True
+    """
+
+    def __init__(self) -> None:
+        self._node_attrs: dict[Node, dict[str, Any]] = {}
+        self._succ: dict[Node, dict[Node, dict[str, Any]]] = {}
+        self._pred: dict[Node, dict[Node, dict[str, Any]]] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_node(self, node: Node, **attrs: Any) -> None:
+        """Add *node* (idempotent); merge *attrs* into its attribute dict."""
+        if node not in self._node_attrs:
+            self._node_attrs[node] = {}
+            self._succ[node] = {}
+            self._pred[node] = {}
+        self._node_attrs[node].update(attrs)
+
+    def add_nodes(self, nodes: Iterable[Node]) -> None:
+        """Add every node in *nodes*."""
+        for node in nodes:
+            self.add_node(node)
+
+    def add_edge(self, src: Node, dst: Node, **attrs: Any) -> None:
+        """Add the edge *src* -> *dst*, creating missing endpoints."""
+        self.add_node(src)
+        self.add_node(dst)
+        if dst not in self._succ[src]:
+            self._succ[src][dst] = {}
+            self._pred[dst][src] = {}
+        self._succ[src][dst].update(attrs)
+        self._pred[dst][src] = self._succ[src][dst]
+
+    def add_edges(self, edges: Iterable[tuple[Node, Node]]) -> None:
+        """Add every (src, dst) pair in *edges*."""
+        for src, dst in edges:
+            self.add_edge(src, dst)
+
+    def remove_node(self, node: Node) -> None:
+        """Remove *node* and every incident edge."""
+        self._require_node(node)
+        for dst in list(self._succ[node]):
+            del self._pred[dst][node]
+        for src in list(self._pred[node]):
+            del self._succ[src][node]
+        del self._succ[node]
+        del self._pred[node]
+        del self._node_attrs[node]
+
+    def remove_edge(self, src: Node, dst: Node) -> None:
+        """Remove the edge *src* -> *dst*."""
+        if not self.has_edge(src, dst):
+            raise GraphError(f"no edge {src!r} -> {dst!r}")
+        del self._succ[src][dst]
+        del self._pred[dst][src]
+
+    # -- queries -----------------------------------------------------------
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._node_attrs
+
+    def __len__(self) -> int:
+        return len(self._node_attrs)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._node_attrs)
+
+    def nodes(self) -> list[Node]:
+        """All nodes in insertion order."""
+        return list(self._node_attrs)
+
+    def edges(self) -> list[tuple[Node, Node]]:
+        """All edges as (src, dst) pairs in insertion order."""
+        return [(src, dst) for src in self._succ for dst in self._succ[src]]
+
+    def number_of_nodes(self) -> int:
+        """Total node count."""
+        return len(self._node_attrs)
+
+    def number_of_edges(self) -> int:
+        """Total edge count."""
+        return sum(len(dsts) for dsts in self._succ.values())
+
+    def has_node(self, node: Node) -> bool:
+        """Whether *node* is present."""
+        return node in self._node_attrs
+
+    def has_edge(self, src: Node, dst: Node) -> bool:
+        """Whether the edge *src* -> *dst* is present."""
+        return src in self._succ and dst in self._succ[src]
+
+    def successors(self, node: Node) -> list[Node]:
+        """Out-neighbours of *node* in insertion order."""
+        self._require_node(node)
+        return list(self._succ[node])
+
+    def predecessors(self, node: Node) -> list[Node]:
+        """In-neighbours of *node* in insertion order."""
+        self._require_node(node)
+        return list(self._pred[node])
+
+    def out_degree(self, node: Node) -> int:
+        """Number of outgoing edges of *node*."""
+        self._require_node(node)
+        return len(self._succ[node])
+
+    def in_degree(self, node: Node) -> int:
+        """Number of incoming edges of *node*."""
+        self._require_node(node)
+        return len(self._pred[node])
+
+    def node_attrs(self, node: Node) -> dict[str, Any]:
+        """Attribute dict of *node* (live reference)."""
+        self._require_node(node)
+        return self._node_attrs[node]
+
+    def edge_attrs(self, src: Node, dst: Node) -> dict[str, Any]:
+        """Attribute dict of the edge *src* -> *dst* (live reference)."""
+        if not self.has_edge(src, dst):
+            raise GraphError(f"no edge {src!r} -> {dst!r}")
+        return self._succ[src][dst]
+
+    # -- derived graphs ----------------------------------------------------
+
+    def copy(self) -> "DiGraph":
+        """Deep-ish copy: structure is copied, attribute dicts are shallow-copied."""
+        clone = DiGraph()
+        for node, attrs in self._node_attrs.items():
+            clone.add_node(node, **attrs)
+        for src, dst in self.edges():
+            clone.add_edge(src, dst, **self._succ[src][dst])
+        return clone
+
+    def subgraph(self, keep: Iterable[Node]) -> "DiGraph":
+        """Induced subgraph on the nodes in *keep*."""
+        keep_set = set(keep)
+        sub = DiGraph()
+        for node in self._node_attrs:
+            if node in keep_set:
+                sub.add_node(node, **self._node_attrs[node])
+        for src, dst in self.edges():
+            if src in keep_set and dst in keep_set:
+                sub.add_edge(src, dst, **self._succ[src][dst])
+        return sub
+
+    def reversed(self) -> "DiGraph":
+        """Graph with every edge direction flipped."""
+        rev = DiGraph()
+        for node, attrs in self._node_attrs.items():
+            rev.add_node(node, **attrs)
+        for src, dst in self.edges():
+            rev.add_edge(dst, src, **self._succ[src][dst])
+        return rev
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"DiGraph(nodes={self.number_of_nodes()}, "
+            f"edges={self.number_of_edges()})"
+        )
+
+    # -- internal ----------------------------------------------------------
+
+    def _require_node(self, node: Node) -> None:
+        if node not in self._node_attrs:
+            raise GraphError(f"unknown node {node!r}")

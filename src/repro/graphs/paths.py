@@ -1,0 +1,75 @@
+"""Simple-path enumeration between node sets.
+
+The HARM upper layer enumerates every loop-free attack path from the
+attacker to a target; this module provides the generic machinery.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+
+from repro.errors import GraphError
+from repro.graphs.digraph import DiGraph
+
+__all__ = ["all_simple_paths", "count_simple_paths"]
+
+Node = Hashable
+
+
+def all_simple_paths(
+    graph: DiGraph,
+    source: Node,
+    targets: Iterable[Node] | Node,
+    max_length: int | None = None,
+) -> Iterator[list[Node]]:
+    """Yield every simple (loop-free) path from *source* to any target.
+
+    Paths are yielded in depth-first order following the graph's insertion
+    order, so results are deterministic.  *max_length* bounds the number of
+    edges in a path (``None`` means unbounded).
+
+    Raises
+    ------
+    GraphError
+        If *source* or any target is not in the graph.
+    """
+    if isinstance(targets, (str, bytes)) or not isinstance(targets, Iterable):
+        targets = [targets]
+    target_set = set(targets)
+    if not graph.has_node(source):
+        raise GraphError(f"unknown source {source!r}")
+    for target in target_set:
+        if not graph.has_node(target):
+            raise GraphError(f"unknown target {target!r}")
+    if max_length is not None and max_length < 0:
+        raise GraphError(f"max_length must be >= 0, got {max_length}")
+
+    path = [source]
+    on_path = {source}
+
+    def _extend() -> Iterator[list[Node]]:
+        node = path[-1]
+        if node in target_set:
+            yield list(path)
+        if max_length is not None and len(path) - 1 >= max_length:
+            return
+        for nxt in graph.successors(node):
+            if nxt in on_path:
+                continue
+            path.append(nxt)
+            on_path.add(nxt)
+            yield from _extend()
+            path.pop()
+            on_path.remove(nxt)
+
+    yield from _extend()
+
+
+def count_simple_paths(
+    graph: DiGraph,
+    source: Node,
+    targets: Iterable[Node] | Node,
+    max_length: int | None = None,
+) -> int:
+    """Number of simple paths from *source* to any node in *targets*."""
+    return sum(1 for _ in all_simple_paths(graph, source, targets, max_length))

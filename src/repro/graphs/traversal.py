@@ -1,0 +1,110 @@
+"""Traversal utilities for :class:`repro.graphs.DiGraph`."""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable
+
+from repro.errors import GraphError
+from repro.graphs.digraph import DiGraph
+
+__all__ = [
+    "bfs_order",
+    "dfs_order",
+    "reachable_from",
+    "reaches",
+    "has_cycle",
+    "topological_sort",
+]
+
+Node = Hashable
+
+
+def bfs_order(graph: DiGraph, source: Node) -> list[Node]:
+    """Nodes reachable from *source* in breadth-first order (source first)."""
+    if not graph.has_node(source):
+        raise GraphError(f"unknown node {source!r}")
+    seen = {source}
+    order = [source]
+    queue: deque[Node] = deque([source])
+    while queue:
+        node = queue.popleft()
+        for nxt in graph.successors(node):
+            if nxt not in seen:
+                seen.add(nxt)
+                order.append(nxt)
+                queue.append(nxt)
+    return order
+
+
+def dfs_order(graph: DiGraph, source: Node) -> list[Node]:
+    """Nodes reachable from *source* in depth-first preorder."""
+    if not graph.has_node(source):
+        raise GraphError(f"unknown node {source!r}")
+    seen: set[Node] = set()
+    order: list[Node] = []
+    stack = [source]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        order.append(node)
+        # Reverse so the first successor is visited first, as in recursion.
+        stack.extend(reversed(graph.successors(node)))
+    return order
+
+
+def reachable_from(graph: DiGraph, sources: Iterable[Node] | Node) -> set[Node]:
+    """Set of nodes reachable from any node in *sources* (sources included)."""
+    if isinstance(sources, (str, bytes)) or not isinstance(sources, Iterable):
+        sources = [sources]
+    seen: set[Node] = set()
+    stack = list(sources)
+    for node in stack:
+        if not graph.has_node(node):
+            raise GraphError(f"unknown node {node!r}")
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(graph.successors(node))
+    return seen
+
+
+def reaches(graph: DiGraph, source: Node, target: Node) -> bool:
+    """Whether a directed path exists from *source* to *target*."""
+    return target in reachable_from(graph, source)
+
+
+def has_cycle(graph: DiGraph) -> bool:
+    """Whether the graph contains a directed cycle."""
+    try:
+        topological_sort(graph)
+    except GraphError:
+        return True
+    return False
+
+
+def topological_sort(graph: DiGraph) -> list[Node]:
+    """Topological ordering of the nodes (Kahn's algorithm).
+
+    Raises
+    ------
+    GraphError
+        If the graph contains a directed cycle.
+    """
+    in_degree = {node: graph.in_degree(node) for node in graph.nodes()}
+    ready = deque(node for node, degree in in_degree.items() if degree == 0)
+    order: list[Node] = []
+    while ready:
+        node = ready.popleft()
+        order.append(node)
+        for nxt in graph.successors(node):
+            in_degree[nxt] -= 1
+            if in_degree[nxt] == 0:
+                ready.append(nxt)
+    if len(order) != graph.number_of_nodes():
+        raise GraphError("graph contains a directed cycle")
+    return order

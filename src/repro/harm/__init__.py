@@ -1,0 +1,26 @@
+"""Two-layered Hierarchical Attack Representation Model (HARM).
+
+The upper layer is an :class:`repro.attackgraph.AttackGraph` over hosts;
+the lower layer attaches an :class:`repro.attacktree.AttackTree` to each
+host.  :mod:`repro.harm.metrics` computes the paper's five security
+metrics (AIM, ASP, NoEV, NoAP, NoEP) plus several survey-style extras.
+"""
+
+from repro.harm.attacker_process import attacker_chain, mean_time_to_compromise
+from repro.harm.builder import build_harm
+from repro.harm.metrics import (
+    PathAggregation,
+    SecurityMetrics,
+    evaluate_security,
+)
+from repro.harm.model import Harm
+
+__all__ = [
+    "Harm",
+    "SecurityMetrics",
+    "PathAggregation",
+    "evaluate_security",
+    "build_harm",
+    "attacker_chain",
+    "mean_time_to_compromise",
+]

@@ -1,0 +1,103 @@
+"""Mean time to compromise (MTTC): a stochastic attacker process.
+
+The HARM literature that the paper builds on (Hong & Kim and follow-ups)
+complements the static metrics with a time dimension: model the attacker
+as a CTMC over the attack surface, where moving onto a host takes an
+exponential time with rate ``exploit_rate * ASP(host)`` — easy exploits
+fall fast, hard ones slowly.  The mean time to first reach a target is
+then a mean-time-to-absorption question, answered by
+:mod:`repro.ctmc.absorbing`.
+
+Model notes (documented assumptions):
+
+- the attacker occupies one host at a time and only moves forward
+  (privilege escalation is monotone along the reachability DAG);
+- hosts that cannot reach a target are pruned first (a rational
+  attacker does not wander into dead ends, and leaving them in would
+  make the expectation infinite);
+- when several next hosts are exploitable the attacker races them, i.e.
+  transitions compete in the CTMC sense.
+"""
+
+from __future__ import annotations
+
+from repro._validation import check_positive
+from repro.attackgraph import ATTACKER
+from repro.attacktree.semantics import GateSemantics, WORST_CASE
+from repro.ctmc import Ctmc, mean_time_to_absorption
+from repro.errors import HarmError
+from repro.graphs import reachable_from
+from repro.harm.model import Harm
+
+__all__ = ["attacker_chain", "mean_time_to_compromise"]
+
+_TARGET = "__compromised__"
+
+
+def attacker_chain(
+    harm: Harm,
+    exploit_rate: float = 1.0,
+    semantics: GateSemantics = WORST_CASE,
+) -> Ctmc:
+    """The attacker-progression CTMC over *harm*'s attack surface.
+
+    States are the attacker's start plus every exploitable host that can
+    still reach a target; entering any target host absorbs into the
+    ``__compromised__`` state.
+    """
+    check_positive(exploit_rate, "exploit_rate")
+    surface = harm.attack_surface()
+    targets = set(surface.targets)
+    if not targets:
+        raise HarmError("the attack surface has no reachable targets")
+
+    graph = surface.to_digraph()
+    # keep only nodes that can still reach a target
+    reverse = graph.reversed()
+    can_reach = reachable_from(reverse, list(targets))
+    if ATTACKER not in can_reach:
+        raise HarmError("the attacker cannot reach any target")
+
+    probabilities = {
+        host: tree.probability(semantics) for host, tree in harm.trees.items()
+    }
+
+    states = [node for node in graph.nodes() if node in can_reach]
+    chain = Ctmc(states + [_TARGET])
+    for src in states:
+        for dst in graph.successors(src):
+            if dst not in can_reach:
+                continue
+            rate = exploit_rate * probabilities[dst]
+            if rate <= 0.0:
+                continue
+            chain.add_rate(src, _TARGET if dst in targets else dst, rate)
+    return chain
+
+
+def mean_time_to_compromise(
+    harm: Harm,
+    exploit_rate: float = 1.0,
+    semantics: GateSemantics = WORST_CASE,
+) -> float:
+    """Expected time until the attacker first compromises a target.
+
+    *exploit_rate* sets the time scale: it is the rate at which a
+    certain-success exploit (ASP = 1.0) lands, so the result is in
+    ``1 / exploit_rate`` units.
+
+    Raises
+    ------
+    HarmError
+        If no target is reachable on the current attack surface (e.g.
+        after patching removes every path) or some branch has zero
+        success probability throughout.
+    """
+    chain = attacker_chain(harm, exploit_rate, semantics)
+    try:
+        return float(mean_time_to_absorption(chain, start=ATTACKER))
+    except Exception as exc:
+        raise HarmError(
+            f"MTTC is undefined for this surface ({exc}); a zero-probability "
+            "branch may block absorption"
+        ) from exc

@@ -1,0 +1,103 @@
+"""The HARM container: reachability layer plus per-host attack trees."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.attackgraph import AttackGraph
+from repro.attacktree import AttackTree
+from repro.errors import HarmError
+
+__all__ = ["Harm"]
+
+
+class Harm:
+    """A two-layered HARM.
+
+    Parameters
+    ----------
+    graph:
+        The upper-layer attack graph (hosts, reachability, targets).
+    trees:
+        Mapping from host name to its lower-layer attack tree.  Hosts with
+        no entry (or mapped to ``None``) have no remotely exploitable
+        vulnerability; they are part of the network but not of the attack
+        surface, so attack paths cannot traverse them.
+    """
+
+    def __init__(
+        self,
+        graph: AttackGraph,
+        trees: Mapping[str, AttackTree | None],
+    ) -> None:
+        if not isinstance(graph, AttackGraph):
+            raise HarmError(f"graph must be an AttackGraph, got {graph!r}")
+        for host in trees:
+            if not graph.has_host(host):
+                raise HarmError(f"tree given for unknown host {host!r}")
+        self._graph = graph
+        self._trees: dict[str, AttackTree] = {
+            host: tree for host, tree in trees.items() if tree is not None
+        }
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def graph(self) -> AttackGraph:
+        """The upper-layer attack graph (full network, unpruned)."""
+        return self._graph
+
+    @property
+    def trees(self) -> dict[str, AttackTree]:
+        """Host name -> attack tree, for exploitable hosts only."""
+        return dict(self._trees)
+
+    def tree_for(self, host: str) -> AttackTree:
+        """The attack tree of *host*.
+
+        Raises
+        ------
+        HarmError
+            If *host* has no exploitable vulnerabilities (no tree).
+        """
+        try:
+            return self._trees[host]
+        except KeyError:
+            raise HarmError(f"host {host!r} has no attack tree") from None
+
+    def exploitable_hosts(self) -> list[str]:
+        """Hosts that carry at least one exploitable vulnerability."""
+        return [host for host in self._graph.hosts if host in self._trees]
+
+    def attack_surface(self) -> AttackGraph:
+        """The upper layer restricted to exploitable hosts.
+
+        This is the graph on which attack paths, entry points and
+        path-based metrics are computed: a host whose vulnerabilities are
+        all patched can no longer be used as a stepping stone.
+        """
+        return self._graph.restricted_to(self.exploitable_hosts())
+
+    # -- transformation -------------------------------------------------------------
+
+    def after_patching(self, patched: Mapping[str, Iterable[str]]) -> "Harm":
+        """A new HARM with the named vulnerabilities removed per host.
+
+        *patched* maps host name to an iterable of leaf (CVE) names.  Trees
+        that lose all leaves disappear, removing the host from the attack
+        surface (the paper's DNS server after patch).
+        """
+        new_trees: dict[str, AttackTree | None] = {}
+        for host, tree in self._trees.items():
+            names = set(patched.get(host, ()))
+            if names:
+                new_trees[host] = tree.without_leaves(names)
+            else:
+                new_trees[host] = tree
+        return Harm(self._graph, new_trees)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"Harm(hosts={self._graph.number_of_hosts()}, "
+            f"exploitable={len(self._trees)})"
+        )

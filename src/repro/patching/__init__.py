@@ -1,0 +1,48 @@
+"""Patch policies, schedules and patch-workload derivation.
+
+A :class:`PatchPolicy` selects which vulnerabilities a patch cycle fixes
+(the paper patches the *critical* ones: CVSS base score > 8.0);
+:class:`PatchSchedule` captures how often the cycle runs (monthly in the
+paper); :func:`derive_pipeline` turns the selected vulnerabilities into
+the per-server patch-stage rates of the availability model.
+"""
+
+from repro.patching.policy import (
+    CriticalVulnerabilityPolicy,
+    ExplicitPolicy,
+    NoPatchPolicy,
+    PatchAllPolicy,
+    PatchPolicy,
+)
+from repro.patching.schedule import (
+    MONTHLY,
+    QUARTERLY,
+    WEEKLY,
+    BIWEEKLY,
+    PatchSchedule,
+)
+from repro.patching.lifecycle import (
+    CycleOutcome,
+    SyntheticDisclosureFeed,
+    simulate_patch_lifecycle,
+)
+from repro.patching.workload import PatchWorkload, derive_pipeline, derive_workload
+
+__all__ = [
+    "PatchPolicy",
+    "CriticalVulnerabilityPolicy",
+    "PatchAllPolicy",
+    "NoPatchPolicy",
+    "ExplicitPolicy",
+    "PatchSchedule",
+    "WEEKLY",
+    "BIWEEKLY",
+    "MONTHLY",
+    "QUARTERLY",
+    "PatchWorkload",
+    "derive_workload",
+    "derive_pipeline",
+    "CycleOutcome",
+    "SyntheticDisclosureFeed",
+    "simulate_patch_lifecycle",
+]

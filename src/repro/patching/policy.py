@@ -1,0 +1,95 @@
+"""Patch policies: which vulnerabilities does a cycle fix."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Sequence
+
+from repro._validation import check_non_negative
+from repro.errors import ValidationError
+from repro.vulnerability.model import Vulnerability
+
+__all__ = [
+    "PatchPolicy",
+    "CriticalVulnerabilityPolicy",
+    "PatchAllPolicy",
+    "NoPatchPolicy",
+    "ExplicitPolicy",
+]
+
+
+class PatchPolicy(ABC):
+    """Strategy deciding which vulnerabilities to patch."""
+
+    @abstractmethod
+    def selects(self, vulnerability: Vulnerability) -> bool:
+        """Whether *vulnerability* is fixed by this policy."""
+
+    def select(self, vulnerabilities: Iterable[Vulnerability]) -> list[Vulnerability]:
+        """The subset of *vulnerabilities* this policy patches."""
+        return [vuln for vuln in vulnerabilities if self.selects(vuln)]
+
+    def remaining(self, vulnerabilities: Iterable[Vulnerability]) -> list[Vulnerability]:
+        """The subset left unpatched."""
+        return [vuln for vuln in vulnerabilities if not self.selects(vuln)]
+
+    def patched_cve_ids(self, vulnerabilities: Iterable[Vulnerability]) -> set[str]:
+        """CVE identifiers of the patched subset."""
+        return {vuln.cve_id for vuln in self.select(vulnerabilities)}
+
+
+class CriticalVulnerabilityPolicy(PatchPolicy):
+    """The paper's policy: patch base score strictly above a threshold.
+
+    Examples
+    --------
+    >>> policy = CriticalVulnerabilityPolicy()
+    >>> policy.threshold
+    8.0
+    """
+
+    def __init__(self, threshold: float = 8.0) -> None:
+        self.threshold = check_non_negative(threshold, "threshold")
+        if self.threshold > 10.0:
+            raise ValidationError(f"threshold must be <= 10, got {threshold}")
+
+    def selects(self, vulnerability: Vulnerability) -> bool:
+        return vulnerability.is_critical(self.threshold)
+
+    def __repr__(self) -> str:
+        return f"CriticalVulnerabilityPolicy(threshold={self.threshold})"
+
+
+class PatchAllPolicy(PatchPolicy):
+    """Patch everything (idealised complete patching)."""
+
+    def selects(self, vulnerability: Vulnerability) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "PatchAllPolicy()"
+
+
+class NoPatchPolicy(PatchPolicy):
+    """Patch nothing (the before-patch baseline)."""
+
+    def selects(self, vulnerability: Vulnerability) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "NoPatchPolicy()"
+
+
+class ExplicitPolicy(PatchPolicy):
+    """Patch an explicit CVE-identifier list."""
+
+    def __init__(self, cve_ids: Sequence[str]) -> None:
+        self.cve_ids = frozenset(cve_ids)
+        if not self.cve_ids:
+            raise ValidationError("ExplicitPolicy needs at least one CVE id")
+
+    def selects(self, vulnerability: Vulnerability) -> bool:
+        return vulnerability.cve_id in self.cve_ids
+
+    def __repr__(self) -> str:
+        return f"ExplicitPolicy({sorted(self.cve_ids)!r})"

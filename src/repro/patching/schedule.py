@@ -1,0 +1,51 @@
+"""Patch schedules: how often the patch clock fires."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._validation import check_name, check_positive
+
+__all__ = ["PatchSchedule", "WEEKLY", "BIWEEKLY", "MONTHLY", "QUARTERLY"]
+
+HOURS_PER_DAY = 24.0
+
+
+@dataclass(frozen=True)
+class PatchSchedule:
+    """A regular patch cadence.
+
+    The paper uses a monthly (30-day, 720-hour) schedule; the interval is
+    the mean of the exponential patch clock ``Tinterval``.
+    """
+
+    label: str
+    interval_hours: float
+
+    def __post_init__(self) -> None:
+        check_name(self.label, "label")
+        check_positive(self.interval_hours, "interval_hours")
+
+    @classmethod
+    def from_days(cls, label: str, days: float) -> "PatchSchedule":
+        """Build a schedule from an interval in days."""
+        return cls(label, check_positive(days, "days") * HOURS_PER_DAY)
+
+    @property
+    def clock_rate(self) -> float:
+        """The paper's tau_p: 1 / interval (per hour)."""
+        return 1.0 / self.interval_hours
+
+    @property
+    def interval_days(self) -> float:
+        """Interval expressed in days."""
+        return self.interval_hours / HOURS_PER_DAY
+
+    def __str__(self) -> str:
+        return f"{self.label} ({self.interval_days:g} days)"
+
+
+WEEKLY = PatchSchedule.from_days("weekly", 7)
+BIWEEKLY = PatchSchedule.from_days("biweekly", 14)
+MONTHLY = PatchSchedule.from_days("monthly", 30)
+QUARTERLY = PatchSchedule.from_days("quarterly", 90)

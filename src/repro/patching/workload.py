@@ -1,0 +1,71 @@
+"""Derive patch-stage durations from the vulnerabilities a policy selects.
+
+The availability model needs per-server patch rates; they follow from
+*how many* vulnerabilities of each software layer the cycle fixes
+(5 minutes per application vulnerability, 10 per OS vulnerability).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.availability.parameters import (
+    APP_VULN_PATCH_MINUTES,
+    OS_VULN_PATCH_MINUTES,
+    PatchPipeline,
+)
+from repro.patching.policy import PatchPolicy
+from repro.vulnerability.model import SoftwareLayer, Vulnerability
+
+__all__ = ["PatchWorkload", "derive_workload", "derive_pipeline"]
+
+
+@dataclass(frozen=True)
+class PatchWorkload:
+    """Counts of vulnerabilities a patch cycle fixes on one server."""
+
+    application_count: int
+    os_count: int
+
+    @property
+    def total(self) -> int:
+        """Total vulnerabilities fixed."""
+        return self.application_count + self.os_count
+
+    @property
+    def application_minutes(self) -> float:
+        """Expected application patch duration in minutes."""
+        return self.application_count * APP_VULN_PATCH_MINUTES
+
+    @property
+    def os_minutes(self) -> float:
+        """Expected OS patch duration in minutes."""
+        return self.os_count * OS_VULN_PATCH_MINUTES
+
+
+def derive_workload(
+    vulnerabilities: Iterable[Vulnerability], policy: PatchPolicy
+) -> PatchWorkload:
+    """Count the policy-selected vulnerabilities per software layer."""
+    selected = policy.select(vulnerabilities)
+    app_count = sum(
+        1 for vuln in selected if vuln.layer is SoftwareLayer.APPLICATION
+    )
+    os_count = sum(
+        1 for vuln in selected if vuln.layer is SoftwareLayer.OPERATING_SYSTEM
+    )
+    return PatchWorkload(application_count=app_count, os_count=os_count)
+
+
+def derive_pipeline(
+    vulnerabilities: Iterable[Vulnerability], policy: PatchPolicy
+) -> PatchPipeline:
+    """Build the availability model's patch pipeline for one server."""
+    workload = derive_workload(vulnerabilities, policy)
+    return PatchPipeline.from_vulnerability_counts(
+        workload.application_count,
+        workload.os_count,
+        app_minutes_per_vuln=APP_VULN_PATCH_MINUTES,
+        os_minutes_per_vuln=OS_VULN_PATCH_MINUTES,
+    )

@@ -1,0 +1,17 @@
+"""User-oriented performance extension (Section V of the paper).
+
+The paper leaves client-request performance to future work and suggests
+queueing models.  :mod:`repro.performance.mmc` implements the M/M/c
+queue (Erlang-C); :mod:`repro.performance.performability` composes it
+with the availability model: the number of working servers fluctuates
+with the patch process, so the expected response time is the
+availability-weighted mixture over server-count states.
+"""
+
+from repro.performance.mmc import MmcQueue
+from repro.performance.performability import (
+    PerformabilityResult,
+    expected_response_time,
+)
+
+__all__ = ["MmcQueue", "PerformabilityResult", "expected_response_time"]

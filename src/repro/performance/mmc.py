@@ -1,0 +1,81 @@
+"""M/M/c queueing formulas (Erlang C)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import factorial
+
+from repro._validation import check_positive, check_positive_int
+from repro.errors import EvaluationError
+
+__all__ = ["MmcQueue"]
+
+
+@dataclass(frozen=True)
+class MmcQueue:
+    """An M/M/c queue: Poisson arrivals, c exponential servers, FCFS.
+
+    Examples
+    --------
+    >>> queue = MmcQueue(arrival_rate=8.0, service_rate=10.0, servers=1)
+    >>> round(queue.mean_response_time(), 3)
+    0.5
+    """
+
+    arrival_rate: float
+    service_rate: float
+    servers: int
+
+    def __post_init__(self) -> None:
+        check_positive(self.arrival_rate, "arrival_rate")
+        check_positive(self.service_rate, "service_rate")
+        check_positive_int(self.servers, "servers")
+
+    @property
+    def offered_load(self) -> float:
+        """a = lambda / mu (Erlangs)."""
+        return self.arrival_rate / self.service_rate
+
+    @property
+    def utilisation(self) -> float:
+        """rho = lambda / (c mu)."""
+        return self.offered_load / self.servers
+
+    @property
+    def is_stable(self) -> bool:
+        """Whether the queue has a steady state (rho < 1)."""
+        return self.utilisation < 1.0
+
+    def _require_stable(self) -> None:
+        if not self.is_stable:
+            raise EvaluationError(
+                f"M/M/{self.servers} queue is unstable: utilisation "
+                f"{self.utilisation:.3f} >= 1"
+            )
+
+    def erlang_c(self) -> float:
+        """Probability an arriving job must wait (Erlang-C formula)."""
+        self._require_stable()
+        a = self.offered_load
+        c = self.servers
+        summation = sum(a**k / factorial(k) for k in range(c))
+        tail = a**c / (factorial(c) * (1.0 - self.utilisation))
+        return tail / (summation + tail)
+
+    def mean_queue_length(self) -> float:
+        """Expected number of waiting jobs, Lq."""
+        self._require_stable()
+        rho = self.utilisation
+        return self.erlang_c() * rho / (1.0 - rho)
+
+    def mean_waiting_time(self) -> float:
+        """Expected waiting time before service, Wq."""
+        return self.mean_queue_length() / self.arrival_rate
+
+    def mean_response_time(self) -> float:
+        """Expected sojourn time W = Wq + 1/mu."""
+        return self.mean_waiting_time() + 1.0 / self.service_rate
+
+    def mean_jobs_in_system(self) -> float:
+        """Expected jobs in the system, L = lambda W (Little's law)."""
+        return self.arrival_rate * self.mean_response_time()

@@ -1,0 +1,94 @@
+"""Performability: response time under patch-induced capacity loss.
+
+The number of working servers of a tier fluctuates as the patch process
+takes replicas down.  Conditioning the M/M/c response time on the
+steady-state distribution of up-servers gives the expected response time
+a client sees, plus the probability of total outage (no server up, or an
+unstable queue) — a concrete version of the paper's "user oriented
+performance" future-work item.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._validation import check_positive
+from repro.availability.network import NetworkAvailabilityModel
+from repro.errors import EvaluationError
+from repro.performance.mmc import MmcQueue
+
+__all__ = ["PerformabilityResult", "expected_response_time"]
+
+
+@dataclass(frozen=True)
+class PerformabilityResult:
+    """Availability-weighted queueing measures for one service tier."""
+
+    service: str
+    mean_response_time: float
+    outage_probability: float
+    per_state: dict[int, float]
+
+    def describe(self) -> str:
+        """One-line summary."""
+        return (
+            f"{self.service}: E[T]={self.mean_response_time:.4f}h "
+            f"(outage probability {self.outage_probability:.2e})"
+        )
+
+
+def expected_response_time(
+    model: NetworkAvailabilityModel,
+    service: str,
+    arrival_rate: float,
+    service_rate: float,
+) -> PerformabilityResult:
+    """Availability-weighted mean response time of one tier.
+
+    Parameters
+    ----------
+    model:
+        A solved (or solvable) network availability model.
+    service:
+        The tier to analyse.
+    arrival_rate, service_rate:
+        Client-request arrival rate and per-server service rate (same
+        time unit as the availability model, hours in the paper).
+
+    States with zero up-servers — or where the queue would be unstable —
+    count as outages and are excluded from the response-time average,
+    which is reported conditional on the service being usable.
+    """
+    check_positive(arrival_rate, "arrival_rate")
+    check_positive(service_rate, "service_rate")
+    distribution = model.service_up_distribution(service)
+    outage = 0.0
+    weighted = 0.0
+    usable_mass = 0.0
+    per_state: dict[int, float] = {}
+    for up_count, probability in distribution.items():
+        if up_count == 0:
+            outage += probability
+            continue
+        queue = MmcQueue(
+            arrival_rate=arrival_rate,
+            service_rate=service_rate,
+            servers=up_count,
+        )
+        if not queue.is_stable:
+            outage += probability
+            continue
+        response = queue.mean_response_time()
+        per_state[up_count] = response
+        weighted += probability * response
+        usable_mass += probability
+    if usable_mass <= 0.0:
+        raise EvaluationError(
+            f"service {service!r} is never usable under these rates"
+        )
+    return PerformabilityResult(
+        service=service,
+        mean_response_time=weighted / usable_mass,
+        outage_probability=outage,
+        per_state=per_state,
+    )

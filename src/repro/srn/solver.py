@@ -1,0 +1,114 @@
+"""High-level SRN solution facade (the SPNP "solve and measure" step)."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ctmc import Ctmc, steady_state
+from repro.ctmc.transient import transient_distribution
+from repro.errors import SrnError
+from repro.srn.marking import Marking
+from repro.srn.net import StochasticRewardNet
+from repro.srn.reachability import DEFAULT_MAX_MARKINGS, ReachabilityGraph, explore
+
+__all__ = ["SrnSolution", "solve"]
+
+#: A reward function over markings (SPNP-style reward definition).
+RewardFn = Callable[[Marking], float]
+
+
+@dataclass
+class SrnSolution:
+    """Steady-state solution of an SRN with reward-evaluation helpers."""
+
+    graph: ReachabilityGraph
+    chain: Ctmc
+    probabilities: np.ndarray
+    _chain_cache: dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+
+    @property
+    def markings(self) -> tuple[Marking, ...]:
+        """Tangible markings, aligned with :attr:`probabilities`."""
+        return self.graph.tangible
+
+    def probability_of(self, predicate: Callable[[Marking], bool]) -> float:
+        """Total steady-state probability of markings satisfying *predicate*."""
+        return float(
+            sum(
+                probability
+                for marking, probability in zip(self.markings, self.probabilities)
+                if predicate(marking)
+            )
+        )
+
+    def expected_reward(self, reward: RewardFn) -> float:
+        """Expected steady-state reward rate of *reward*."""
+        total = 0.0
+        for marking, probability in zip(self.markings, self.probabilities):
+            if probability > 0.0:
+                total += probability * float(reward(marking))
+        return total
+
+    def expected_tokens(self, place: str) -> float:
+        """Expected steady-state token count in *place*."""
+        return self.expected_reward(lambda marking: marking[place])
+
+    def throughput(self, transition_name: str, net: StochasticRewardNet) -> float:
+        """Steady-state throughput of a timed transition.
+
+        Computed as ``sum_i pi_i * rate(transition, marking_i)`` over the
+        tangible markings where the transition is enabled.
+        """
+        transition = net.transition(transition_name)
+        total = 0.0
+        for marking, probability in zip(self.markings, self.probabilities):
+            if probability > 0.0 and transition.is_enabled(marking):
+                total += probability * transition.rate_in(marking)
+        return total
+
+    def transient_reward(
+        self, reward: RewardFn, times: Sequence[float]
+    ) -> np.ndarray:
+        """Expected instantaneous reward rate at each time in *times*.
+
+        The initial distribution is the one implied by the net's initial
+        marking (mass spread over tangibles if it was vanishing).
+        """
+        values = np.array([float(reward(m)) for m in self.markings])
+        out = []
+        for time in times:
+            dist = transient_distribution(
+                self.chain, self.graph.initial_distribution, time
+            )
+            out.append(float(dist @ values))
+        return np.array(out)
+
+
+def solve(
+    net: StochasticRewardNet,
+    initial: Marking | None = None,
+    max_markings: int = DEFAULT_MAX_MARKINGS,
+    method: str = "auto",
+) -> SrnSolution:
+    """Explore *net*, build its CTMC and solve for the steady state.
+
+    Raises
+    ------
+    SrnError
+        If the net has absorbing tangible markings, which make the
+        steady-state question ill-posed for the availability models this
+        library targets.
+    """
+    graph = explore(net, initial=initial, max_markings=max_markings)
+    chain = graph.to_ctmc()
+    absorbing = chain.absorbing_states()
+    if absorbing and chain.number_of_states() > 1:
+        raise SrnError(
+            f"net has {len(absorbing)} absorbing tangible markings "
+            f"(e.g. {absorbing[0]!r}); steady-state analysis is ill-posed"
+        )
+    probabilities = steady_state(chain, method=method)
+    return SrnSolution(graph=graph, chain=chain, probabilities=probabilities)

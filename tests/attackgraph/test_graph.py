@@ -1,0 +1,112 @@
+"""Tests for the attack graph (HARM upper layer)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attackgraph import ATTACKER, AttackGraph
+from repro.errors import HarmError
+
+
+@pytest.fixture
+def paper_graph():
+    """Upper layer of the paper's example network (1 dns, 2 web, 2 app, 1 db)."""
+    graph = AttackGraph(targets=["db1"])
+    graph.add_entry_point("dns1")
+    for web in ("web1", "web2"):
+        graph.add_entry_point(web)
+        graph.add_reachability("dns1", web)
+        for app in ("app1", "app2"):
+            graph.add_reachability(web, app)
+            graph.add_reachability(app, "db1")
+    return graph
+
+
+class TestConstruction:
+    def test_hosts_exclude_attacker(self, paper_graph):
+        assert ATTACKER not in paper_graph.hosts
+        assert paper_graph.number_of_hosts() == 6
+
+    def test_reserved_attacker_name_rejected(self):
+        graph = AttackGraph()
+        with pytest.raises(HarmError):
+            graph.add_host(ATTACKER)
+
+    def test_empty_host_name_rejected(self):
+        graph = AttackGraph()
+        with pytest.raises(HarmError):
+            graph.add_host("")
+
+    def test_add_target_registers_host(self):
+        graph = AttackGraph()
+        graph.add_target("db")
+        assert graph.has_host("db")
+        assert graph.targets == ["db"]
+
+    def test_duplicate_target_not_repeated(self):
+        graph = AttackGraph()
+        graph.add_target("db")
+        graph.add_target("db")
+        assert graph.targets == ["db"]
+
+    def test_remove_host(self, paper_graph):
+        paper_graph.remove_host("dns1")
+        assert not paper_graph.has_host("dns1")
+        assert paper_graph.number_of_entry_points() == 2
+
+    def test_remove_unknown_host_raises(self, paper_graph):
+        with pytest.raises(HarmError):
+            paper_graph.remove_host("nope")
+
+
+class TestAnalysis:
+    def test_entry_points(self, paper_graph):
+        assert paper_graph.entry_points() == ["dns1", "web1", "web2"]
+        assert paper_graph.number_of_entry_points() == 3
+
+    def test_paper_network_has_eight_attack_paths(self, paper_graph):
+        assert paper_graph.number_of_attack_paths() == 8
+
+    def test_paths_exclude_attacker_node(self, paper_graph):
+        for path in paper_graph.attack_paths():
+            assert ATTACKER not in path
+            assert path[-1] == "db1"
+
+    def test_longest_path_is_the_paper_ap1(self, paper_graph):
+        paths = paper_graph.attack_paths()
+        longest = max(paths, key=len)
+        assert len(longest) == 4
+        assert longest[0] == "dns1"
+
+    def test_no_targets_yields_no_paths(self):
+        graph = AttackGraph()
+        graph.add_entry_point("a")
+        assert graph.attack_paths() == []
+
+    def test_reachable_hosts(self, paper_graph):
+        assert paper_graph.reachable_hosts("dns1") == ["web1", "web2"]
+
+    def test_max_length_limits_paths(self, paper_graph):
+        short = paper_graph.attack_paths(max_length=3)
+        # only web -> app -> db paths fit in three hops from the attacker
+        assert len(short) == 4
+
+
+class TestRestriction:
+    def test_restricted_to_drops_hosts(self, paper_graph):
+        restricted = paper_graph.restricted_to(
+            ["web1", "web2", "app1", "app2", "db1"]
+        )
+        assert restricted.number_of_entry_points() == 2
+        assert restricted.number_of_attack_paths() == 4
+        # the original is untouched
+        assert paper_graph.number_of_attack_paths() == 8
+
+    def test_restriction_drops_missing_targets(self, paper_graph):
+        restricted = paper_graph.restricted_to(["dns1", "web1"])
+        assert restricted.targets == []
+
+    def test_to_digraph_is_a_copy(self, paper_graph):
+        digraph = paper_graph.to_digraph()
+        digraph.remove_node("db1")
+        assert paper_graph.has_host("db1")

@@ -1,0 +1,67 @@
+"""Tests for attack-tree node types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacktree import Gate
+from repro.attacktree.nodes import GateNode, LeafNode
+from repro.errors import AttackTreeError, ValidationError
+
+
+class TestLeafNode:
+    def test_valid_leaf(self):
+        leaf = LeafNode("CVE-1", impact=10.0, probability=0.39)
+        assert leaf.is_leaf
+        assert leaf.impact == 10.0
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValidationError):
+            LeafNode("", 1.0, 0.5)
+
+    def test_rejects_negative_impact(self):
+        with pytest.raises(ValidationError):
+            LeafNode("x", -1.0, 0.5)
+
+    def test_rejects_impact_above_ten(self):
+        with pytest.raises(AttackTreeError):
+            LeafNode("x", 10.5, 0.5)
+
+    def test_rejects_probability_above_one(self):
+        with pytest.raises(ValidationError):
+            LeafNode("x", 5.0, 1.5)
+
+    def test_leaves_are_hashable_and_equal_by_value(self):
+        assert LeafNode("x", 1.0, 0.5) == LeafNode("x", 1.0, 0.5)
+        assert hash(LeafNode("x", 1.0, 0.5)) == hash(LeafNode("x", 1.0, 0.5))
+
+
+class TestGateNode:
+    def test_valid_gate(self):
+        leaf = LeafNode("x", 1.0, 0.5)
+        gate = GateNode(Gate.AND, (leaf, leaf))
+        assert not gate.is_leaf
+        assert len(gate.children) == 2
+
+    def test_rejects_empty_children(self):
+        with pytest.raises(AttackTreeError):
+            GateNode(Gate.OR, ())
+
+    def test_rejects_non_gate_type(self):
+        leaf = LeafNode("x", 1.0, 0.5)
+        with pytest.raises(AttackTreeError):
+            GateNode("or", (leaf,))
+
+    def test_rejects_bad_child(self):
+        with pytest.raises(AttackTreeError):
+            GateNode(Gate.OR, ("not-a-node",))
+
+    def test_nested_gates(self):
+        leaf = LeafNode("x", 1.0, 0.5)
+        inner = GateNode(Gate.AND, (leaf, leaf))
+        outer = GateNode(Gate.OR, (leaf, inner))
+        assert outer.children[1] is inner
+
+    def test_gate_str(self):
+        assert str(Gate.AND) == "and"
+        assert str(Gate.OR) == "or"

@@ -1,0 +1,73 @@
+"""Tests for gate-combination semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacktree import GateSemantics, PROBABILISTIC, WORST_CASE
+from repro.errors import AttackTreeError
+
+
+class TestWorstCase:
+    def test_or_probability_is_max(self):
+        assert WORST_CASE.combine_probability(False, [0.2, 0.9, 0.5]) == 0.9
+
+    def test_and_probability_is_product(self):
+        assert WORST_CASE.combine_probability(True, [0.5, 0.4]) == pytest.approx(0.2)
+
+    def test_or_impact_is_max(self):
+        assert WORST_CASE.combine_impact(False, [1.0, 7.0]) == 7.0
+
+    def test_and_impact_is_sum(self):
+        assert WORST_CASE.combine_impact(True, [2.9, 10.0]) == pytest.approx(12.9)
+
+
+class TestProbabilistic:
+    def test_or_probability_is_independent(self):
+        result = PROBABILISTIC.combine_probability(False, [0.5, 0.5])
+        assert result == pytest.approx(0.75)
+
+    def test_and_probability_still_product(self):
+        assert PROBABILISTIC.combine_probability(True, [0.5, 0.5]) == pytest.approx(
+            0.25
+        )
+
+    def test_impact_combinators_match_worst_case(self):
+        values = [1.0, 2.0, 3.0]
+        for is_and in (True, False):
+            assert PROBABILISTIC.combine_impact(
+                is_and, values
+            ) == WORST_CASE.combine_impact(is_and, values)
+
+    def test_probabilistic_or_dominates_max(self):
+        values = [0.3, 0.6]
+        assert PROBABILISTIC.combine_probability(
+            False, values
+        ) >= WORST_CASE.combine_probability(False, values)
+
+
+class TestEdgeCases:
+    def test_empty_values_raise(self):
+        with pytest.raises(AttackTreeError):
+            WORST_CASE.combine_probability(False, [])
+        with pytest.raises(AttackTreeError):
+            WORST_CASE.combine_impact(True, [])
+
+    def test_singleton_is_identity(self):
+        for semantics in (WORST_CASE, PROBABILISTIC):
+            for is_and in (True, False):
+                assert semantics.combine_probability(is_and, [0.37]) == pytest.approx(
+                    0.37
+                )
+                assert semantics.combine_impact(is_and, [4.2]) == pytest.approx(4.2)
+
+    def test_custom_semantics(self):
+        semantics = GateSemantics(
+            name="min",
+            or_probability=min,
+            and_probability=min,
+            or_impact=min,
+            and_impact=min,
+        )
+        assert semantics.combine_probability(False, [0.2, 0.8]) == 0.2
+        assert semantics.name == "min"

@@ -1,0 +1,170 @@
+"""Tests for attack-tree construction, evaluation and pruning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacktree import AttackTree, PROBABILISTIC, WORST_CASE
+from repro.attacktree.nodes import LeafNode
+from repro.errors import AttackTreeError
+from repro.vulnerability import SoftwareLayer, Vulnerability
+
+
+def leaves(**metrics):
+    return {
+        name: LeafNode(name, impact, probability)
+        for name, (impact, probability) in metrics.items()
+    }
+
+
+@pytest.fixture
+def web_tree():
+    """The paper's web-server tree: v1|v2|v3|(v4 & v5)."""
+    pool = leaves(
+        v1=(10.0, 1.0),
+        v2=(10.0, 1.0),
+        v3=(10.0, 1.0),
+        v4=(2.9, 1.0),
+        v5=(10.0, 0.39),
+    )
+    return AttackTree.from_branches(pool, ["v1", "v2", "v3", ("v4", "v5")])
+
+
+class TestConstruction:
+    def test_single_leaf_tree(self):
+        tree = AttackTree.single(LeafNode("v", 5.0, 0.5))
+        assert tree.impact() == 5.0
+        assert tree.probability() == 0.5
+        assert tree.size() == 1
+        assert tree.depth() == 1
+
+    def test_from_branches_shape(self, web_tree):
+        assert web_tree.to_expression() == "(v1 | v2 | v3 | (v4 & v5))"
+        assert web_tree.size() == 7  # root + 3 leaves + AND gate + 2 leaves
+        assert web_tree.depth() == 3
+
+    def test_singleton_and_group_collapses(self):
+        pool = leaves(a=(1.0, 0.5), b=(2.0, 0.5))
+        tree = AttackTree.from_branches(pool, ["a", ("b",)])
+        assert tree.to_expression() == "(a | b)"
+
+    def test_single_branch_tree_has_no_gate(self):
+        pool = leaves(a=(1.0, 0.5))
+        tree = AttackTree.from_branches(pool, ["a"])
+        assert tree.to_expression() == "a"
+
+    def test_unknown_leaf_in_spec_raises(self):
+        pool = leaves(a=(1.0, 0.5))
+        with pytest.raises(AttackTreeError, match="unknown leaf"):
+            AttackTree.from_branches(pool, ["a", "zz"])
+
+    def test_empty_branches_raises(self):
+        with pytest.raises(AttackTreeError):
+            AttackTree.from_branches(leaves(a=(1.0, 0.5)), [])
+
+    def test_empty_and_group_raises(self):
+        with pytest.raises(AttackTreeError):
+            AttackTree.from_branches(leaves(a=(1.0, 0.5)), [()])
+
+    def test_from_vulnerabilities_flat_or(self):
+        vulns = [
+            Vulnerability(
+                "CVE-A", "P", SoftwareLayer.APPLICATION,
+                "AV:N/AC:L/Au:N/C:C/I:C/A:C", True,
+            ),
+            Vulnerability(
+                "CVE-B", "P", SoftwareLayer.APPLICATION,
+                "AV:L/AC:L/Au:N/C:C/I:C/A:C", True,
+            ),
+        ]
+        tree = AttackTree.from_vulnerabilities(vulns)
+        assert tree.to_expression() == "(CVE-A | CVE-B)"
+        assert tree.probability() == 1.0
+
+    def test_from_zero_vulnerabilities_raises(self):
+        with pytest.raises(AttackTreeError):
+            AttackTree.from_vulnerabilities([])
+
+
+class TestEvaluation:
+    def test_paper_web_impact(self, web_tree):
+        # max(10, 10, 10, 2.9 + 10) = 12.9
+        assert web_tree.impact() == pytest.approx(12.9)
+
+    def test_paper_web_probability(self, web_tree):
+        # max(1, 1, 1, 1 * 0.39) = 1.0
+        assert web_tree.probability() == 1.0
+
+    def test_and_gate_probability_multiplies(self):
+        pool = leaves(a=(1.0, 0.5), b=(1.0, 0.4))
+        tree = AttackTree.from_branches(pool, [("a", "b")])
+        assert tree.probability() == pytest.approx(0.2)
+        assert tree.impact() == pytest.approx(2.0)
+
+    def test_probabilistic_or(self):
+        pool = leaves(a=(1.0, 0.5), b=(1.0, 0.5))
+        tree = AttackTree.from_branches(pool, ["a", "b"])
+        assert tree.probability(WORST_CASE) == 0.5
+        assert tree.probability(PROBABILISTIC) == pytest.approx(0.75)
+
+    def test_probabilistic_impact_unchanged(self, web_tree):
+        assert web_tree.impact(PROBABILISTIC) == web_tree.impact(WORST_CASE)
+
+    def test_risk_is_product(self, web_tree):
+        assert web_tree.risk() == pytest.approx(12.9 * 1.0)
+
+    def test_leaf_names_depth_first(self, web_tree):
+        assert web_tree.leaf_names() == ["v1", "v2", "v3", "v4", "v5"]
+
+
+class TestPruning:
+    def test_pruning_or_branch(self, web_tree):
+        pruned = web_tree.without_leaves(["v1"])
+        assert pruned.to_expression() == "(v2 | v3 | (v4 & v5))"
+
+    def test_pruning_and_member_removes_gate(self, web_tree):
+        pruned = web_tree.without_leaves(["v5"])
+        assert pruned.to_expression() == "(v1 | v2 | v3)"
+
+    def test_paper_after_patch_web(self, web_tree):
+        pruned = web_tree.without_leaves(["v1", "v2", "v3"])
+        assert pruned.to_expression() == "(v4 & v5)"
+        assert pruned.impact() == pytest.approx(12.9)
+        assert pruned.probability() == pytest.approx(0.39)
+
+    def test_pruning_everything_returns_none(self, web_tree):
+        assert web_tree.without_leaves(["v1", "v2", "v3", "v4"]) is None
+
+    def test_pruning_unknown_names_is_noop(self, web_tree):
+        pruned = web_tree.without_leaves(["zz"])
+        assert pruned.to_expression() == web_tree.to_expression()
+
+    def test_pruning_single_survivor_collapses(self):
+        pool = leaves(a=(1.0, 0.5), b=(2.0, 0.5))
+        tree = AttackTree.from_branches(pool, ["a", "b"])
+        assert tree.without_leaves(["a"]).to_expression() == "b"
+
+    def test_pruning_never_increases_metrics(self, web_tree):
+        base_impact = web_tree.impact()
+        base_prob = web_tree.probability()
+        for name in web_tree.leaf_names():
+            pruned = web_tree.without_leaves([name])
+            if pruned is None:
+                continue
+            assert pruned.impact() <= base_impact + 1e-12
+            assert pruned.probability() <= base_prob + 1e-12
+
+    def test_db_tree_after_patch(self):
+        """The paper's db tree keeps impact 12.9 after patching v1/v2."""
+        pool = leaves(
+            v1=(10.0, 1.0),
+            v2=(10.0, 1.0),
+            v3=(2.9, 0.86),
+            v4=(10.0, 0.39),
+            v5=(10.0, 0.39),
+        )
+        tree = AttackTree.from_branches(pool, ["v1", "v2", ("v3", "v4"), "v5"])
+        assert tree.impact() == pytest.approx(12.9)
+        pruned = tree.without_leaves(["v1", "v2"])
+        assert pruned.impact() == pytest.approx(12.9)
+        assert pruned.probability() == pytest.approx(0.39)

@@ -1,0 +1,56 @@
+"""Tests for Eqs. (1)-(2) aggregation: Table V reproduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.availability import aggregate_service, paper_server_parameters
+
+# Table V of the paper: service -> (MTTR hours, recovery rate).
+TABLE_V = {
+    "dns": (0.6667, 1.49992),
+    "web": (0.5834, 1.71420),
+    "app": (1.0001, 0.99995),
+    "db": (0.9167, 1.09085),
+}
+
+
+@pytest.fixture(scope="module")
+def aggregates():
+    return {
+        role: aggregate_service(params)
+        for role, params in paper_server_parameters().items()
+    }
+
+
+class TestTableV:
+    def test_patch_rate_is_clock_rate(self, aggregates):
+        for role, aggregate in aggregates.items():
+            assert aggregate.patch_rate == pytest.approx(1.0 / 720.0), role
+            assert aggregate.mttp_hours == pytest.approx(720.0), role
+
+    @pytest.mark.parametrize("role", sorted(TABLE_V))
+    def test_recovery_rates_match_paper(self, aggregates, role):
+        mttr, recovery = TABLE_V[role]
+        assert aggregates[role].recovery_rate == pytest.approx(recovery, rel=1e-4)
+        assert aggregates[role].mttr_hours == pytest.approx(mttr, abs=2e-4)
+
+    def test_app_has_longest_mttr(self, aggregates):
+        """The paper: the application tier has the lowest recovery rate."""
+        slowest = min(aggregates.values(), key=lambda a: a.recovery_rate)
+        assert slowest.name == "app"
+
+    def test_web_has_shortest_mttr(self, aggregates):
+        fastest = max(aggregates.values(), key=lambda a: a.recovery_rate)
+        assert fastest.name == "web"
+
+    def test_mttr_approximates_pipeline_downtime(self, aggregates):
+        """MTTR ~= sum of the four patch-stage means."""
+        for role, params in paper_server_parameters().items():
+            assert aggregates[role].mttr_hours == pytest.approx(
+                params.patch.expected_downtime_hours, rel=1e-3
+            )
+
+    def test_equivalent_availability_close_to_one(self, aggregates):
+        for aggregate in aggregates.values():
+            assert 0.998 < aggregate.equivalent_availability < 1.0

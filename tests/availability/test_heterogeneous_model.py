@@ -1,0 +1,74 @@
+"""Cross-checks for the heterogeneous availability model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.availability import (
+    HeterogeneousAvailabilityModel,
+    NetworkAvailabilityModel,
+)
+
+
+@pytest.fixture(scope="module")
+def aggregates(availability_evaluator, example_design):
+    return availability_evaluator.aggregates_for(example_design)
+
+
+class TestHomogeneousEquivalence:
+    """Single-variant tiers must reproduce the homogeneous model exactly."""
+
+    def test_example_network_coa(self, aggregates):
+        capacities = {"dns": 1, "web": 2, "app": 2, "db": 1}
+        homogeneous = NetworkAvailabilityModel(capacities, aggregates)
+        heterogeneous = HeterogeneousAvailabilityModel(
+            {role: {role: count} for role, count in capacities.items()},
+            aggregates,
+        )
+        assert heterogeneous.capacity_oriented_availability() == pytest.approx(
+            homogeneous.capacity_oriented_availability(), abs=1e-12
+        )
+
+    def test_system_availability(self, aggregates):
+        capacities = {"dns": 1, "web": 2, "app": 2, "db": 1}
+        homogeneous = NetworkAvailabilityModel(capacities, aggregates)
+        heterogeneous = HeterogeneousAvailabilityModel(
+            {role: {role: count} for role, count in capacities.items()},
+            aggregates,
+        )
+        assert heterogeneous.system_availability() == pytest.approx(
+            homogeneous.system_availability(), abs=1e-12
+        )
+
+
+class TestVariantSplit:
+    def test_splitting_a_tier_across_identical_variants_is_neutral(
+        self, aggregates
+    ):
+        """2 servers of one variant == 1+1 of two identically-rated
+        variants: the COA cannot tell them apart."""
+        base = dict(aggregates)
+        base["web_b"] = aggregates["web"]
+        merged = HeterogeneousAvailabilityModel(
+            {"dns": {"dns": 1}, "web": {"web": 2}, "db": {"db": 1}},
+            base,
+        )
+        split = HeterogeneousAvailabilityModel(
+            {"dns": {"dns": 1}, "web": {"web": 1, "web_b": 1}, "db": {"db": 1}},
+            base,
+        )
+        assert split.capacity_oriented_availability() == pytest.approx(
+            merged.capacity_oriented_availability(), abs=1e-12
+        )
+
+    def test_total_servers(self, aggregates):
+        model = HeterogeneousAvailabilityModel(
+            {"web": {"web": 2}, "db": {"db": 1}}, aggregates
+        )
+        assert model.total_servers == 3
+
+    def test_solution_cached(self, aggregates):
+        model = HeterogeneousAvailabilityModel(
+            {"web": {"web": 1}, "db": {"db": 1}}, aggregates
+        )
+        assert model.solve() is model.solve()

@@ -1,0 +1,49 @@
+"""Tests for server-measure extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.availability import compute_measures, dns_server_parameters
+from repro.availability.server import solve_server
+
+
+@pytest.fixture(scope="module")
+def measures():
+    return compute_measures(solve_server(dns_server_parameters()))
+
+
+class TestMeasures:
+    def test_probabilities_in_unit_interval(self, measures):
+        for value in (
+            measures.service_up,
+            measures.patch_down,
+            measures.patch_ready_to_reboot,
+            measures.service_failed,
+            measures.hardware_down,
+            measures.os_not_up,
+        ):
+            assert 0.0 <= value <= 1.0
+
+    def test_availability_alias(self, measures):
+        assert measures.availability == measures.service_up
+
+    def test_prrb_is_subset_of_patch_down(self, measures):
+        assert measures.patch_ready_to_reboot <= measures.patch_down
+
+    def test_dominant_mass_is_up(self, measures):
+        assert measures.service_up > 0.99
+
+    def test_failure_probability_matches_rates(self, measures):
+        """P(svc in repair) ~ repair time / MTTF.
+
+        Psvcfd covers the 30-minute repair stage only (the reboot stage
+        is a separate place), so the renewal-reward estimate is
+        (0.5 h) / (336 h).
+        """
+        assert measures.service_failed == pytest.approx(
+            (30.0 / 60.0) / 336.0, rel=0.05
+        )
+
+    def test_hardware_down_close_to_ratio(self, measures):
+        assert measures.hardware_down == pytest.approx(1.0 / 87600.0, rel=0.1)

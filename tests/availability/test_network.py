@@ -1,0 +1,123 @@
+"""Tests for the upper-layer network model and COA (Table VI)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.availability import (
+    NetworkAvailabilityModel,
+    aggregate_service,
+    coa_reward,
+    paper_server_parameters,
+    product_form_coa,
+)
+from repro.errors import EvaluationError
+from repro.srn import Marking
+
+
+@pytest.fixture(scope="module")
+def aggregates():
+    return {
+        role: aggregate_service(params)
+        for role, params in paper_server_parameters().items()
+    }
+
+
+@pytest.fixture(scope="module")
+def example_model(aggregates):
+    return NetworkAvailabilityModel(
+        {"dns": 1, "web": 2, "app": 2, "db": 1}, aggregates
+    )
+
+
+class TestCoaReward:
+    def test_reproduces_table_vi(self):
+        """The generalized reward equals Table VI on the example network."""
+        capacities = {"dns": 1, "web": 2, "app": 2, "db": 1}
+        reward = coa_reward(capacities)
+        index = {"Pdnsup": 0, "Pwebup": 1, "Pappup": 2, "Pdbup": 3}
+
+        def value(dns, web, app, db):
+            return reward(Marking(index, (dns, web, app, db)))
+
+        assert value(1, 2, 2, 1) == pytest.approx(1.0)
+        assert value(1, 1, 2, 1) == pytest.approx(0.83333, abs=1e-5)
+        assert value(1, 2, 1, 1) == pytest.approx(0.83333, abs=1e-5)
+        assert value(1, 1, 1, 1) == pytest.approx(0.66667, abs=1e-5)
+        assert value(0, 2, 2, 1) == 0.0
+        assert value(1, 0, 2, 1) == 0.0
+        assert value(1, 2, 0, 1) == 0.0
+        assert value(1, 2, 2, 0) == 0.0
+
+    def test_empty_capacities_rejected(self):
+        with pytest.raises(EvaluationError):
+            coa_reward({})
+
+
+class TestNetworkModel:
+    def test_example_network_coa(self, example_model):
+        """The paper's headline availability number: COA ~= 0.99707."""
+        assert example_model.capacity_oriented_availability() == pytest.approx(
+            0.99707, abs=5e-6
+        )
+
+    def test_matches_product_form(self, example_model, aggregates):
+        closed = product_form_coa(
+            {"dns": 1, "web": 2, "app": 2, "db": 1},
+            {r: a.patch_rate for r, a in aggregates.items()},
+            {r: a.recovery_rate for r, a in aggregates.items()},
+        )
+        assert example_model.capacity_oriented_availability() == pytest.approx(
+            closed, abs=1e-12
+        )
+
+    def test_system_availability_exceeds_coa(self, example_model):
+        system = example_model.system_availability()
+        coa = example_model.capacity_oriented_availability()
+        assert system >= coa
+
+    def test_expected_running_servers(self, example_model):
+        expected = example_model.expected_running_servers()
+        assert 5.9 < expected < 6.0
+
+    def test_service_up_distribution(self, example_model):
+        distribution = example_model.service_up_distribution("web")
+        assert set(distribution) == {0, 1, 2}
+        assert sum(distribution.values()) == pytest.approx(1.0)
+        assert distribution[2] > 0.99
+
+    def test_unknown_service_distribution_rejected(self, example_model):
+        with pytest.raises(EvaluationError):
+            example_model.service_up_distribution("cache")
+
+    def test_missing_aggregate_rejected(self, aggregates):
+        with pytest.raises(EvaluationError):
+            NetworkAvailabilityModel({"dns": 1, "cache": 1}, aggregates)
+
+    def test_solution_is_cached(self, example_model):
+        assert example_model.solve() is example_model.solve()
+
+
+class TestDesignOrdering:
+    def test_redundancy_improves_coa(self, aggregates):
+        base = NetworkAvailabilityModel(
+            {"dns": 1, "web": 1, "app": 1, "db": 1}, aggregates
+        ).capacity_oriented_availability()
+        for role in ("dns", "web", "app", "db"):
+            counts = {"dns": 1, "web": 1, "app": 1, "db": 1}
+            counts[role] = 2
+            improved = NetworkAvailabilityModel(
+                counts, aggregates
+            ).capacity_oriented_availability()
+            assert improved > base, role
+
+    def test_app_redundancy_helps_most(self, aggregates):
+        """Paper observation: duplicating the slowest-recovery tier wins."""
+        coas = {}
+        for role in ("dns", "web", "app", "db"):
+            counts = {"dns": 1, "web": 1, "app": 1, "db": 1}
+            counts[role] = 2
+            coas[role] = NetworkAvailabilityModel(
+                counts, aggregates
+            ).capacity_oriented_availability()
+        assert max(coas, key=coas.get) == "app"

@@ -1,0 +1,94 @@
+"""Tests for the Table IV parameter sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.availability import (
+    ComponentRates,
+    PatchPipeline,
+    ServerParameters,
+    dns_server_parameters,
+    paper_server_parameters,
+)
+from repro.errors import ValidationError
+
+
+class TestComponentRates:
+    def test_table_iv_defaults(self):
+        rates = ComponentRates()
+        assert 1.0 / rates.hardware_failure == pytest.approx(87600.0)
+        assert 1.0 / rates.hardware_repair == pytest.approx(1.0)
+        assert 1.0 / rates.os_failure == pytest.approx(1440.0)
+        assert 1.0 / rates.os_repair == pytest.approx(1.0)
+        assert 60.0 / rates.os_reboot == pytest.approx(10.0)  # minutes
+        assert 1.0 / rates.service_failure == pytest.approx(336.0)
+        assert 60.0 / rates.service_repair == pytest.approx(30.0)
+        assert 60.0 / rates.service_reboot == pytest.approx(5.0)
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ValidationError):
+            ComponentRates(hardware_failure=0.0)
+
+
+class TestPatchPipeline:
+    def test_dns_durations(self):
+        pipeline = PatchPipeline.from_vulnerability_counts(1, 2)
+        assert 60.0 / pipeline.service_patch == pytest.approx(5.0)
+        assert 60.0 / pipeline.os_patch == pytest.approx(20.0)
+        assert 60.0 / pipeline.os_patch_reboot == pytest.approx(10.0)
+        assert 60.0 / pipeline.service_patch_reboot == pytest.approx(5.0)
+
+    def test_expected_downtime(self):
+        pipeline = PatchPipeline.from_vulnerability_counts(1, 2)
+        assert pipeline.expected_downtime_hours == pytest.approx(40.0 / 60.0)
+
+    def test_zero_counts_use_negligible_stage(self):
+        pipeline = PatchPipeline.from_vulnerability_counts(0, 0)
+        assert 60.0 / pipeline.service_patch == pytest.approx(0.5)
+        assert 60.0 / pipeline.os_patch == pytest.approx(0.5)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValidationError):
+            PatchPipeline.from_vulnerability_counts(-1, 0)
+
+    def test_custom_minutes_per_vuln(self):
+        pipeline = PatchPipeline.from_vulnerability_counts(
+            2, 1, app_minutes_per_vuln=6.0, os_minutes_per_vuln=12.0
+        )
+        assert 60.0 / pipeline.service_patch == pytest.approx(12.0)
+        assert 60.0 / pipeline.os_patch == pytest.approx(12.0)
+
+
+class TestServerParameters:
+    def test_dns_parameter_set(self):
+        params = dns_server_parameters()
+        assert params.name == "dns"
+        assert params.patch_interval_hours == 720.0
+        assert params.patch_clock_rate == pytest.approx(1.0 / 720.0)
+
+    def test_with_patch_interval(self):
+        params = dns_server_parameters().with_patch_interval(168.0)
+        assert params.patch_interval_hours == 168.0
+        # original unchanged (frozen dataclass semantics)
+        assert dns_server_parameters().patch_interval_hours == 720.0
+
+    def test_paper_server_parameters_roles(self):
+        params = paper_server_parameters()
+        assert set(params) == {"dns", "web", "app", "db"}
+
+    def test_paper_patch_downtimes_match_table_v(self):
+        """Total expected downtime: 40/35/60/55 minutes."""
+        expected_minutes = {"dns": 40.0, "web": 35.0, "app": 60.0, "db": 55.0}
+        for role, params in paper_server_parameters().items():
+            downtime = params.patch.expected_downtime_hours * 60.0
+            assert downtime == pytest.approx(expected_minutes[role]), role
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValidationError):
+            ServerParameters(
+                name="x",
+                rates=ComponentRates(),
+                patch=PatchPipeline.from_vulnerability_counts(1, 1),
+                patch_interval_hours=0.0,
+            )

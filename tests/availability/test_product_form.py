@@ -1,0 +1,47 @@
+"""Tests for the closed-form COA."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.availability import product_form_coa
+from repro.availability.product_form import tier_up_distribution
+from repro.errors import EvaluationError
+
+
+class TestTierDistribution:
+    def test_binomial_shape(self):
+        dist = tier_up_distribution(2, 0.9)
+        assert dist == pytest.approx([0.01, 0.18, 0.81])
+
+    def test_sums_to_one(self):
+        assert sum(tier_up_distribution(5, 0.37)) == pytest.approx(1.0)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(EvaluationError):
+            tier_up_distribution(2, 1.5)
+
+
+class TestProductFormCoa:
+    def test_single_service_single_server(self):
+        coa = product_form_coa({"svc": 1}, {"svc": 1.0}, {"svc": 9.0})
+        assert coa == pytest.approx(0.9)
+
+    def test_single_service_two_servers(self):
+        # p_up = 0.9; states: 2 up -> reward 1 (p=0.81), 1 up -> 0.5 (p=0.18)
+        coa = product_form_coa({"svc": 2}, {"svc": 1.0}, {"svc": 9.0})
+        assert coa == pytest.approx(0.81 + 0.5 * 0.18)
+
+    def test_two_services_all_must_run(self):
+        coa = product_form_coa(
+            {"a": 1, "b": 1}, {"a": 1.0, "b": 1.0}, {"a": 9.0, "b": 9.0}
+        )
+        assert coa == pytest.approx(0.81)
+
+    def test_missing_rates_rejected(self):
+        with pytest.raises(EvaluationError):
+            product_form_coa({"a": 1}, {}, {"a": 1.0})
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            product_form_coa({}, {}, {})

@@ -1,0 +1,113 @@
+"""Tests for the lower-layer server SRN (Fig. 5 + Table III)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.availability import dns_server_parameters
+from repro.availability.server import build_server_srn, solve_server
+from repro.srn import explore, simulate
+
+
+@pytest.fixture(scope="module")
+def dns_solution():
+    return solve_server(dns_server_parameters())
+
+
+class TestStructure:
+    def test_state_space_is_finite_and_small(self):
+        graph = explore(build_server_srn(dns_server_parameters()))
+        assert 10 <= graph.number_of_states <= 120
+
+    def test_single_token_invariants(self):
+        """Each sub-model conserves its single token."""
+        graph = explore(build_server_srn(dns_server_parameters()))
+        hw = ("Phwup", "Phwd")
+        os = ("Posup", "Posfd", "Posfrb", "Posd", "Posrp", "Posp")
+        svc = (
+            "Psvcup",
+            "Psvcfd",
+            "Psvcfrb",
+            "Psvcd",
+            "Psvcrp",
+            "Psvcp",
+            "Psvcrrb",
+        )
+        clock = ("Pclock", "Pdue", "Ptrigger")
+        for marking in graph.tangible:
+            for group in (hw, os, svc, clock):
+                assert sum(marking[p] for p in group) == 1, marking
+
+    def test_service_up_requires_os_and_hw_up(self):
+        """No tangible marking has the service up while hw/OS is down.
+
+        The immediate transitions Tsvcd/Tosd fire instantly on failure,
+        so such markings are vanishing, never tangible.
+        """
+        graph = explore(build_server_srn(dns_server_parameters()))
+        for marking in graph.tangible:
+            if marking["Psvcup"] == 1:
+                assert marking["Phwup"] == 1
+                assert marking["Posup"] == 1
+
+
+class TestSteadyState:
+    def test_availability_is_high(self, dns_solution):
+        availability = dns_solution.probability_of(lambda m: m["Psvcup"] == 1)
+        assert 0.99 < availability < 1.0
+
+    def test_patch_pipeline_probabilities(self, dns_solution):
+        """p_pd ~ (40 min)/(720 h) and p_prrb ~ (5 min)/(720 h)."""
+        p_pd = dns_solution.probability_of(
+            lambda m: m["Psvcrp"] == 1 or m["Psvcp"] == 1 or m["Psvcrrb"] == 1
+        )
+        p_prrb = dns_solution.probability_of(
+            lambda m: m["Psvcrrb"] == 1 and m["Posup"] == 1 and m["Phwup"] == 1
+        )
+        assert p_pd == pytest.approx(0.00092506, rel=2e-3)  # paper's value
+        assert p_prrb == pytest.approx(0.00011563, rel=2e-3)
+
+    def test_paper_probability_values(self, dns_solution):
+        """The paper's example: p ~= 0.00092506 and 0.00011563."""
+        p_pd = dns_solution.probability_of(
+            lambda m: m["Psvcrp"] == 1 or m["Psvcp"] == 1 or m["Psvcrrb"] == 1
+        )
+        # within 0.3% of the published numbers
+        assert abs(p_pd - 0.00092506) / 0.00092506 < 3e-3
+
+
+class TestAssumptionFlags:
+    def test_strict_hardware_assumption(self):
+        solution = solve_server(
+            dns_server_parameters(), hardware_can_fail_during_patch=False
+        )
+        # hardware never fails during patch: no marking with Phwd plus a
+        # patch-pipeline token that arrived while patching
+        for marking, probability in zip(solution.markings, solution.probabilities):
+            if probability > 0 and (
+                marking["Posrp"] == 1 or marking["Posp"] == 1
+            ):
+                assert marking["Phwd"] == 0
+
+    def test_strict_software_assumption_changes_little(self):
+        base = solve_server(dns_server_parameters())
+        strict = solve_server(
+            dns_server_parameters(), software_can_fail_during_patch=False
+        )
+        a = base.probability_of(lambda m: m["Psvcup"] == 1)
+        b = strict.probability_of(lambda m: m["Psvcup"] == 1)
+        assert a == pytest.approx(b, abs=5e-4)
+
+
+class TestSimulationCrossCheck:
+    def test_simulated_availability_matches_analytic(self):
+        params = dns_server_parameters().with_patch_interval(24.0)
+        # a short patch interval makes patching frequent enough to observe
+        net = build_server_srn(params)
+        from repro.srn import solve
+
+        analytic = solve(net).probability_of(lambda m: m["Psvcup"] == 1)
+        simulated = simulate(
+            net, lambda m: float(m["Psvcup"]), horizon=20000.0, seed=13
+        )
+        assert simulated.time_averaged_reward == pytest.approx(analytic, abs=0.01)

@@ -1,0 +1,66 @@
+"""Tests for time-to-outage and transient COA."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.availability import mean_time_to_outage, transient_coa
+from repro.errors import EvaluationError
+
+
+@pytest.fixture(scope="module")
+def example_model(availability_evaluator, example_design):
+    return availability_evaluator.network_model(example_design)
+
+
+class TestMeanTimeToOutage:
+    def test_example_network_outage_driven_by_single_tiers(self, example_model):
+        """dns and db have one replica; each is patched at rate 1/720 and
+        the first patch of either takes a tier to zero, so the expected
+        time to first outage is close to 720/2 = 360 hours."""
+        mtto = mean_time_to_outage(example_model)
+        assert mtto == pytest.approx(360.0, rel=0.01)
+
+    def test_full_redundancy_survives_much_longer(
+        self, availability_evaluator
+    ):
+        from repro.enterprise import RedundancyDesign
+
+        redundant = RedundancyDesign({"dns": 2, "web": 2, "app": 2, "db": 2})
+        model = availability_evaluator.network_model(redundant)
+        mtto = mean_time_to_outage(model)
+        # an outage now needs two replicas of one tier down at once
+        assert mtto > 50_000.0
+
+    def test_redundancy_monotone(self, availability_evaluator, example_model):
+        from repro.enterprise import RedundancyDesign
+
+        base = mean_time_to_outage(example_model)
+        better = mean_time_to_outage(
+            availability_evaluator.network_model(
+                RedundancyDesign({"dns": 2, "web": 2, "app": 2, "db": 1})
+            )
+        )
+        assert better > base
+
+
+class TestTransientCoa:
+    def test_starts_at_one(self, example_model):
+        values = transient_coa(example_model, [0.0])
+        assert values[0] == pytest.approx(1.0)
+
+    def test_converges_to_steady_state(self, example_model):
+        steady = example_model.capacity_oriented_availability()
+        values = transient_coa(example_model, [50_000.0])
+        assert values[0] == pytest.approx(steady, abs=1e-6)
+
+    def test_monotone_decay_from_all_up(self, example_model):
+        times = [0.0, 10.0, 100.0, 1000.0, 10000.0]
+        values = transient_coa(example_model, times)
+        assert all(
+            values[i] >= values[i + 1] - 1e-9 for i in range(len(values) - 1)
+        )
+
+    def test_negative_time_rejected(self, example_model):
+        with pytest.raises(EvaluationError):
+            transient_coa(example_model, [-1.0])

@@ -1,0 +1,93 @@
+"""Tests for absorbing-state analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ctmc import (
+    Ctmc,
+    absorption_probabilities,
+    make_absorbing,
+    mean_time_to_absorption,
+)
+from repro.errors import CtmcError
+
+
+class TestMeanTimeToAbsorption:
+    def test_single_exponential_stage(self):
+        chain = Ctmc.from_rates({("a", "done"): 2.0})
+        assert mean_time_to_absorption(chain, "a") == pytest.approx(0.5)
+
+    def test_two_sequential_stages(self):
+        chain = Ctmc.from_rates({("a", "b"): 2.0, ("b", "done"): 4.0})
+        assert mean_time_to_absorption(chain, "a") == pytest.approx(0.5 + 0.25)
+
+    def test_with_retries(self):
+        """a -> b at rate 1; b returns to a at rate 3 or absorbs at 1.
+
+        Expected absorption time from a: classic first-step analysis
+        gives E[a] = 1 + E[b], E[b] = 1/4 + (3/4) E[a]  => E[a] = 5.
+        """
+        chain = Ctmc.from_rates(
+            {("a", "b"): 1.0, ("b", "a"): 3.0, ("b", "done"): 1.0}
+        )
+        assert mean_time_to_absorption(chain, "a") == pytest.approx(5.0)
+
+    def test_full_table(self):
+        chain = Ctmc.from_rates({("a", "b"): 2.0, ("b", "done"): 4.0})
+        table = mean_time_to_absorption(chain)
+        assert set(table) == {"a", "b"}
+        assert table["b"] == pytest.approx(0.25)
+
+    def test_no_absorbing_states_rejected(self):
+        chain = Ctmc.from_rates({("a", "b"): 1.0, ("b", "a"): 1.0})
+        with pytest.raises(CtmcError):
+            mean_time_to_absorption(chain)
+
+    def test_absorbing_start_rejected(self):
+        chain = Ctmc.from_rates({("a", "done"): 1.0})
+        with pytest.raises(CtmcError):
+            mean_time_to_absorption(chain, "done")
+
+
+class TestAbsorptionProbabilities:
+    def test_two_exits_split_by_rate(self):
+        chain = Ctmc.from_rates({("a", "left"): 1.0, ("a", "right"): 3.0})
+        probabilities = absorption_probabilities(chain, "a")
+        assert probabilities["left"] == pytest.approx(0.25)
+        assert probabilities["right"] == pytest.approx(0.75)
+
+    def test_probabilities_sum_to_one(self):
+        chain = Ctmc.from_rates(
+            {
+                ("a", "b"): 1.0,
+                ("b", "a"): 0.5,
+                ("a", "x"): 0.2,
+                ("b", "y"): 2.0,
+            }
+        )
+        probabilities = absorption_probabilities(chain, "a")
+        assert sum(probabilities.values()) == pytest.approx(1.0)
+
+    def test_start_must_be_transient(self):
+        chain = Ctmc.from_rates({("a", "done"): 1.0})
+        with pytest.raises(CtmcError):
+            absorption_probabilities(chain, "done")
+
+
+class TestMakeAbsorbing:
+    def test_cuts_outgoing_rates(self):
+        chain = Ctmc.from_rates({("up", "down"): 1.0, ("down", "up"): 5.0})
+        absorbed = make_absorbing(chain, lambda s: s == "down")
+        assert absorbed.absorbing_states() == ["down"]
+        assert mean_time_to_absorption(absorbed, "up") == pytest.approx(1.0)
+
+    def test_original_untouched(self):
+        chain = Ctmc.from_rates({("up", "down"): 1.0, ("down", "up"): 5.0})
+        make_absorbing(chain, lambda s: s == "down")
+        assert chain.rate("down", "up") == 5.0
+
+    def test_predicate_matching_nothing_rejected(self):
+        chain = Ctmc.from_rates({("up", "down"): 1.0})
+        with pytest.raises(CtmcError):
+            make_absorbing(chain, lambda s: False)

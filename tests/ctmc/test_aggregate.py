@@ -1,0 +1,61 @@
+"""Tests for the Trivedi-style two-state aggregation (Eqs. 1-2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ctmc import Ctmc, aggregate_two_state
+from repro.errors import CtmcError
+
+
+class TestTwoStateIdentity:
+    def test_aggregating_a_two_state_chain_returns_its_rates(self):
+        chain = Ctmc.from_rates({("up", "down"): 2.0, ("down", "up"): 8.0})
+        aggregate = aggregate_two_state(chain, is_up=lambda s: s == "up")
+        assert aggregate.failure_rate == pytest.approx(2.0)
+        assert aggregate.repair_rate == pytest.approx(8.0)
+        assert aggregate.availability == pytest.approx(0.8)
+        assert aggregate.mttf == pytest.approx(0.5)
+        assert aggregate.mttr == pytest.approx(0.125)
+
+
+class TestPipelineAggregation:
+    def test_sequential_pipeline_matches_paper_equation(self):
+        """up -> s1 -> s2 -> up, collapse the s1/s2 pipeline.
+
+        The equivalent repair rate must be (exit rate of the final stage)
+        * P(final stage) / P(down) — the structure of the paper's Eq. 2.
+        """
+        tau, a, b = 1.0 / 720.0, 3.0, 12.0
+        chain = Ctmc.from_rates(
+            {("up", "s1"): tau, ("s1", "s2"): a, ("s2", "up"): b}
+        )
+        aggregate = aggregate_two_state(chain, is_up=lambda s: s == "up")
+        assert aggregate.failure_rate == pytest.approx(tau)
+        # sojourns: 1/a + 1/b; equivalent rate = 1 / total down time
+        assert aggregate.mttr == pytest.approx(1.0 / a + 1.0 / b)
+
+    def test_aggregate_preserves_availability(self):
+        chain = Ctmc.from_rates(
+            {
+                ("up", "d1"): 0.4,
+                ("d1", "d2"): 5.0,
+                ("d2", "up"): 2.0,
+                ("up", "d2"): 0.1,
+            }
+        )
+        aggregate = aggregate_two_state(chain, is_up=lambda s: s == "up")
+        # the equivalent two-state chain must reproduce P(up)
+        assert aggregate.availability == pytest.approx(aggregate.up_probability)
+
+
+class TestValidation:
+    def test_all_up_rejected(self):
+        chain = Ctmc.from_rates({("a", "b"): 1.0, ("b", "a"): 1.0})
+        with pytest.raises(CtmcError):
+            aggregate_two_state(chain, is_up=lambda s: True)
+
+    def test_all_down_rejected(self):
+        chain = Ctmc.from_rates({("a", "b"): 1.0, ("b", "a"): 1.0})
+        with pytest.raises(CtmcError):
+            aggregate_two_state(chain, is_up=lambda s: False)

@@ -1,0 +1,37 @@
+"""Tests for the closed-form birth-death chain."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ctmc import Ctmc, birth_death_steady_state, steady_state
+from repro.errors import CtmcError
+
+
+class TestClosedForm:
+    def test_two_state(self):
+        pi = birth_death_steady_state([2.0], [8.0])
+        assert pi == pytest.approx([0.8, 0.2])
+
+    def test_matches_full_solver(self):
+        births = [1.0, 2.0, 0.5]
+        deaths = [4.0, 3.0, 2.0]
+        chain = Ctmc(list(range(4)))
+        for k in range(3):
+            chain.add_rate(k, k + 1, births[k])
+            chain.add_rate(k + 1, k, deaths[k])
+        assert birth_death_steady_state(births, deaths) == pytest.approx(
+            steady_state(chain), abs=1e-10
+        )
+
+    def test_normalised(self):
+        pi = birth_death_steady_state([1.0, 1.0, 1.0], [2.0, 2.0, 2.0])
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(CtmcError):
+            birth_death_steady_state([1.0], [1.0, 2.0])
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(CtmcError):
+            birth_death_steady_state([0.0], [1.0])

@@ -1,0 +1,83 @@
+"""Tests for the CTMC container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ctmc import Ctmc
+from repro.errors import CtmcError
+
+
+@pytest.fixture
+def updown():
+    return Ctmc.from_rates({("up", "down"): 2.0, ("down", "up"): 8.0})
+
+
+class TestConstruction:
+    def test_from_rates_infers_states(self, updown):
+        assert updown.states == ["up", "down"]
+        assert updown.number_of_states() == 2
+
+    def test_from_rates_extra_states(self):
+        chain = Ctmc.from_rates({("a", "b"): 1.0}, states=["a", "b", "c"])
+        assert chain.states == ["a", "b", "c"]
+        assert chain.absorbing_states() == ["b", "c"]
+
+    def test_duplicate_state_rejected(self):
+        with pytest.raises(CtmcError):
+            Ctmc(["a", "a"])
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(CtmcError):
+            Ctmc([])
+
+    def test_rates_accumulate(self):
+        chain = Ctmc(["a", "b"])
+        chain.add_rate("a", "b", 1.0)
+        chain.add_rate("a", "b", 2.0)
+        assert chain.rate("a", "b") == 3.0
+
+    def test_zero_rate_ignored(self):
+        chain = Ctmc(["a", "b"])
+        chain.add_rate("a", "b", 0.0)
+        assert chain.number_of_transitions() == 0
+
+    def test_self_loop_rejected(self):
+        chain = Ctmc(["a"])
+        with pytest.raises(CtmcError):
+            chain.add_rate("a", "a", 1.0)
+
+    def test_negative_rate_rejected(self):
+        chain = Ctmc(["a", "b"])
+        with pytest.raises(CtmcError):
+            chain.add_rate("a", "b", -1.0)
+
+    def test_unknown_state_rejected(self, updown):
+        with pytest.raises(CtmcError):
+            updown.add_rate("up", "ghost", 1.0)
+
+
+class TestMatrices:
+    def test_generator_rows_sum_to_zero(self, updown):
+        q = updown.dense_generator()
+        assert np.allclose(q.sum(axis=1), 0.0)
+
+    def test_generator_entries(self, updown):
+        q = updown.dense_generator()
+        i, j = updown.index_of("up"), updown.index_of("down")
+        assert q[i, j] == 2.0
+        assert q[i, i] == -2.0
+        assert q[j, i] == 8.0
+
+    def test_exit_rate(self, updown):
+        assert updown.exit_rate("up") == 2.0
+
+    def test_transitions_listing(self, updown):
+        assert sorted(updown.transitions()) == [(0, 1, 2.0), (1, 0, 8.0)]
+
+    def test_empty_generator(self):
+        chain = Ctmc(["a", "b"])
+        q = chain.dense_generator()
+        assert q.shape == (2, 2)
+        assert np.all(q == 0.0)

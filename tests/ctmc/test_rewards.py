@@ -1,0 +1,45 @@
+"""Tests for reward evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ctmc import Ctmc, expected_reward_rate, reward_vector
+from repro.errors import CtmcError
+
+
+@pytest.fixture
+def updown():
+    return Ctmc.from_rates({("up", "down"): 2.0, ("down", "up"): 8.0})
+
+
+class TestRewardVector:
+    def test_mapping_with_default_zero(self, updown):
+        vector = reward_vector(updown, {"up": 1.0})
+        assert vector == pytest.approx([1.0, 0.0])
+
+    def test_callable(self, updown):
+        vector = reward_vector(updown, lambda state: len(state))
+        assert vector == pytest.approx([2.0, 4.0])
+
+    def test_non_finite_rejected(self, updown):
+        with pytest.raises(CtmcError):
+            reward_vector(updown, {"up": float("nan")})
+
+
+class TestExpectedReward:
+    def test_availability_reward(self, updown):
+        assert expected_reward_rate(updown, {"up": 1.0}) == pytest.approx(0.8)
+
+    def test_weighted_reward(self, updown):
+        value = expected_reward_rate(updown, {"up": 10.0, "down": 5.0})
+        assert value == pytest.approx(0.8 * 10 + 0.2 * 5)
+
+    def test_with_precomputed_probabilities(self, updown):
+        pi = np.array([0.5, 0.5])
+        assert expected_reward_rate(updown, {"up": 2.0}, pi) == pytest.approx(1.0)
+
+    def test_shape_mismatch_rejected(self, updown):
+        with pytest.raises(CtmcError):
+            expected_reward_rate(updown, {"up": 1.0}, np.array([1.0]))

@@ -1,0 +1,83 @@
+"""Tests for transient analysis (uniformisation) against closed forms."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ctmc import Ctmc
+from repro.ctmc.transient import transient_distribution, transient_rewards
+from repro.errors import SolverError
+
+
+def updown(failure=2.0, repair=8.0):
+    return Ctmc.from_rates({("up", "down"): failure, ("down", "up"): repair})
+
+
+def two_state_closed_form(t, lam, mu):
+    """P(up at t | up at 0) for the two-state availability model."""
+    total = lam + mu
+    return mu / total + lam / total * math.exp(-total * t)
+
+
+class TestAgainstClosedForm:
+    @pytest.mark.parametrize("t", [0.0, 0.01, 0.1, 0.5, 1.0, 5.0])
+    def test_two_state_availability(self, t):
+        lam, mu = 2.0, 8.0
+        chain = updown(lam, mu)
+        pi_t = transient_distribution(chain, {"up": 1.0}, t)
+        assert pi_t[0] == pytest.approx(two_state_closed_form(t, lam, mu), abs=1e-8)
+
+    def test_pure_death_poisson(self):
+        # A -> B at rate r: P(still in A at t) = exp(-r t).
+        chain = Ctmc.from_rates({("a", "b"): 3.0})
+        for t in (0.1, 0.4, 1.0):
+            pi_t = transient_distribution(chain, {"a": 1.0}, t)
+            assert pi_t[0] == pytest.approx(math.exp(-3.0 * t), abs=1e-8)
+
+    def test_long_horizon_converges_to_steady_state(self):
+        chain = updown()
+        pi_t = transient_distribution(chain, {"down": 1.0}, 100.0)
+        assert pi_t == pytest.approx([0.8, 0.2], abs=1e-8)
+
+    def test_time_zero_returns_initial(self):
+        chain = updown()
+        pi_0 = transient_distribution(chain, {"down": 1.0}, 0.0)
+        assert pi_0 == pytest.approx([0.0, 1.0])
+
+
+class TestInterface:
+    def test_vector_initial_distribution(self):
+        chain = updown()
+        pi_t = transient_distribution(chain, np.array([0.5, 0.5]), 0.0)
+        assert pi_t == pytest.approx([0.5, 0.5])
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SolverError):
+            transient_distribution(updown(), {"up": 1.0}, -1.0)
+
+    def test_bad_initial_distribution_rejected(self):
+        with pytest.raises(SolverError):
+            transient_distribution(updown(), np.array([0.7, 0.7]), 1.0)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(SolverError):
+            transient_distribution(updown(), np.array([1.0]), 1.0)
+
+    def test_frozen_chain(self):
+        chain = Ctmc(["a", "b"])
+        pi_t = transient_distribution(chain, {"a": 1.0}, 10.0)
+        assert pi_t == pytest.approx([1.0, 0.0])
+
+    def test_transient_rewards_series(self):
+        chain = updown()
+        rewards = np.array([1.0, 0.0])
+        values = transient_rewards(chain, {"up": 1.0}, rewards, [0.0, 100.0])
+        assert values[0] == pytest.approx(1.0)
+        assert values[1] == pytest.approx(0.8, abs=1e-8)
+
+    def test_transient_rewards_shape_mismatch(self):
+        with pytest.raises(SolverError):
+            transient_rewards(updown(), {"up": 1.0}, np.array([1.0]), [0.0])

@@ -1,0 +1,96 @@
+"""Tests for CVSS v2 score arithmetic against NVD-published values."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cvss import (
+    base_score,
+    CvssVector,
+    exploitability_subscore,
+    impact_subscore,
+    score_vector,
+)
+
+
+class TestSubscores:
+    def test_full_impact_is_ten(self):
+        vector = CvssVector.parse("AV:N/AC:L/Au:N/C:C/I:C/A:C")
+        assert impact_subscore(vector) == 10.0
+
+    def test_single_partial_impact(self):
+        vector = CvssVector.parse("AV:N/AC:L/Au:N/C:P/I:N/A:N")
+        assert impact_subscore(vector) == 2.9
+
+    def test_triple_partial_impact(self):
+        vector = CvssVector.parse("AV:N/AC:L/Au:N/C:P/I:P/A:P")
+        assert impact_subscore(vector) == 6.4
+
+    def test_zero_impact(self):
+        vector = CvssVector.parse("AV:N/AC:L/Au:N/C:N/I:N/A:N")
+        assert impact_subscore(vector) == 0.0
+
+    def test_remote_easy_exploitability_is_ten(self):
+        vector = CvssVector.parse("AV:N/AC:L/Au:N/C:C/I:C/A:C")
+        assert exploitability_subscore(vector) == 10.0
+
+    def test_remote_medium_exploitability(self):
+        vector = CvssVector.parse("AV:N/AC:M/Au:N/C:C/I:C/A:C")
+        assert exploitability_subscore(vector) == 8.6
+
+    def test_local_exploitability(self):
+        vector = CvssVector.parse("AV:L/AC:L/Au:N/C:C/I:C/A:C")
+        assert exploitability_subscore(vector) == 3.9
+
+
+class TestBaseScores:
+    """Published NVD v2 base scores for well-known vector shapes."""
+
+    @pytest.mark.parametrize(
+        "vector,expected",
+        [
+            ("AV:N/AC:L/Au:N/C:C/I:C/A:C", 10.0),  # e.g. MS08-067 class
+            ("AV:N/AC:L/Au:N/C:P/I:P/A:P", 7.5),   # classic RCE partials
+            ("AV:L/AC:L/Au:N/C:C/I:C/A:C", 7.2),   # local privilege escalation
+            ("AV:N/AC:M/Au:N/C:N/I:P/A:N", 4.3),   # e.g. CVE-2015-3152
+            ("AV:N/AC:L/Au:N/C:P/I:N/A:N", 5.0),   # info leak
+            ("AV:N/AC:L/Au:N/C:N/I:N/A:N", 0.0),   # no impact -> f(I)=0
+            ("AV:N/AC:L/Au:N/C:N/I:N/A:P", 5.0),   # availability-only
+            ("AV:N/AC:M/Au:N/C:C/I:C/A:C", 9.3),   # e.g. real CVE-2016-3227
+            ("AV:L/AC:H/Au:N/C:C/I:C/A:C", 6.2),
+            ("AV:N/AC:L/Au:S/C:C/I:C/A:C", 9.0),
+        ],
+    )
+    def test_published_scores(self, vector, expected):
+        assert base_score(CvssVector.parse(vector)) == expected
+
+    def test_score_vector_bundles_all_three(self):
+        scores = score_vector("AV:N/AC:L/Au:N/C:C/I:C/A:C")
+        assert (scores.impact, scores.exploitability, scores.base) == (
+            10.0,
+            10.0,
+            10.0,
+        )
+
+    def test_paper_conventions(self):
+        scores = score_vector("AV:L/AC:L/Au:N/C:C/I:C/A:C")
+        assert scores.attack_impact == 10.0
+        assert scores.attack_success_probability == pytest.approx(0.39)
+
+    def test_accepts_vector_instance(self):
+        vector = CvssVector.parse("AV:N/AC:L/Au:N/C:C/I:C/A:C")
+        assert score_vector(vector).base == 10.0
+
+
+class TestRounding:
+    def test_scores_have_one_decimal(self):
+        for av in "NAL":
+            for ac in "HML":
+                vector = CvssVector.parse(f"AV:{av}/AC:{ac}/Au:N/C:C/I:P/A:N")
+                value = base_score(vector)
+                assert value == round(value, 1)
+
+    def test_unrounded_subscores_available(self):
+        vector = CvssVector.parse("AV:N/AC:M/Au:N/C:C/I:C/A:C")
+        raw = exploitability_subscore(vector, rounded=False)
+        assert raw == pytest.approx(20.0 * 1.0 * 0.61 * 0.704)

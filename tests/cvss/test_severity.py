@@ -1,0 +1,33 @@
+"""Tests for severity banding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cvss import Severity, severity_from_score
+from repro.errors import CvssError, ValidationError
+
+
+class TestBands:
+    @pytest.mark.parametrize("score", [0.0, 1.0, 3.9])
+    def test_low(self, score):
+        assert severity_from_score(score) is Severity.LOW
+
+    @pytest.mark.parametrize("score", [4.0, 5.5, 6.9])
+    def test_medium(self, score):
+        assert severity_from_score(score) is Severity.MEDIUM
+
+    @pytest.mark.parametrize("score", [7.0, 8.1, 10.0])
+    def test_high(self, score):
+        assert severity_from_score(score) is Severity.HIGH
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            severity_from_score(-0.1)
+
+    def test_rejects_above_ten(self):
+        with pytest.raises(CvssError):
+            severity_from_score(10.1)
+
+    def test_str(self):
+        assert str(Severity.HIGH) == "high"

@@ -1,0 +1,73 @@
+"""Tests for CVSS v2 vector parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cvss import CvssVector
+from repro.errors import CvssError
+
+
+class TestParsing:
+    def test_canonical_vector(self):
+        vector = CvssVector.parse("AV:N/AC:L/Au:N/C:C/I:C/A:C")
+        assert vector.access_vector == "N"
+        assert vector.access_complexity == "L"
+        assert vector.authentication == "N"
+        assert vector.conf_impact == "C"
+        assert vector.integ_impact == "C"
+        assert vector.avail_impact == "C"
+
+    def test_parenthesised_nvd_format(self):
+        vector = CvssVector.parse("(AV:L/AC:M/Au:S/C:P/I:N/A:N)")
+        assert vector.access_vector == "L"
+        assert vector.authentication == "S"
+
+    def test_cvss2_prefix(self):
+        vector = CvssVector.parse("CVSS2#AV:N/AC:H/Au:M/C:N/I:P/A:C")
+        assert vector.access_complexity == "H"
+
+    def test_roundtrip_to_string(self):
+        text = "AV:A/AC:M/Au:S/C:P/I:C/A:N"
+        assert CvssVector.parse(text).to_string() == text
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "AV:N/AC:L/Au:N/C:C/I:C",          # missing metric
+            "AV:N/AC:L/Au:N/C:C/I:C/A:C/E:F",  # extra metric
+            "AV:X/AC:L/Au:N/C:C/I:C/A:C",      # invalid level
+            "AV:N/AV:N/Au:N/C:C/I:C/A:C",      # duplicate metric
+            "AVN/AC:L/Au:N/C:C/I:C/A:C",       # malformed pair
+            "XX:N/AC:L/Au:N/C:C/I:C/A:C",      # unknown key
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(CvssError):
+            CvssVector.parse(bad)
+
+    def test_rejects_non_string(self):
+        with pytest.raises(CvssError):
+            CvssVector.parse(None)
+
+
+class TestWeights:
+    def test_network_access_weight(self):
+        vector = CvssVector.parse("AV:N/AC:L/Au:N/C:C/I:C/A:C")
+        assert vector.access_vector_weight == 1.0
+        assert vector.access_complexity_weight == 0.71
+        assert vector.authentication_weight == 0.704
+
+    def test_local_access_weight(self):
+        vector = CvssVector.parse("AV:L/AC:H/Au:M/C:N/I:P/A:C")
+        assert vector.access_vector_weight == 0.395
+        assert vector.access_complexity_weight == 0.35
+        assert vector.authentication_weight == 0.45
+        assert vector.conf_impact_weight == 0.0
+        assert vector.integ_impact_weight == 0.275
+        assert vector.avail_impact_weight == 0.660
+
+    def test_direct_construction_validates(self):
+        with pytest.raises(CvssError):
+            CvssVector("Q", "L", "N", "C", "C", "C")

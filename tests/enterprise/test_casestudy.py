@@ -1,0 +1,96 @@
+"""Tests for the paper's case study assembly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enterprise import RedundancyDesign, ServerRole, paper_case_study
+from repro.errors import ValidationError
+from repro.patching import MONTHLY, WEEKLY, NoPatchPolicy
+
+
+class TestRoleViews:
+    def test_role_vulnerability_counts(self, case_study):
+        assert len(case_study.role_vulnerabilities("dns")) == 3  # 1 CVE + 2 SYN
+        assert len(case_study.role_vulnerabilities("web")) == 5
+        assert len(case_study.role_vulnerabilities("app")) == 8  # 5 + 3 SYN
+        assert len(case_study.role_vulnerabilities("db")) == 8
+
+    def test_role_exploitable_counts(self, case_study):
+        expected = {"dns": 1, "web": 5, "app": 5, "db": 5}
+        for role, count in expected.items():
+            assert len(case_study.role_exploitable(role)) == count, role
+
+    def test_unknown_role_rejected(self, case_study):
+        with pytest.raises(ValidationError):
+            case_study.role_vulnerabilities("cache")
+
+
+class TestHarmConstruction:
+    def test_instances_expand_with_design(self, case_study):
+        design = RedundancyDesign({"dns": 1, "web": 3, "app": 1, "db": 1})
+        harm = case_study.build_harm(design)
+        assert harm.graph.number_of_hosts() == 6
+        for host in ("web1", "web2", "web3"):
+            assert harm.graph.has_host(host)
+
+    def test_replicas_share_tree_shape(self, case_study, example_design):
+        harm = case_study.build_harm(example_design)
+        assert (
+            harm.tree_for("web1").to_expression()
+            == harm.tree_for("web2").to_expression()
+        )
+
+    def test_design_with_unknown_role_rejected(self, case_study):
+        with pytest.raises(ValidationError):
+            case_study.build_harm(RedundancyDesign({"cache": 1}))
+
+    def test_no_patch_policy_equals_before(self, case_study, example_design):
+        before = case_study.build_harm(example_design)
+        unpatched = case_study.build_harm(example_design, NoPatchPolicy())
+        assert set(before.trees) == set(unpatched.trees)
+
+    def test_dns_drops_after_critical_patch(
+        self, case_study, example_design, critical_policy
+    ):
+        after = case_study.build_harm(example_design, critical_policy)
+        assert "dns1" not in after.trees
+        assert "web1" in after.trees
+
+
+class TestAvailabilityParameters:
+    def test_parameters_match_table_iv(self, case_study, critical_policy):
+        params = case_study.server_parameters("dns", critical_policy)
+        assert 60.0 / params.patch.service_patch == pytest.approx(5.0)
+        assert 60.0 / params.patch.os_patch == pytest.approx(20.0)
+        assert params.patch_interval_hours == 720.0
+
+    def test_schedule_override(self, critical_policy):
+        weekly = paper_case_study(schedule=WEEKLY)
+        params = weekly.server_parameters("dns", critical_policy)
+        assert params.patch_interval_hours == pytest.approx(168.0)
+
+    def test_with_schedule_copies(self, case_study):
+        weekly = case_study.with_schedule(WEEKLY)
+        assert weekly.schedule == WEEKLY
+        assert case_study.schedule == MONTHLY
+
+
+class TestValidationRules:
+    def test_topology_roles_need_definitions(self, case_study):
+        from repro.enterprise import EnterpriseCaseStudy, NetworkTopology
+
+        topology = NetworkTopology(["ghost"])
+        topology.add_entry_role("ghost")
+        topology.add_target_role("ghost")
+        with pytest.raises(ValidationError, match="ghost"):
+            EnterpriseCaseStudy(
+                roles={
+                    "web": ServerRole("web", "OS", "App"),
+                },
+                topology=topology,
+                database=case_study.database,
+            )
+
+    def test_attacker_description(self, case_study):
+        assert "db" in case_study.attacker.describe()

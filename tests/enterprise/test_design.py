@@ -1,0 +1,79 @@
+"""Tests for redundancy designs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enterprise import (
+    RedundancyDesign,
+    example_network_design,
+    paper_designs,
+)
+from repro.errors import ValidationError
+
+
+class TestDesign:
+    def test_counts_and_total(self):
+        design = RedundancyDesign({"dns": 1, "web": 2})
+        assert design.counts == {"dns": 1, "web": 2}
+        assert design.total_servers == 3
+
+    def test_label(self):
+        design = RedundancyDesign({"dns": 1, "web": 2, "app": 2, "db": 1})
+        assert design.label == "1 DNS + 2 WEB + 2 APP + 1 DB"
+
+    def test_instances(self):
+        design = RedundancyDesign({"web": 3})
+        assert design.instances("web") == ["web1", "web2", "web3"]
+
+    def test_all_instances(self):
+        design = RedundancyDesign({"dns": 1, "web": 2})
+        assert design.all_instances() == {
+            "dns1": "dns",
+            "web1": "web",
+            "web2": "web",
+        }
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValidationError):
+            RedundancyDesign({"dns": 0})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            RedundancyDesign({})
+
+    def test_unknown_role_count_rejected(self):
+        design = RedundancyDesign({"dns": 1})
+        with pytest.raises(ValidationError):
+            design.count_of("web")
+
+    def test_with_extra_replica(self):
+        design = RedundancyDesign({"dns": 1, "web": 1})
+        bigger = design.with_extra_replica("web")
+        assert bigger.count_of("web") == 2
+        assert design.count_of("web") == 1
+
+    def test_equality_and_hash(self):
+        a = RedundancyDesign({"dns": 1, "web": 2})
+        b = RedundancyDesign({"web": 2, "dns": 1})
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestPaperDesigns:
+    def test_five_designs_in_paper_order(self):
+        designs = paper_designs()
+        assert len(designs) == 5
+        assert designs[0].label == "1 DNS + 1 WEB + 1 APP + 1 DB"
+        assert designs[1].label == "2 DNS + 1 WEB + 1 APP + 1 DB"
+        assert designs[2].label == "1 DNS + 2 WEB + 1 APP + 1 DB"
+        assert designs[3].label == "1 DNS + 1 WEB + 2 APP + 1 DB"
+        assert designs[4].label == "1 DNS + 1 WEB + 1 APP + 2 DB"
+
+    def test_example_network(self):
+        assert example_network_design().counts == {
+            "dns": 1,
+            "web": 2,
+            "app": 2,
+            "db": 1,
+        }

@@ -1,0 +1,36 @@
+"""Tests for server roles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enterprise import ServerRole
+from repro.errors import ValidationError
+
+
+class TestServerRole:
+    def test_valid_role(self):
+        role = ServerRole("web", "RHEL", "Apache")
+        assert role.products == ("RHEL", "Apache")
+
+    def test_instance_names(self):
+        role = ServerRole("web", "RHEL", "Apache")
+        assert role.instance_name(1) == "web1"
+        assert role.instance_name(3) == "web3"
+
+    def test_instance_index_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            ServerRole("web", "RHEL", "Apache").instance_name(0)
+
+    def test_name_must_be_identifier(self):
+        with pytest.raises(ValidationError):
+            ServerRole("web server", "RHEL", "Apache")
+
+    def test_empty_products_rejected(self):
+        with pytest.raises(ValidationError):
+            ServerRole("web", "", "Apache")
+
+    def test_tree_spec_is_optional(self):
+        role = ServerRole("web", "RHEL", "Apache", attack_tree_spec=("CVE-1",))
+        assert role.attack_tree_spec == ("CVE-1",)
+        assert ServerRole("db", "OS", "App").attack_tree_spec is None

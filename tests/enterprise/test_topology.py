@@ -1,0 +1,69 @@
+"""Tests for role-level topology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enterprise import NetworkTopology
+from repro.errors import ValidationError
+
+
+@pytest.fixture
+def three_tier():
+    topology = NetworkTopology(["web", "app", "db"])
+    topology.add_entry_role("web")
+    topology.add_role_reachability("web", "app")
+    topology.add_role_reachability("app", "db")
+    topology.add_target_role("db")
+    return topology
+
+
+class TestConstruction:
+    def test_roles_registered(self, three_tier):
+        assert three_tier.roles == ["web", "app", "db"]
+
+    def test_duplicate_role_idempotent(self, three_tier):
+        three_tier.add_role("web")
+        assert three_tier.roles.count("web") == 1
+
+    def test_edges(self, three_tier):
+        assert three_tier.role_edges() == [("web", "app"), ("app", "db")]
+        assert three_tier.reachable_roles("web") == ["app"]
+
+    def test_unknown_role_in_edge_rejected(self, three_tier):
+        with pytest.raises(ValidationError):
+            three_tier.add_role_reachability("web", "cache")
+
+    def test_entry_and_targets(self, three_tier):
+        assert three_tier.entry_roles == ["web"]
+        assert three_tier.target_roles == ["db"]
+
+    def test_duplicate_entry_not_repeated(self, three_tier):
+        three_tier.add_entry_role("web")
+        assert three_tier.entry_roles == ["web"]
+
+
+class TestValidation:
+    def test_valid_topology_passes(self, three_tier):
+        three_tier.validate()
+
+    def test_missing_entry_rejected(self):
+        topology = NetworkTopology(["a"])
+        topology.add_target_role("a")
+        with pytest.raises(ValidationError, match="entry"):
+            topology.validate()
+
+    def test_missing_target_rejected(self):
+        topology = NetworkTopology(["a"])
+        topology.add_entry_role("a")
+        with pytest.raises(ValidationError, match="target"):
+            topology.validate()
+
+    def test_cycle_rejected(self, three_tier):
+        three_tier.add_role_reachability("db", "web")
+        with pytest.raises(ValidationError, match="cycle"):
+            three_tier.validate()
+
+    def test_empty_topology_rejected(self):
+        with pytest.raises(ValidationError):
+            NetworkTopology().validate()

@@ -1,0 +1,69 @@
+"""Tests for the experiment-bundle writer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.artifacts import write_experiment_bundle
+
+
+@pytest.fixture(scope="module")
+def bundle(tmp_path_factory, case_study, critical_policy):
+    directory = tmp_path_factory.mktemp("bundle")
+    paths = write_experiment_bundle(
+        directory, case_study=case_study, policy=critical_policy
+    )
+    return directory, paths
+
+
+class TestBundle:
+    def test_ten_artifacts_written(self, bundle):
+        _, paths = bundle
+        assert len(paths) == 10
+        for path in paths:
+            assert path.exists()
+            assert path.stat().st_size > 0
+
+    def test_expected_files(self, bundle):
+        directory, _ = bundle
+        names = {p.name for p in directory.iterdir()}
+        assert "table2_security_metrics.txt" in names
+        assert "table5_aggregated_rates.txt" in names
+        assert "design_comparison.csv" in names
+        assert "design_selections.txt" in names
+
+    def test_headers_name_the_experiment(self, bundle):
+        directory, _ = bundle
+        text = (directory / "table2_security_metrics.txt").read_text()
+        assert text.startswith("# Table II")
+
+    def test_selections_content(self, bundle):
+        directory, _ = bundle
+        text = (directory / "design_selections.txt").read_text()
+        assert "Eq.3 region 1: 1 DNS + 1 WEB + 2 APP + 1 DB" in text
+        assert "Eq.4 region 2: 2 DNS + 1 WEB + 1 APP + 1 DB" in text
+
+    def test_coa_value_present(self, bundle):
+        directory, _ = bundle
+        text = (directory / "table6_coa.txt").read_text()
+        assert "0.99707" in text
+
+    def test_csv_parses(self, bundle):
+        directory, _ = bundle
+        lines = [
+            line
+            for line in (directory / "design_comparison.csv")
+            .read_text()
+            .splitlines()
+            if line
+        ]
+        # header comment, CSV header, five design rows
+        assert len(lines) == 7
+        assert lines[1] == "design,AIM,ASP,NoEV,NoAP,NoEP,COA"
+
+    def test_idempotent_overwrite(self, bundle, case_study, critical_policy):
+        directory, _ = bundle
+        again = write_experiment_bundle(
+            directory, case_study=case_study, policy=critical_policy
+        )
+        assert len(again) == 10

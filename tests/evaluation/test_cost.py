@@ -1,0 +1,58 @@
+"""Tests for the operational-cost extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.evaluation.cost import CostBreakdown, CostModel
+
+
+class TestCostModel:
+    def test_breakdown_items(self, design_evaluations):
+        model = CostModel(
+            server_cost_per_month=100.0,
+            downtime_cost_per_hour=1000.0,
+            breach_loss=10000.0,
+            patch_labour_cost=10.0,
+        )
+        evaluation = design_evaluations[0]  # 4 servers
+        breakdown = model.breakdown(evaluation, patched_vulnerabilities=9)
+        assert breakdown.servers == pytest.approx(400.0)
+        assert breakdown.patch_labour == pytest.approx(90.0)
+        assert breakdown.downtime == pytest.approx(
+            (1.0 - evaluation.after.coa) * 1000.0 * 720.0
+        )
+        assert breakdown.breach_risk == pytest.approx(
+            evaluation.after.security.attack_success_probability * 10000.0
+        )
+        assert breakdown.total == pytest.approx(
+            breakdown.servers
+            + breakdown.downtime
+            + breakdown.breach_risk
+            + breakdown.patch_labour
+        )
+
+    def test_total_helper(self, design_evaluations):
+        model = CostModel()
+        evaluation = design_evaluations[0]
+        assert model.total(evaluation) == pytest.approx(
+            model.breakdown(evaluation).total
+        )
+
+    def test_redundancy_tradeoff_visible(self, design_evaluations):
+        """More servers cost more in hardware but less in downtime."""
+        model = CostModel(breach_loss=0.0, patch_labour_cost=0.0)
+        d1 = model.breakdown(design_evaluations[0])
+        d4 = model.breakdown(design_evaluations[3])
+        assert d4.servers > d1.servers
+        assert d4.downtime < d1.downtime
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            CostModel(server_cost_per_month=-1.0)
+
+    def test_breakdown_is_frozen(self):
+        breakdown = CostBreakdown(1.0, 2.0, 3.0, 4.0)
+        with pytest.raises(AttributeError):
+            breakdown.servers = 9.0

@@ -1,0 +1,114 @@
+"""Tests for report tables and chart data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.evaluation.charts import (
+    RADAR_METRICS,
+    radar_data,
+    render_radar_table,
+    render_scatter,
+    scatter_data,
+    to_csv,
+)
+from repro.evaluation.report import (
+    aggregated_rates_table,
+    design_comparison_table,
+    format_table,
+    security_metrics_table,
+    vulnerability_table,
+)
+from repro.evaluation.security import SecurityEvaluator
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(("a", "long"), [("x", 1), ("yy", 22)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a ")
+        assert all(len(line) <= len(lines[0]) + 6 for line in lines)
+
+
+class TestReportTables:
+    def test_vulnerability_table_lists_table_i(self, case_study):
+        text = vulnerability_table(case_study)
+        assert "CVE-2016-3227" in text
+        assert "CVE-2016-6662" in text
+        assert "critical" in text
+
+    def test_security_metrics_table(self, case_study, example_design, critical_policy):
+        evaluator = SecurityEvaluator(case_study)
+        text = security_metrics_table(
+            evaluator.before_patch(example_design),
+            evaluator.after_patch(example_design, critical_policy),
+        )
+        assert "52.2" in text
+        assert "42.2" in text
+        assert "before patch" in text
+
+    def test_aggregated_rates_table(self, availability_evaluator, example_design):
+        aggregates = availability_evaluator.aggregates_for(example_design)
+        text = aggregated_rates_table(aggregates)
+        assert "720" in text
+        assert "1.71" in text  # web recovery rate
+
+    def test_design_comparison_table(self, design_evaluations):
+        text = design_comparison_table(design_evaluations)
+        assert "1 DNS + 1 WEB + 2 APP + 1 DB" in text
+        assert "COA" in text
+
+
+class TestScatter:
+    def test_scatter_points(self, design_evaluations):
+        points = scatter_data(design_evaluations, after_patch=True)
+        assert len(points) == 5
+        assert all(0.0 <= p.asp <= 1.0 for p in points)
+
+    def test_before_patch_asp_is_one(self, design_evaluations):
+        points = scatter_data(design_evaluations, after_patch=False)
+        assert all(p.asp == 1.0 for p in points)
+
+    def test_render_scatter_contains_markers(self, design_evaluations):
+        text = render_scatter(scatter_data(design_evaluations))
+        for marker in "ABCDE":
+            assert marker in text
+
+    def test_render_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            render_scatter([])
+
+
+class TestRadar:
+    def test_radar_axes(self, design_evaluations):
+        series = radar_data(design_evaluations)
+        assert len(series) == 5
+        for entry in series:
+            assert set(entry.values) == set(RADAR_METRICS)
+            for metric, value in entry.normalised.items():
+                assert 0.0 <= value <= 1.0, metric
+
+    def test_constant_axis_normalises_to_one(self, design_evaluations):
+        series = radar_data(design_evaluations, after_patch=True)
+        # AIM is 42.2 for every design after patch
+        assert all(entry.normalised["AIM"] == 1.0 for entry in series)
+
+    def test_radar_table_rendering(self, design_evaluations):
+        text = render_radar_table(radar_data(design_evaluations))
+        assert "NoEV" in text
+        assert "2 DNS + 1 WEB + 1 APP + 1 DB" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            radar_data([])
+
+
+class TestCsv:
+    def test_csv_shape(self, design_evaluations):
+        text = to_csv(design_evaluations)
+        lines = text.strip().splitlines()
+        assert lines[0] == "design,AIM,ASP,NoEV,NoAP,NoEP,COA"
+        assert len(lines) == 6
+        assert lines[1].startswith('"1 DNS + 1 WEB + 1 APP + 1 DB",')

@@ -1,0 +1,96 @@
+"""Tests for the Eq. (3)/(4) requirement functions and paper regions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.evaluation import (
+    MultiMetricRequirement,
+    TwoMetricRequirement,
+    satisfying_designs,
+)
+from repro.evaluation.requirements import (
+    PAPER_REGION_1_MULTI_METRIC,
+    PAPER_REGION_1_TWO_METRIC,
+    PAPER_REGION_2_MULTI_METRIC,
+    PAPER_REGION_2_TWO_METRIC,
+)
+
+
+class TestPaperRegions:
+    """Section IV: the exact design selections published in the paper."""
+
+    def test_eq3_region_1_selects_d4_and_d5(self, design_evaluations):
+        selected = satisfying_designs(design_evaluations, PAPER_REGION_1_TWO_METRIC)
+        assert [e.label for e in selected] == [
+            "1 DNS + 1 WEB + 2 APP + 1 DB",
+            "1 DNS + 1 WEB + 1 APP + 2 DB",
+        ]
+
+    def test_eq3_region_2_selects_d2(self, design_evaluations):
+        selected = satisfying_designs(design_evaluations, PAPER_REGION_2_TWO_METRIC)
+        assert [e.label for e in selected] == ["2 DNS + 1 WEB + 1 APP + 1 DB"]
+
+    def test_eq4_region_1_selects_d4(self, design_evaluations):
+        selected = satisfying_designs(
+            design_evaluations, PAPER_REGION_1_MULTI_METRIC
+        )
+        assert [e.label for e in selected] == ["1 DNS + 1 WEB + 2 APP + 1 DB"]
+
+    def test_eq4_region_2_selects_d2(self, design_evaluations):
+        selected = satisfying_designs(
+            design_evaluations, PAPER_REGION_2_MULTI_METRIC
+        )
+        assert [e.label for e in selected] == ["2 DNS + 1 WEB + 1 APP + 1 DB"]
+
+    def test_before_patch_nothing_satisfies_region_1(self, design_evaluations):
+        """Before patch every design has ASP = 1.0 > 0.2."""
+        selected = satisfying_designs(
+            design_evaluations, PAPER_REGION_1_TWO_METRIC, after_patch=False
+        )
+        assert selected == []
+
+
+class TestRequirementSemantics:
+    def test_two_metric_bounds_inclusive(self, design_evaluations):
+        snapshot = design_evaluations[3].after  # D4
+        exact = TwoMetricRequirement(
+            asp_upper=snapshot.security.attack_success_probability,
+            coa_lower=snapshot.coa,
+        )
+        assert exact.satisfied_by(snapshot)
+
+    def test_two_metric_asp_violation(self, design_evaluations):
+        snapshot = design_evaluations[3].after
+        tight = TwoMetricRequirement(asp_upper=0.01, coa_lower=0.0)
+        assert not tight.satisfied_by(snapshot)
+
+    def test_two_metric_coa_violation(self, design_evaluations):
+        snapshot = design_evaluations[3].after
+        tight = TwoMetricRequirement(asp_upper=1.0, coa_lower=0.9999)
+        assert not tight.satisfied_by(snapshot)
+
+    def test_multi_metric_each_bound_matters(self, design_evaluations):
+        snapshot = design_evaluations[4].after  # D5: NoEV=10
+        loose = MultiMetricRequirement(1.0, 10, 10, 10, 0.0)
+        assert loose.satisfied_by(snapshot)
+        for field, value in [
+            ("asp_upper", 0.0),
+            ("noev_upper", 9),
+            ("noap_upper", 1),
+            ("noep_upper", 0),
+            ("coa_lower", 1.0),
+        ]:
+            bounds = dict(
+                asp_upper=1.0, noev_upper=10, noap_upper=10, noep_upper=10,
+                coa_lower=0.0,
+            )
+            bounds[field] = value
+            assert not MultiMetricRequirement(**bounds).satisfied_by(snapshot), field
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValidationError):
+            TwoMetricRequirement(asp_upper=1.5, coa_lower=0.5)
+        with pytest.raises(ValidationError):
+            MultiMetricRequirement(0.5, -1, 1, 1, 0.5)

@@ -1,0 +1,124 @@
+"""Tests for the DiGraph substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import DiGraph
+
+
+@pytest.fixture
+def diamond():
+    graph = DiGraph()
+    graph.add_edge("a", "b")
+    graph.add_edge("a", "c")
+    graph.add_edge("b", "d")
+    graph.add_edge("c", "d")
+    return graph
+
+
+class TestConstruction:
+    def test_add_node_is_idempotent(self):
+        graph = DiGraph()
+        graph.add_node("x", color="red")
+        graph.add_node("x", size=2)
+        assert graph.number_of_nodes() == 1
+        assert graph.node_attrs("x") == {"color": "red", "size": 2}
+
+    def test_add_edge_creates_endpoints(self):
+        graph = DiGraph()
+        graph.add_edge("a", "b")
+        assert graph.has_node("a") and graph.has_node("b")
+
+    def test_add_edge_merges_attributes(self):
+        graph = DiGraph()
+        graph.add_edge("a", "b", weight=1.0)
+        graph.add_edge("a", "b", label="x")
+        assert graph.number_of_edges() == 1
+        assert graph.edge_attrs("a", "b") == {"weight": 1.0, "label": "x"}
+
+    def test_add_nodes_bulk(self):
+        graph = DiGraph()
+        graph.add_nodes(["a", "b", "c"])
+        assert graph.nodes() == ["a", "b", "c"]
+
+    def test_nodes_keep_insertion_order(self):
+        graph = DiGraph()
+        for name in ["z", "m", "a"]:
+            graph.add_node(name)
+        assert graph.nodes() == ["z", "m", "a"]
+
+
+class TestQueries:
+    def test_degrees(self, diamond):
+        assert diamond.out_degree("a") == 2
+        assert diamond.in_degree("d") == 2
+        assert diamond.in_degree("a") == 0
+
+    def test_successors_predecessors(self, diamond):
+        assert diamond.successors("a") == ["b", "c"]
+        assert diamond.predecessors("d") == ["b", "c"]
+
+    def test_contains_and_len(self, diamond):
+        assert "a" in diamond
+        assert "zz" not in diamond
+        assert len(diamond) == 4
+
+    def test_edges_listing(self, diamond):
+        assert set(diamond.edges()) == {("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")}
+
+    def test_unknown_node_raises(self, diamond):
+        with pytest.raises(GraphError):
+            diamond.successors("nope")
+
+    def test_unknown_edge_attrs_raises(self, diamond):
+        with pytest.raises(GraphError):
+            diamond.edge_attrs("a", "d")
+
+
+class TestMutation:
+    def test_remove_edge(self, diamond):
+        diamond.remove_edge("a", "b")
+        assert not diamond.has_edge("a", "b")
+        assert diamond.has_node("b")
+
+    def test_remove_missing_edge_raises(self, diamond):
+        with pytest.raises(GraphError):
+            diamond.remove_edge("d", "a")
+
+    def test_remove_node_removes_incident_edges(self, diamond):
+        diamond.remove_node("b")
+        assert not diamond.has_node("b")
+        assert diamond.successors("a") == ["c"]
+        assert diamond.predecessors("d") == ["c"]
+
+    def test_remove_unknown_node_raises(self, diamond):
+        with pytest.raises(GraphError):
+            diamond.remove_node("zz")
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self, diamond):
+        clone = diamond.copy()
+        clone.remove_node("d")
+        assert diamond.has_node("d")
+        assert not clone.has_node("d")
+
+    def test_subgraph_induces_edges(self, diamond):
+        sub = diamond.subgraph(["a", "b", "d"])
+        assert set(sub.edges()) == {("a", "b"), ("b", "d")}
+
+    def test_reversed_flips_edges(self, diamond):
+        rev = diamond.reversed()
+        assert rev.has_edge("b", "a")
+        assert rev.has_edge("d", "c")
+        assert not rev.has_edge("a", "b")
+
+    def test_subgraph_keeps_attributes(self):
+        graph = DiGraph()
+        graph.add_node("a", kind="host")
+        graph.add_edge("a", "b", weight=3)
+        sub = graph.subgraph(["a", "b"])
+        assert sub.node_attrs("a") == {"kind": "host"}
+        assert sub.edge_attrs("a", "b") == {"weight": 3}

@@ -1,0 +1,117 @@
+"""Tests for simple-path enumeration, cross-checked against networkx."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import DiGraph, all_simple_paths, count_simple_paths
+
+
+def _paper_upper_layer():
+    """The example network's upper layer: A -> dns/web -> app -> db."""
+    graph = DiGraph()
+    graph.add_edge("A", "dns1")
+    for web in ("web1", "web2"):
+        graph.add_edge("A", web)
+        graph.add_edge("dns1", web)
+        for app in ("app1", "app2"):
+            graph.add_edge(web, app)
+            graph.add_edge(app, "db1")
+    return graph
+
+
+class TestAllSimplePaths:
+    def test_single_path(self):
+        graph = DiGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        assert list(all_simple_paths(graph, "a", "c")) == [["a", "b", "c"]]
+
+    def test_paper_network_has_eight_paths(self):
+        graph = _paper_upper_layer()
+        assert count_simple_paths(graph, "A", "db1") == 8
+
+    def test_paths_are_simple(self):
+        graph = DiGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "a")
+        graph.add_edge("b", "c")
+        paths = list(all_simple_paths(graph, "a", "c"))
+        assert paths == [["a", "b", "c"]]
+
+    def test_source_equals_target(self):
+        graph = DiGraph()
+        graph.add_node("a")
+        assert list(all_simple_paths(graph, "a", "a")) == [["a"]]
+
+    def test_multiple_targets(self):
+        graph = DiGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("a", "c")
+        paths = list(all_simple_paths(graph, "a", ["b", "c"]))
+        assert sorted(tuple(p) for p in paths) == [("a", "b"), ("a", "c")]
+
+    def test_max_length_bound(self):
+        graph = DiGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        graph.add_edge("a", "c")
+        assert count_simple_paths(graph, "a", "c", max_length=1) == 1
+        assert count_simple_paths(graph, "a", "c", max_length=2) == 2
+
+    def test_unknown_source_raises(self):
+        graph = DiGraph()
+        graph.add_node("a")
+        with pytest.raises(GraphError):
+            list(all_simple_paths(graph, "zz", "a"))
+
+    def test_unknown_target_raises(self):
+        graph = DiGraph()
+        graph.add_node("a")
+        with pytest.raises(GraphError):
+            list(all_simple_paths(graph, "a", "zz"))
+
+    def test_no_path_yields_nothing(self):
+        graph = DiGraph()
+        graph.add_node("a")
+        graph.add_node("b")
+        assert list(all_simple_paths(graph, "a", "b")) == []
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_matches_networkx_on_random_dags(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        n = 9
+        ours = DiGraph()
+        theirs = nx.DiGraph()
+        for node in range(n):
+            ours.add_node(node)
+            theirs.add_node(node)
+        for src in range(n):
+            for dst in range(src + 1, n):
+                if rng.random() < 0.4:
+                    ours.add_edge(src, dst)
+                    theirs.add_edge(src, dst)
+        expected = sorted(
+            tuple(p) for p in nx.all_simple_paths(theirs, 0, n - 1)
+        )
+        # networkx excludes the trivial path when source == target, and
+        # yields nothing when no path exists; both match our semantics
+        # for distinct endpoints.
+        actual = sorted(tuple(p) for p in all_simple_paths(ours, 0, n - 1))
+        assert actual == expected
+
+    def test_matches_networkx_on_cyclic_graph(self):
+        edges = [(0, 1), (1, 2), (2, 0), (1, 3), (2, 3), (3, 4), (0, 4)]
+        ours = DiGraph()
+        theirs = nx.DiGraph()
+        ours.add_edges(edges)
+        theirs.add_edges_from(edges)
+        expected = sorted(tuple(p) for p in nx.all_simple_paths(theirs, 0, 4))
+        actual = sorted(tuple(p) for p in all_simple_paths(ours, 0, 4))
+        assert actual == expected

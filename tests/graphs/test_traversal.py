@@ -1,0 +1,99 @@
+"""Tests for graph traversal utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    DiGraph,
+    bfs_order,
+    dfs_order,
+    has_cycle,
+    reachable_from,
+    reaches,
+    topological_sort,
+)
+
+
+@pytest.fixture
+def chain_with_branch():
+    graph = DiGraph()
+    graph.add_edge("a", "b")
+    graph.add_edge("b", "c")
+    graph.add_edge("a", "d")
+    graph.add_node("isolated")
+    return graph
+
+
+class TestBfsDfs:
+    def test_bfs_level_order(self, chain_with_branch):
+        assert bfs_order(chain_with_branch, "a") == ["a", "b", "d", "c"]
+
+    def test_dfs_preorder(self, chain_with_branch):
+        assert dfs_order(chain_with_branch, "a") == ["a", "b", "c", "d"]
+
+    def test_unknown_source_raises(self, chain_with_branch):
+        with pytest.raises(GraphError):
+            bfs_order(chain_with_branch, "zz")
+        with pytest.raises(GraphError):
+            dfs_order(chain_with_branch, "zz")
+
+    def test_single_node(self):
+        graph = DiGraph()
+        graph.add_node("only")
+        assert bfs_order(graph, "only") == ["only"]
+
+
+class TestReachability:
+    def test_reachable_from_single(self, chain_with_branch):
+        assert reachable_from(chain_with_branch, "b") == {"b", "c"}
+
+    def test_reachable_from_multiple_sources(self, chain_with_branch):
+        assert reachable_from(chain_with_branch, ["b", "d"]) == {"b", "c", "d"}
+
+    def test_isolated_not_reachable(self, chain_with_branch):
+        assert "isolated" not in reachable_from(chain_with_branch, "a")
+
+    def test_reaches(self, chain_with_branch):
+        assert reaches(chain_with_branch, "a", "c")
+        assert not reaches(chain_with_branch, "c", "a")
+
+
+class TestCyclesAndTopologicalSort:
+    def test_acyclic_graph(self, chain_with_branch):
+        assert not has_cycle(chain_with_branch)
+
+    def test_cycle_detected(self):
+        graph = DiGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "a")
+        assert has_cycle(graph)
+
+    def test_self_loop_is_cycle(self):
+        graph = DiGraph()
+        graph.add_edge("a", "a")
+        assert has_cycle(graph)
+
+    def test_topological_order_respects_edges(self, chain_with_branch):
+        order = topological_sort(chain_with_branch)
+        position = {node: i for i, node in enumerate(order)}
+        for src, dst in chain_with_branch.edges():
+            assert position[src] < position[dst]
+
+    def test_topological_sort_raises_on_cycle(self):
+        graph = DiGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        graph.add_edge("c", "a")
+        with pytest.raises(GraphError, match="cycle"):
+            topological_sort(graph)
+
+    def test_topological_sort_covers_isolated(self, chain_with_branch):
+        assert set(topological_sort(chain_with_branch)) == {
+            "a",
+            "b",
+            "c",
+            "d",
+            "isolated",
+        }

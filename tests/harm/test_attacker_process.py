@@ -1,0 +1,120 @@
+"""Tests for the MTTC attacker process."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attackgraph import AttackGraph
+from repro.attacktree import AttackTree
+from repro.attacktree.nodes import LeafNode
+from repro.errors import HarmError
+from repro.harm import Harm
+from repro.harm.attacker_process import attacker_chain, mean_time_to_compromise
+from repro.patching import CriticalVulnerabilityPolicy
+
+
+def tree(name: str, probability=1.0, impact=10.0):
+    return AttackTree.single(LeafNode(name, impact, probability))
+
+
+def chain_harm(probabilities):
+    """attacker -> h0 -> h1 -> ... -> target, with given host ASPs."""
+    graph = AttackGraph()
+    hosts = [f"h{i}" for i in range(len(probabilities))]
+    graph.add_entry_point(hosts[0])
+    for src, dst in zip(hosts, hosts[1:]):
+        graph.add_reachability(src, dst)
+    graph.add_target(hosts[-1])
+    trees = {
+        host: tree(f"v-{host}", probability=p)
+        for host, p in zip(hosts, probabilities)
+    }
+    return Harm(graph, trees)
+
+
+class TestChainTopologies:
+    def test_single_hop_certain_exploit(self):
+        harm = chain_harm([1.0])
+        assert mean_time_to_compromise(harm, exploit_rate=2.0) == pytest.approx(0.5)
+
+    def test_sequential_hops_add_expectations(self):
+        harm = chain_harm([1.0, 0.5, 0.25])
+        # E = 1/1 + 1/0.5 + 1/0.25 = 7 at unit exploit rate
+        assert mean_time_to_compromise(harm) == pytest.approx(7.0)
+
+    def test_exploit_rate_scales_linearly(self):
+        harm = chain_harm([0.5, 0.5])
+        slow = mean_time_to_compromise(harm, exploit_rate=1.0)
+        fast = mean_time_to_compromise(harm, exploit_rate=4.0)
+        assert slow == pytest.approx(4.0 * fast)
+
+    def test_parallel_paths_race(self):
+        """Two disjoint one-hop paths halve the expected time."""
+        graph = AttackGraph(targets=["t1", "t2"])
+        for target in ("t1", "t2"):
+            graph.add_entry_point(target)
+        harm = Harm(graph, {"t1": tree("a", 1.0), "t2": tree("b", 1.0)})
+        assert mean_time_to_compromise(harm) == pytest.approx(0.5)
+
+    def test_dead_end_branch_is_pruned(self):
+        graph = AttackGraph(targets=["db"])
+        graph.add_entry_point("web")
+        graph.add_reachability("web", "db")
+        graph.add_reachability("web", "deadend")
+        harm = Harm(
+            graph,
+            {
+                "web": tree("v1", 1.0),
+                "db": tree("v2", 1.0),
+                "deadend": tree("v3", 1.0),
+            },
+        )
+        # the dead end never delays nor absorbs the attacker
+        assert mean_time_to_compromise(harm) == pytest.approx(2.0)
+        assert "deadend" not in attacker_chain(harm).states
+
+    def test_unreachable_target_raises(self):
+        graph = AttackGraph(targets=["db"])
+        graph.add_entry_point("web")
+        harm = Harm(graph, {"web": tree("v1"), "db": tree("v2")})
+        with pytest.raises(HarmError):
+            mean_time_to_compromise(harm)
+
+    def test_fully_patched_surface_raises(self):
+        graph = AttackGraph(targets=["db"])
+        graph.add_entry_point("db")
+        harm = Harm(graph, {"db": tree("v")})
+        patched = harm.after_patching({"db": ["v"]})
+        with pytest.raises(HarmError):
+            mean_time_to_compromise(patched)
+
+
+class TestOnThePaperNetwork:
+    def test_patching_slows_the_attacker(
+        self, case_study, example_design, critical_policy
+    ):
+        before = mean_time_to_compromise(case_study.build_harm(example_design))
+        after = mean_time_to_compromise(
+            case_study.build_harm(example_design, critical_policy)
+        )
+        assert after > before
+
+    def test_redundancy_speeds_the_attacker(self, case_study, five_designs):
+        policy = CriticalVulnerabilityPolicy()
+        d1 = mean_time_to_compromise(
+            case_study.build_harm(five_designs[0], policy)
+        )
+        d3 = mean_time_to_compromise(
+            case_study.build_harm(five_designs[2], policy)  # 2 WEB
+        )
+        assert d3 < d1
+
+    def test_dns_redundancy_neutral_after_patch(self, case_study, five_designs):
+        policy = CriticalVulnerabilityPolicy()
+        d1 = mean_time_to_compromise(
+            case_study.build_harm(five_designs[0], policy)
+        )
+        d2 = mean_time_to_compromise(
+            case_study.build_harm(five_designs[1], policy)  # 2 DNS
+        )
+        assert d2 == pytest.approx(d1)

@@ -1,0 +1,96 @@
+"""Tests for HARM construction from vulnerability descriptions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HarmError
+from repro.harm import build_harm
+from repro.vulnerability import SoftwareLayer, Vulnerability
+
+FULL = "AV:N/AC:L/Au:N/C:C/I:C/A:C"
+LOCAL = "AV:L/AC:L/Au:N/C:C/I:C/A:C"
+
+
+def vuln(cve, product="P", exploitable=True, vector=FULL):
+    return Vulnerability(cve, product, SoftwareLayer.APPLICATION, vector, exploitable)
+
+
+class TestBuildHarm:
+    def test_basic_two_host_network(self):
+        harm = build_harm(
+            {"web": [vuln("CVE-A")], "db": [vuln("CVE-B")]},
+            reachability=[("web", "db")],
+            entry_hosts=["web"],
+            targets=["db"],
+        )
+        surface = harm.attack_surface()
+        assert surface.number_of_attack_paths() == 1
+        assert harm.tree_for("web").leaf_names() == ["CVE-A"]
+
+    def test_unexploitable_host_gets_no_tree(self):
+        harm = build_harm(
+            {
+                "web": [vuln("CVE-A")],
+                "db": [vuln("CVE-B", exploitable=False)],
+            },
+            reachability=[("web", "db")],
+            entry_hosts=["web"],
+            targets=["db"],
+        )
+        assert "db" not in harm.trees
+        assert harm.attack_surface().number_of_attack_paths() == 0
+
+    def test_tree_spec_shapes_the_tree(self):
+        harm = build_harm(
+            {
+                "web": [vuln("CVE-A"), vuln("CVE-B", vector=LOCAL)],
+                "db": [vuln("CVE-C")],
+            },
+            reachability=[("web", "db")],
+            entry_hosts=["web"],
+            targets=["db"],
+            tree_specs={"web": [("CVE-A", "CVE-B")]},
+        )
+        assert harm.tree_for("web").to_expression() == "(CVE-A & CVE-B)"
+
+    def test_spec_with_unknown_cve_raises(self):
+        with pytest.raises(HarmError, match="unknown vulnerabilities"):
+            build_harm(
+                {"web": [vuln("CVE-A")], "db": [vuln("CVE-C")]},
+                reachability=[("web", "db")],
+                entry_hosts=["web"],
+                targets=["db"],
+                tree_specs={"web": ["CVE-A", "CVE-ZZ"]},
+            )
+
+    def test_spec_naming_unexploitable_cve_raises(self):
+        with pytest.raises(HarmError):
+            build_harm(
+                {
+                    "web": [vuln("CVE-A"), vuln("CVE-B", exploitable=False)],
+                    "db": [vuln("CVE-C")],
+                },
+                reachability=[("web", "db")],
+                entry_hosts=["web"],
+                targets=["db"],
+                tree_specs={"web": ["CVE-A", "CVE-B"]},
+            )
+
+    def test_entry_host_without_vulnerability_entry_raises(self):
+        with pytest.raises(HarmError, match="entry host"):
+            build_harm(
+                {"db": [vuln("CVE-B")]},
+                reachability=[],
+                entry_hosts=["web"],
+                targets=["db"],
+            )
+
+    def test_flat_or_is_default(self):
+        harm = build_harm(
+            {"web": [vuln("CVE-A"), vuln("CVE-B", vector=LOCAL)], "db": [vuln("CVE-C")]},
+            reachability=[("web", "db")],
+            entry_hosts=["web"],
+            targets=["db"],
+        )
+        assert harm.tree_for("web").to_expression() == "(CVE-A | CVE-B)"

@@ -1,0 +1,128 @@
+"""Tests for HARM security metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attackgraph import AttackGraph
+from repro.attacktree import AttackTree
+from repro.attacktree.nodes import LeafNode
+from repro.harm import Harm, PathAggregation, evaluate_security
+
+
+def tree(name: str, impact=10.0, probability=1.0):
+    return AttackTree.single(LeafNode(name, impact, probability))
+
+
+@pytest.fixture
+def two_path_harm():
+    """A -> web1/web2 -> db, each host one vulnerability (p=0.5)."""
+    graph = AttackGraph(targets=["db"])
+    for web in ("web1", "web2"):
+        graph.add_entry_point(web)
+        graph.add_reachability(web, "db")
+    return Harm(
+        graph,
+        {
+            "web1": tree("v1", impact=3.0, probability=0.5),
+            "web2": tree("v2", impact=7.0, probability=0.5),
+            "db": tree("v3", impact=10.0, probability=0.5),
+        },
+    )
+
+
+class TestPathMetrics:
+    def test_attack_impact_is_max_path_sum(self, two_path_harm):
+        metrics = evaluate_security(two_path_harm)
+        assert metrics.attack_impact == pytest.approx(17.0)  # web2 + db
+
+    def test_path_probabilities_multiply(self, two_path_harm):
+        metrics = evaluate_security(two_path_harm)
+        assert sorted(metrics.path_probabilities) == [
+            pytest.approx(0.25),
+            pytest.approx(0.25),
+        ]
+
+    def test_worst_case_network_asp(self, two_path_harm):
+        metrics = evaluate_security(
+            two_path_harm, aggregation=PathAggregation.WORST_CASE
+        )
+        assert metrics.attack_success_probability == pytest.approx(0.25)
+
+    def test_independent_paths_network_asp(self, two_path_harm):
+        metrics = evaluate_security(
+            two_path_harm, aggregation=PathAggregation.INDEPENDENT_PATHS
+        )
+        assert metrics.attack_success_probability == pytest.approx(
+            1 - (1 - 0.25) ** 2
+        )
+
+    def test_independent_paths_at_least_worst_case(self, two_path_harm):
+        worst = evaluate_security(
+            two_path_harm, aggregation=PathAggregation.WORST_CASE
+        )
+        independent = evaluate_security(
+            two_path_harm, aggregation=PathAggregation.INDEPENDENT_PATHS
+        )
+        assert (
+            independent.attack_success_probability
+            >= worst.attack_success_probability
+        )
+
+
+class TestCountMetrics:
+    def test_counts(self, two_path_harm):
+        metrics = evaluate_security(two_path_harm)
+        assert metrics.number_of_exploitable_vulnerabilities == 3
+        assert metrics.number_of_attack_paths == 2
+        assert metrics.number_of_entry_points == 2
+        assert metrics.unique_cve_count == 3
+
+    def test_as_dict_keys(self, two_path_harm):
+        assert set(evaluate_security(two_path_harm).as_dict()) == {
+            "AIM",
+            "ASP",
+            "NoEV",
+            "NoAP",
+            "NoEP",
+        }
+
+    def test_extras(self, two_path_harm):
+        metrics = evaluate_security(two_path_harm)
+        assert metrics.shortest_attack_path == 2
+        assert metrics.mean_path_length == pytest.approx(2.0)
+        assert metrics.max_path_probability == pytest.approx(0.25)
+        assert metrics.total_risk == pytest.approx(0.25 * 13.0 + 0.25 * 17.0)
+
+
+class TestDegenerateCases:
+    def test_unreachable_target(self):
+        graph = AttackGraph(targets=["db"])
+        graph.add_entry_point("web")
+        harm = Harm(graph, {"web": tree("v1"), "db": tree("v2")})
+        metrics = evaluate_security(harm)
+        assert metrics.number_of_attack_paths == 0
+        assert metrics.attack_success_probability == 0.0
+        assert metrics.attack_impact == 0.0
+
+    def test_fully_patched_network(self):
+        graph = AttackGraph(targets=["db"])
+        graph.add_entry_point("web")
+        graph.add_reachability("web", "db")
+        harm = Harm(graph, {"web": None, "db": None})
+        metrics = evaluate_security(harm)
+        assert metrics.number_of_exploitable_vulnerabilities == 0
+        assert metrics.number_of_attack_paths == 0
+        assert metrics.number_of_entry_points == 0
+
+    def test_target_unexploitable_breaks_paths(self):
+        graph = AttackGraph(targets=["db"])
+        graph.add_entry_point("web")
+        graph.add_reachability("web", "db")
+        harm = Harm(graph, {"web": tree("v1"), "db": None})
+        metrics = evaluate_security(harm)
+        assert metrics.number_of_attack_paths == 0
+
+    def test_max_path_length_bounds_enumeration(self, two_path_harm):
+        metrics = evaluate_security(two_path_harm, max_path_length=1)
+        assert metrics.number_of_attack_paths == 0

@@ -1,0 +1,82 @@
+"""Tests for the HARM container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attackgraph import AttackGraph
+from repro.attacktree import AttackTree
+from repro.attacktree.nodes import LeafNode
+from repro.errors import HarmError
+from repro.harm import Harm
+
+
+def tree(name: str, impact=10.0, probability=1.0):
+    return AttackTree.single(LeafNode(name, impact, probability))
+
+
+@pytest.fixture
+def small_harm():
+    graph = AttackGraph(targets=["db"])
+    graph.add_entry_point("web")
+    graph.add_reachability("web", "db")
+    graph.add_host("mgmt")  # no exploitable vulnerabilities
+    return Harm(
+        graph,
+        {"web": tree("v-web"), "db": tree("v-db"), "mgmt": None},
+    )
+
+
+class TestConstruction:
+    def test_trees_for_unknown_host_raise(self):
+        graph = AttackGraph(targets=["db"])
+        graph.add_entry_point("db")
+        with pytest.raises(HarmError, match="unknown host"):
+            Harm(graph, {"ghost": tree("v")})
+
+    def test_non_graph_rejected(self):
+        with pytest.raises(HarmError):
+            Harm("not a graph", {})
+
+    def test_none_trees_are_dropped(self, small_harm):
+        assert "mgmt" not in small_harm.trees
+
+    def test_tree_for_known_host(self, small_harm):
+        assert small_harm.tree_for("web").leaf_names() == ["v-web"]
+
+    def test_tree_for_unexploitable_host_raises(self, small_harm):
+        with pytest.raises(HarmError):
+            small_harm.tree_for("mgmt")
+
+
+class TestAttackSurface:
+    def test_exploitable_hosts(self, small_harm):
+        assert set(small_harm.exploitable_hosts()) == {"web", "db"}
+
+    def test_attack_surface_excludes_unexploitable(self, small_harm):
+        surface = small_harm.attack_surface()
+        assert not surface.has_host("mgmt")
+        assert surface.number_of_attack_paths() == 1
+
+    def test_full_graph_retains_all_hosts(self, small_harm):
+        assert small_harm.graph.has_host("mgmt")
+
+
+class TestPatching:
+    def test_after_patching_prunes_leaves(self, small_harm):
+        patched = small_harm.after_patching({"web": ["v-web"]})
+        assert "web" not in patched.trees
+        # web drops off the attack surface entirely
+        assert patched.attack_surface().number_of_attack_paths() == 0
+
+    def test_after_patching_keeps_original(self, small_harm):
+        small_harm.after_patching({"web": ["v-web"]})
+        assert "web" in small_harm.trees
+
+    def test_after_patching_unknown_names_noop(self, small_harm):
+        patched = small_harm.after_patching({"web": ["nothing"]})
+        assert patched.tree_for("web").leaf_names() == ["v-web"]
+
+    def test_after_patching_empty_map(self, small_harm):
+        patched = small_harm.after_patching({})
+        assert patched.exploitable_hosts() == small_harm.exploitable_hosts()

@@ -1,0 +1,122 @@
+"""Tests for the multi-cycle patch lifecycle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.patching import (
+    CriticalVulnerabilityPolicy,
+    PatchAllPolicy,
+    SyntheticDisclosureFeed,
+    simulate_patch_lifecycle,
+)
+
+
+@pytest.fixture(scope="module")
+def baseline_design(five_designs):
+    return five_designs[0]  # 1 DNS + 1 WEB + 1 APP + 1 DB
+
+
+class TestSyntheticFeed:
+    def test_deterministic_with_seed(self):
+        a = SyntheticDisclosureFeed(rate_per_product=2.0, seed=5)
+        b = SyntheticDisclosureFeed(rate_per_product=2.0, seed=5)
+        records_a = a.disclose(1, ["X", "Y"])
+        records_b = b.disclose(1, ["X", "Y"])
+        assert [r.cve_id for r in records_a] == [r.cve_id for r in records_b]
+        assert [str(r.vector) for r in records_a] == [
+            str(r.vector) for r in records_b
+        ]
+
+    def test_records_are_flagged_synthetic(self):
+        feed = SyntheticDisclosureFeed(rate_per_product=3.0, seed=1)
+        for record in feed.disclose(2, ["X"]):
+            assert record.reconstructed
+            assert record.cve_id.startswith("SYN-FEED-02-")
+
+    def test_zero_rate_discloses_nothing(self):
+        feed = SyntheticDisclosureFeed(rate_per_product=0.0, seed=0)
+        assert feed.disclose(1, ["X", "Y", "Z"]) == []
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(EvaluationError):
+            SyntheticDisclosureFeed(rate_per_product=-1.0)
+
+
+class TestLifecycle:
+    def test_cycle_zero_matches_paper_catalog(
+        self, case_study, baseline_design, critical_policy
+    ):
+        outcomes = simulate_patch_lifecycle(
+            case_study, baseline_design, critical_policy, cycles=1
+        )
+        first = outcomes[0]
+        assert first.disclosed == 0
+        # flat-OR trees give the same count metrics as the paper's D1
+        assert first.before.number_of_exploitable_vulnerabilities == 16
+        assert first.after.number_of_exploitable_vulnerabilities == 7
+
+    def test_patch_improves_each_cycle(
+        self, case_study, baseline_design, critical_policy
+    ):
+        outcomes = simulate_patch_lifecycle(
+            case_study,
+            baseline_design,
+            critical_policy,
+            cycles=4,
+            feed=SyntheticDisclosureFeed(rate_per_product=1.5, seed=3),
+        )
+        for outcome in outcomes:
+            assert (
+                outcome.after.number_of_exploitable_vulnerabilities
+                <= outcome.before.number_of_exploitable_vulnerabilities
+            )
+
+    def test_critical_only_policy_accumulates_backlog(
+        self, case_study, baseline_design, critical_policy
+    ):
+        outcomes = simulate_patch_lifecycle(
+            case_study,
+            baseline_design,
+            critical_policy,
+            cycles=5,
+            feed=SyntheticDisclosureFeed(rate_per_product=2.0, seed=11),
+        )
+        assert outcomes[-1].backlog > outcomes[0].backlog
+
+    def test_patch_all_keeps_backlog_at_zero(
+        self, case_study, baseline_design
+    ):
+        outcomes = simulate_patch_lifecycle(
+            case_study,
+            baseline_design,
+            PatchAllPolicy(),
+            cycles=3,
+            feed=SyntheticDisclosureFeed(rate_per_product=2.0, seed=11),
+        )
+        for outcome in outcomes:
+            assert outcome.backlog == 0
+            assert outcome.after.number_of_exploitable_vulnerabilities == 0
+
+    def test_deterministic_runs(self, case_study, baseline_design, critical_policy):
+        def run():
+            return simulate_patch_lifecycle(
+                case_study,
+                baseline_design,
+                critical_policy,
+                cycles=3,
+                feed=SyntheticDisclosureFeed(rate_per_product=1.0, seed=7),
+            )
+
+        first, second = run(), run()
+        assert [o.backlog for o in first] == [o.backlog for o in second]
+        assert [o.patched for o in first] == [o.patched for o in second]
+
+    def test_zero_cycles_rejected(
+        self, case_study, baseline_design, critical_policy
+    ):
+        with pytest.raises(EvaluationError):
+            simulate_patch_lifecycle(
+                case_study, baseline_design, critical_policy, cycles=0
+            )

@@ -1,0 +1,76 @@
+"""Tests for patch policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.patching import (
+    CriticalVulnerabilityPolicy,
+    ExplicitPolicy,
+    NoPatchPolicy,
+    PatchAllPolicy,
+)
+from repro.vulnerability import SoftwareLayer, Vulnerability
+
+CRITICAL = "AV:N/AC:L/Au:N/C:C/I:C/A:C"   # base 10.0
+MODERATE = "AV:N/AC:L/Au:N/C:P/I:P/A:P"   # base 7.5
+LOW = "AV:N/AC:M/Au:N/C:N/I:P/A:N"        # base 4.3
+
+
+def vuln(cve, vector):
+    return Vulnerability(cve, "P", SoftwareLayer.APPLICATION, vector, True)
+
+
+@pytest.fixture
+def pool():
+    return [
+        vuln("CVE-A", CRITICAL),
+        vuln("CVE-B", MODERATE),
+        vuln("CVE-C", LOW),
+    ]
+
+
+class TestCriticalPolicy:
+    def test_default_threshold_eight(self, pool):
+        policy = CriticalVulnerabilityPolicy()
+        assert policy.patched_cve_ids(pool) == {"CVE-A"}
+
+    def test_remaining(self, pool):
+        policy = CriticalVulnerabilityPolicy()
+        assert [v.cve_id for v in policy.remaining(pool)] == ["CVE-B", "CVE-C"]
+
+    def test_lower_threshold_catches_more(self, pool):
+        policy = CriticalVulnerabilityPolicy(threshold=7.0)
+        assert policy.patched_cve_ids(pool) == {"CVE-A", "CVE-B"}
+
+    def test_threshold_is_strict(self, pool):
+        policy = CriticalVulnerabilityPolicy(threshold=7.5)
+        assert policy.patched_cve_ids(pool) == {"CVE-A"}
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValidationError):
+            CriticalVulnerabilityPolicy(threshold=10.5)
+        with pytest.raises(ValidationError):
+            CriticalVulnerabilityPolicy(threshold=-1.0)
+
+
+class TestOtherPolicies:
+    def test_patch_all(self, pool):
+        assert len(PatchAllPolicy().select(pool)) == 3
+
+    def test_no_patch(self, pool):
+        assert NoPatchPolicy().select(pool) == []
+        assert len(NoPatchPolicy().remaining(pool)) == 3
+
+    def test_explicit(self, pool):
+        policy = ExplicitPolicy(["CVE-B", "CVE-Z"])
+        assert policy.patched_cve_ids(pool) == {"CVE-B"}
+
+    def test_explicit_needs_ids(self):
+        with pytest.raises(ValidationError):
+            ExplicitPolicy([])
+
+    def test_reprs(self, pool):
+        assert "8.0" in repr(CriticalVulnerabilityPolicy())
+        assert "CVE-B" in repr(ExplicitPolicy(["CVE-B"]))

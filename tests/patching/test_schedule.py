@@ -1,0 +1,32 @@
+"""Tests for patch schedules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.patching import BIWEEKLY, MONTHLY, QUARTERLY, WEEKLY, PatchSchedule
+
+
+class TestSchedules:
+    def test_monthly_matches_paper(self):
+        assert MONTHLY.interval_hours == pytest.approx(720.0)
+        assert MONTHLY.clock_rate == pytest.approx(1.0 / 720.0)
+        assert MONTHLY.interval_days == pytest.approx(30.0)
+
+    def test_presets_ordered(self):
+        presets = [WEEKLY, BIWEEKLY, MONTHLY, QUARTERLY]
+        hours = [schedule.interval_hours for schedule in presets]
+        assert hours == sorted(hours)
+
+    def test_from_days(self):
+        schedule = PatchSchedule.from_days("custom", 10)
+        assert schedule.interval_hours == pytest.approx(240.0)
+
+    def test_zero_interval_rejected(self):
+        with pytest.raises(ValidationError):
+            PatchSchedule("bad", 0.0)
+
+    def test_str(self):
+        assert "monthly" in str(MONTHLY)
+        assert "30" in str(MONTHLY)

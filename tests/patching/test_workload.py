@@ -1,0 +1,61 @@
+"""Tests for patch-workload derivation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.patching import (
+    CriticalVulnerabilityPolicy,
+    NoPatchPolicy,
+    derive_pipeline,
+    derive_workload,
+)
+from repro.vulnerability import SoftwareLayer, Vulnerability, paper_database
+from repro.vulnerability.catalog import (
+    PRODUCT_MS_DNS,
+    PRODUCT_WINDOWS,
+)
+
+CRITICAL = "AV:N/AC:L/Au:N/C:C/I:C/A:C"
+
+
+class TestDeriveWorkload:
+    def test_counts_by_layer(self):
+        vulns = [
+            Vulnerability("A", "P", SoftwareLayer.APPLICATION, CRITICAL, True),
+            Vulnerability("B", "P", SoftwareLayer.OPERATING_SYSTEM, CRITICAL, False),
+            Vulnerability("C", "P", SoftwareLayer.OPERATING_SYSTEM, CRITICAL, True),
+        ]
+        workload = derive_workload(vulns, CriticalVulnerabilityPolicy())
+        assert workload.application_count == 1
+        assert workload.os_count == 2
+        assert workload.total == 3
+        assert workload.application_minutes == pytest.approx(5.0)
+        assert workload.os_minutes == pytest.approx(20.0)
+
+    def test_no_patch_policy_selects_nothing(self):
+        vulns = [
+            Vulnerability("A", "P", SoftwareLayer.APPLICATION, CRITICAL, True)
+        ]
+        workload = derive_workload(vulns, NoPatchPolicy())
+        assert workload.total == 0
+
+    def test_dns_role_matches_paper(self):
+        """1 app critical + 2 OS criticals -> 5 and 20 minutes."""
+        db = paper_database()
+        vulns = db.for_products([PRODUCT_WINDOWS, PRODUCT_MS_DNS])
+        workload = derive_workload(vulns, CriticalVulnerabilityPolicy())
+        assert (workload.application_count, workload.os_count) == (1, 2)
+
+
+class TestDerivePipeline:
+    def test_pipeline_rates_from_dns_counts(self):
+        db = paper_database()
+        vulns = db.for_products([PRODUCT_WINDOWS, PRODUCT_MS_DNS])
+        pipeline = derive_pipeline(vulns, CriticalVulnerabilityPolicy())
+        assert 60.0 / pipeline.service_patch == pytest.approx(5.0)
+        assert 60.0 / pipeline.os_patch == pytest.approx(20.0)
+
+    def test_empty_selection_gets_negligible_stages(self):
+        pipeline = derive_pipeline([], CriticalVulnerabilityPolicy())
+        assert 60.0 / pipeline.service_patch == pytest.approx(0.5)

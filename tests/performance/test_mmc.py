@@ -1,0 +1,70 @@
+"""Tests for the M/M/c queue against textbook results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EvaluationError, ValidationError
+from repro.performance import MmcQueue
+
+
+class TestMm1:
+    """M/M/1 closed forms: W = 1/(mu - lambda), Lq = rho^2/(1-rho)."""
+
+    def test_response_time(self):
+        queue = MmcQueue(arrival_rate=8.0, service_rate=10.0, servers=1)
+        assert queue.mean_response_time() == pytest.approx(1.0 / (10.0 - 8.0))
+
+    def test_queue_length(self):
+        queue = MmcQueue(arrival_rate=8.0, service_rate=10.0, servers=1)
+        rho = 0.8
+        assert queue.mean_queue_length() == pytest.approx(rho**2 / (1 - rho))
+
+    def test_erlang_c_equals_rho_for_single_server(self):
+        queue = MmcQueue(arrival_rate=3.0, service_rate=10.0, servers=1)
+        assert queue.erlang_c() == pytest.approx(0.3)
+
+    def test_littles_law(self):
+        queue = MmcQueue(arrival_rate=8.0, service_rate=10.0, servers=1)
+        assert queue.mean_jobs_in_system() == pytest.approx(
+            queue.arrival_rate * queue.mean_response_time()
+        )
+
+
+class TestMmc:
+    def test_mm2_textbook_case(self):
+        """lambda=3, mu=2, c=2: rho=0.75, C(2, 1.5) = 0.6428..."""
+        queue = MmcQueue(arrival_rate=3.0, service_rate=2.0, servers=2)
+        # Erlang C closed form: ((a^c/c!)/(1-rho)) / (sum + tail)
+        assert queue.erlang_c() == pytest.approx(9.0 / 14.0, abs=1e-9)
+        expected_wq = (9.0 / 14.0) / (2 * 2.0 - 3.0)
+        assert queue.mean_waiting_time() == pytest.approx(expected_wq, abs=1e-9)
+
+    def test_more_servers_reduce_waiting(self):
+        waits = [
+            MmcQueue(arrival_rate=8.0, service_rate=10.0, servers=c).mean_waiting_time()
+            for c in (1, 2, 3)
+        ]
+        assert waits[0] > waits[1] > waits[2]
+
+    def test_response_time_bounded_below_by_service_time(self):
+        queue = MmcQueue(arrival_rate=1.0, service_rate=10.0, servers=4)
+        assert queue.mean_response_time() >= 1.0 / 10.0
+
+
+class TestStability:
+    def test_unstable_queue_flagged(self):
+        queue = MmcQueue(arrival_rate=25.0, service_rate=10.0, servers=2)
+        assert not queue.is_stable
+        with pytest.raises(EvaluationError):
+            queue.mean_response_time()
+
+    def test_boundary_unstable(self):
+        queue = MmcQueue(arrival_rate=20.0, service_rate=10.0, servers=2)
+        assert not queue.is_stable
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            MmcQueue(arrival_rate=0.0, service_rate=1.0, servers=1)
+        with pytest.raises(ValidationError):
+            MmcQueue(arrival_rate=1.0, service_rate=1.0, servers=0)

@@ -1,0 +1,62 @@
+"""Tests for availability-weighted queueing performance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.performance import MmcQueue, expected_response_time
+
+
+@pytest.fixture(scope="module")
+def web_model(availability_evaluator, example_design):
+    return availability_evaluator.network_model(example_design)
+
+
+class TestExpectedResponseTime:
+    def test_close_to_full_capacity_value(self, web_model):
+        """With COA ~0.997 the mixture sits near the all-up response time."""
+        result = expected_response_time(
+            web_model, "web", arrival_rate=100.0, service_rate=80.0
+        )
+        full = MmcQueue(100.0, 80.0, 2).mean_response_time()
+        assert result.mean_response_time == pytest.approx(full, rel=0.05)
+
+    def test_degraded_state_is_slower_or_outage(self, web_model):
+        result = expected_response_time(
+            web_model, "web", arrival_rate=100.0, service_rate=80.0
+        )
+        # one web server cannot carry rho = 100/80 > 1: it's an outage state
+        assert 1 not in result.per_state
+        assert result.outage_probability > 0.0
+
+    def test_light_load_counts_single_server_state(self, web_model):
+        result = expected_response_time(
+            web_model, "web", arrival_rate=10.0, service_rate=80.0
+        )
+        assert set(result.per_state) == {1, 2}
+        assert result.per_state[1] > result.per_state[2]
+
+    def test_outage_probability_small_for_paper_rates(self, web_model):
+        result = expected_response_time(
+            web_model, "web", arrival_rate=10.0, service_rate=80.0
+        )
+        assert result.outage_probability < 1e-5
+
+    def test_describe_mentions_service(self, web_model):
+        result = expected_response_time(
+            web_model, "web", arrival_rate=10.0, service_rate=80.0
+        )
+        assert "web" in result.describe()
+
+    def test_always_unusable_rejected(self, web_model):
+        with pytest.raises(EvaluationError):
+            expected_response_time(
+                web_model, "web", arrival_rate=1000.0, service_rate=1.0
+            )
+
+    def test_bad_rates_rejected(self, web_model):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            expected_response_time(web_model, "web", arrival_rate=0.0, service_rate=1.0)

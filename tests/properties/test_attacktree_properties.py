@@ -1,0 +1,95 @@
+"""Property-based tests for attack trees: bounds and pruning monotonicity."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.attacktree import AttackTree, PROBABILISTIC, WORST_CASE
+from repro.attacktree.nodes import Gate, GateNode, LeafNode
+
+leaf_strategy = st.builds(
+    LeafNode,
+    name=st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Nd")), min_size=1, max_size=6
+    ),
+    impact=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    probability=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+
+
+def node_strategy(depth=3):
+    if depth == 0:
+        return leaf_strategy
+    return st.one_of(
+        leaf_strategy,
+        st.builds(
+            GateNode,
+            gate=st.sampled_from([Gate.AND, Gate.OR]),
+            children=st.lists(node_strategy(depth - 1), min_size=1, max_size=3).map(
+                tuple
+            ),
+        ),
+    )
+
+
+trees = node_strategy().map(AttackTree)
+
+
+class TestEvaluationBounds:
+    @given(trees)
+    def test_probability_in_unit_interval(self, tree):
+        for semantics in (WORST_CASE, PROBABILISTIC):
+            assert 0.0 <= tree.probability(semantics) <= 1.0
+
+    @given(trees)
+    def test_impact_non_negative_and_bounded_by_leaf_sum(self, tree):
+        total = sum(leaf.impact for leaf in tree.leaves())
+        impact = tree.impact()
+        assert 0.0 <= impact <= total + 1e-9
+
+    @given(trees)
+    def test_probabilistic_at_least_worst_case(self, tree):
+        assert (
+            tree.probability(PROBABILISTIC) >= tree.probability(WORST_CASE) - 1e-12
+        )
+
+    @given(trees)
+    def test_size_counts_leaves_and_gates(self, tree):
+        assert tree.size() >= len(tree.leaves())
+        assert tree.depth() >= 1
+
+
+class TestPruningProperties:
+    @given(trees, st.data())
+    def test_pruning_never_increases_metrics(self, tree, data):
+        names = tree.leaf_names()
+        to_drop = data.draw(
+            st.lists(st.sampled_from(names), max_size=len(names), unique=True)
+        )
+        pruned = tree.without_leaves(to_drop)
+        if pruned is None:
+            return
+        assert pruned.probability() <= tree.probability() + 1e-12
+        assert pruned.impact() <= tree.impact() + 1e-9
+
+    @given(trees)
+    def test_pruning_all_leaves_kills_tree(self, tree):
+        assert tree.without_leaves(tree.leaf_names()) is None
+
+    @given(trees)
+    def test_pruning_nothing_preserves_metrics(self, tree):
+        same = tree.without_leaves([])
+        assert same.probability() == tree.probability()
+        assert same.impact() == tree.impact()
+
+    @given(trees, st.data())
+    def test_pruned_leaves_absent(self, tree, data):
+        names = tree.leaf_names()
+        to_drop = set(
+            data.draw(
+                st.lists(st.sampled_from(names), max_size=len(names), unique=True)
+            )
+        )
+        pruned = tree.without_leaves(to_drop)
+        if pruned is not None:
+            assert not (set(pruned.leaf_names()) & to_drop)

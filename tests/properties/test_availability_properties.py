@@ -1,0 +1,92 @@
+"""Property-based tests for the availability model invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.availability import (
+    ComponentRates,
+    NetworkAvailabilityModel,
+    PatchPipeline,
+    ServerParameters,
+    aggregate_service,
+    product_form_coa,
+)
+from repro.availability.aggregation import ServiceAggregate
+from repro.availability.measures import ServerMeasures
+
+
+def _fake_aggregate(name, patch_rate, recovery_rate):
+    measures = ServerMeasures(0.99, 0.001, 0.0001, 0.0, 0.0, 0.0)
+    return ServiceAggregate(
+        name=name,
+        patch_rate=patch_rate,
+        recovery_rate=recovery_rate,
+        measures=measures,
+    )
+
+
+rates = st.floats(min_value=1e-4, max_value=10.0, allow_nan=False)
+
+
+class TestCoaProperties:
+    @given(
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=1, max_value=3),
+        rates,
+        rates,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_srn_matches_product_form(self, n_a, n_b, lam, mu):
+        aggregates = {
+            "a": _fake_aggregate("a", lam, mu),
+            "b": _fake_aggregate("b", lam * 0.5 + 1e-4, mu * 2.0),
+        }
+        capacities = {"a": n_a, "b": n_b}
+        model = NetworkAvailabilityModel(capacities, aggregates)
+        srn_coa = model.capacity_oriented_availability()
+        closed = product_form_coa(
+            capacities,
+            {k: v.patch_rate for k, v in aggregates.items()},
+            {k: v.recovery_rate for k, v in aggregates.items()},
+        )
+        assert abs(srn_coa - closed) < 1e-9
+
+    @given(st.integers(min_value=1, max_value=4), rates, rates)
+    @settings(max_examples=40, deadline=None)
+    def test_redundancy_monotone(self, n, lam, mu):
+        """COA never decreases when a replica is added."""
+        def coa(count):
+            return product_form_coa({"svc": count}, {"svc": lam}, {"svc": mu})
+
+        assert coa(n + 1) >= coa(n) - 1e-12
+
+    @given(rates, rates)
+    @settings(max_examples=40, deadline=None)
+    def test_coa_bounded_by_availability(self, lam, mu):
+        """COA <= single-server availability <= 1."""
+        single = product_form_coa({"svc": 1}, {"svc": lam}, {"svc": mu})
+        assert 0.0 <= single <= 1.0
+        assert single == mu / (lam + mu) or abs(single - mu / (lam + mu)) < 1e-12
+
+
+class TestServerPipelineProperties:
+    @given(
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_mttr_tracks_vulnerability_counts(self, app_count, os_count):
+        """The aggregated MTTR approximates the pipeline downtime for any
+        vulnerability workload."""
+        params = ServerParameters(
+            name="x",
+            rates=ComponentRates(),
+            patch=PatchPipeline.from_vulnerability_counts(app_count, os_count),
+        )
+        aggregate = aggregate_service(params)
+        assert aggregate.mttr_hours == (
+            params.patch.expected_downtime_hours
+        ) or abs(
+            aggregate.mttr_hours - params.patch.expected_downtime_hours
+        ) / params.patch.expected_downtime_hours < 5e-3

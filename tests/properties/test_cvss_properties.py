@@ -1,0 +1,91 @@
+"""Property-based tests for the CVSS substrate."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.cvss import (
+    CvssVector,
+    base_score,
+    exploitability_subscore,
+    impact_subscore,
+    severity_from_score,
+)
+
+vectors = st.builds(
+    CvssVector,
+    access_vector=st.sampled_from("LAN"),
+    access_complexity=st.sampled_from("HML"),
+    authentication=st.sampled_from("MSN"),
+    conf_impact=st.sampled_from("NPC"),
+    integ_impact=st.sampled_from("NPC"),
+    avail_impact=st.sampled_from("NPC"),
+)
+
+_IMPACT_ORDER = {"N": 0, "P": 1, "C": 2}
+_AV_ORDER = {"L": 0, "A": 1, "N": 2}
+_AC_ORDER = {"H": 0, "M": 1, "L": 2}
+_AU_ORDER = {"M": 0, "S": 1, "N": 2}
+
+
+class TestScoreBounds:
+    @given(vectors)
+    def test_scores_within_range(self, vector):
+        assert 0.0 <= impact_subscore(vector) <= 10.0
+        assert 0.0 <= exploitability_subscore(vector) <= 10.0
+        assert 0.0 <= base_score(vector) <= 10.0
+
+    @given(vectors)
+    def test_scores_have_one_decimal(self, vector):
+        for value in (
+            impact_subscore(vector),
+            exploitability_subscore(vector),
+            base_score(vector),
+        ):
+            assert value == round(value, 1)
+
+    @given(vectors)
+    def test_zero_impact_zeroes_base(self, vector):
+        if impact_subscore(vector) == 0.0:
+            assert base_score(vector) == 0.0
+
+    @given(vectors)
+    def test_severity_total_on_scores(self, vector):
+        # severity banding accepts every producible score
+        severity_from_score(base_score(vector))
+
+    @given(vectors)
+    def test_roundtrip_parse(self, vector):
+        assert CvssVector.parse(vector.to_string()) == vector
+
+
+class TestMonotonicity:
+    @given(vectors, st.sampled_from("NPC"))
+    def test_raising_conf_impact_never_lowers_scores(self, vector, new_level):
+        if _IMPACT_ORDER[new_level] < _IMPACT_ORDER[vector.conf_impact]:
+            return
+        raised = CvssVector(
+            access_vector=vector.access_vector,
+            access_complexity=vector.access_complexity,
+            authentication=vector.authentication,
+            conf_impact=new_level,
+            integ_impact=vector.integ_impact,
+            avail_impact=vector.avail_impact,
+        )
+        assert impact_subscore(raised) >= impact_subscore(vector)
+        assert base_score(raised) >= base_score(vector)
+
+    @given(vectors, st.sampled_from("LAN"))
+    def test_widening_access_vector_never_lowers_base(self, vector, new_level):
+        if _AV_ORDER[new_level] < _AV_ORDER[vector.access_vector]:
+            return
+        widened = CvssVector(
+            access_vector=new_level,
+            access_complexity=vector.access_complexity,
+            authentication=vector.authentication,
+            conf_impact=vector.conf_impact,
+            integ_impact=vector.integ_impact,
+            avail_impact=vector.avail_impact,
+        )
+        assert exploitability_subscore(widened) >= exploitability_subscore(vector)
+        assert base_score(widened) >= base_score(vector)

@@ -1,0 +1,72 @@
+"""Property-based tests on the evaluation layer's invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.evaluation.requirements import (
+    MultiMetricRequirement,
+    TwoMetricRequirement,
+    satisfying_designs,
+)
+
+
+class TestRequirementMonotonicity:
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_relaxing_bounds_never_shrinks_selection(
+        self, design_evaluations, phi1, phi2, psi1, psi2
+    ):
+        """A looser region contains every design a tighter one accepts."""
+        phi_tight, phi_loose = sorted((phi1, phi2))
+        psi_loose, psi_tight = sorted((psi1, psi2))
+        tight = TwoMetricRequirement(phi_tight, psi_tight)
+        loose = TwoMetricRequirement(phi_loose, psi_loose)
+        selected_tight = {
+            e.label for e in satisfying_designs(design_evaluations, tight)
+        }
+        selected_loose = {
+            e.label for e in satisfying_designs(design_evaluations, loose)
+        }
+        assert selected_tight <= selected_loose
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=0, max_value=30),
+        st.integers(min_value=0, max_value=10),
+        st.integers(min_value=0, max_value=5),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_multi_metric_subset_of_two_metric(
+        self, design_evaluations, phi, xi, omega, kappa, psi
+    ):
+        """Eq. (4) adds constraints to Eq. (3): its selection is a subset."""
+        two = TwoMetricRequirement(phi, psi)
+        multi = MultiMetricRequirement(phi, xi, omega, kappa, psi)
+        selected_two = {
+            e.label for e in satisfying_designs(design_evaluations, two)
+        }
+        selected_multi = {
+            e.label for e in satisfying_designs(design_evaluations, multi)
+        }
+        assert selected_multi <= selected_two
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_impossible_region_selects_nothing(self, design_evaluations, phi):
+        region = TwoMetricRequirement(phi, 1.0)  # COA must be exactly 1
+        assert satisfying_designs(design_evaluations, region) == []
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_trivial_region_selects_everything(self, design_evaluations, psi_ignored):
+        region = TwoMetricRequirement(1.0, 0.0)
+        assert len(satisfying_designs(design_evaluations, region)) == len(
+            design_evaluations
+        )

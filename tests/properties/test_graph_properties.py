@@ -1,0 +1,70 @@
+"""Property-based tests for the graph substrate against networkx."""
+
+from __future__ import annotations
+
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    DiGraph,
+    all_simple_paths,
+    has_cycle,
+    reachable_from,
+    topological_sort,
+)
+
+
+@st.composite
+def random_graphs(draw, max_nodes=8):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=20,
+        )
+    )
+    ours = DiGraph()
+    theirs = nx.DiGraph()
+    for node in range(n):
+        ours.add_node(node)
+        theirs.add_node(node)
+    for src, dst in edges:
+        if src != dst:
+            ours.add_edge(src, dst)
+            theirs.add_edge(src, dst)
+    return ours, theirs
+
+
+class TestAgainstNetworkx:
+    @given(random_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_reachability_matches(self, pair):
+        ours, theirs = pair
+        expected = set(nx.descendants(theirs, 0)) | {0}
+        assert reachable_from(ours, 0) == expected
+
+    @given(random_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_cycle_detection_matches(self, pair):
+        ours, theirs = pair
+        assert has_cycle(ours) == (not nx.is_directed_acyclic_graph(theirs))
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_simple_paths_match(self, pair):
+        ours, theirs = pair
+        n = ours.number_of_nodes()
+        expected = sorted(tuple(p) for p in nx.all_simple_paths(theirs, 0, n - 1))
+        actual = sorted(tuple(p) for p in all_simple_paths(ours, 0, n - 1))
+        assert actual == expected
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_topological_sort_valid_when_acyclic(self, pair):
+        ours, theirs = pair
+        if not nx.is_directed_acyclic_graph(theirs):
+            return
+        order = topological_sort(ours)
+        position = {node: i for i, node in enumerate(order)}
+        for src, dst in ours.edges():
+            assert position[src] < position[dst]

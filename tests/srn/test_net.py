@@ -1,0 +1,209 @@
+"""Tests for SRN definition and firing semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SrnError
+from repro.srn import StochasticRewardNet
+
+
+def updown_net():
+    net = StochasticRewardNet("updown")
+    net.add_place("up", tokens=1)
+    net.add_place("down")
+    net.add_timed_transition("fail", rate=2.0)
+    net.add_arc("up", "fail")
+    net.add_arc("fail", "down")
+    net.add_timed_transition("repair", rate=8.0)
+    net.add_arc("down", "repair")
+    net.add_arc("repair", "up")
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_place_rejected(self):
+        net = StochasticRewardNet()
+        net.add_place("p")
+        with pytest.raises(SrnError):
+            net.add_place("p")
+
+    def test_duplicate_transition_rejected(self):
+        net = StochasticRewardNet()
+        net.add_place("p")
+        net.add_timed_transition("t", 1.0)
+        with pytest.raises(SrnError):
+            net.add_immediate_transition("t")
+
+    def test_place_transition_namespace_shared(self):
+        net = StochasticRewardNet()
+        net.add_place("x")
+        with pytest.raises(SrnError):
+            net.add_timed_transition("x", 1.0)
+        net.add_timed_transition("t", 1.0)
+        with pytest.raises(SrnError):
+            net.add_place("t")
+
+    def test_arc_requires_place_and_transition(self):
+        net = StochasticRewardNet()
+        net.add_place("p")
+        net.add_place("q")
+        net.add_timed_transition("t", 1.0)
+        with pytest.raises(SrnError):
+            net.add_arc("p", "q")  # place -> place
+        with pytest.raises(SrnError):
+            net.add_arc("t", "t")  # transition -> transition
+
+    def test_zero_rate_rejected(self):
+        from repro.errors import ValidationError
+
+        net = StochasticRewardNet()
+        net.add_place("p")
+        with pytest.raises(ValidationError):
+            net.add_timed_transition("t", 0.0)
+
+    def test_initial_marking(self):
+        net = updown_net()
+        assert net.initial_marking().nonzero() == {"up": 1}
+
+    def test_marking_from_dict(self):
+        net = updown_net()
+        marking = net.marking({"down": 1})
+        assert marking["down"] == 1
+        assert marking["up"] == 0
+
+    def test_marking_unknown_place_rejected(self):
+        with pytest.raises(SrnError):
+            updown_net().marking({"ghost": 1})
+
+    def test_validate_catches_arcless_transition(self):
+        net = StochasticRewardNet()
+        net.add_place("p", tokens=1)
+        net.add_timed_transition("t", 1.0)
+        with pytest.raises(SrnError, match="no arcs"):
+            net.validate()
+
+    def test_transition_lookup(self):
+        net = updown_net()
+        assert net.transition("fail").name == "fail"
+        with pytest.raises(SrnError):
+            net.transition("ghost")
+
+
+class TestEnabling:
+    def test_enabled_transitions_in_initial_marking(self):
+        net = updown_net()
+        enabled = net.enabled_transitions(net.initial_marking())
+        assert [t.name for t in enabled] == ["fail"]
+
+    def test_guard_disables(self):
+        net = StochasticRewardNet()
+        net.add_place("p", tokens=1)
+        net.add_timed_transition("t", 1.0, guard=lambda m: m["p"] >= 2)
+        net.add_arc("p", "t")
+        net.add_arc("t", "p")
+        assert net.enabled_transitions(net.initial_marking()) == []
+
+    def test_inhibitor_arc_disables(self):
+        net = StochasticRewardNet()
+        net.add_place("p", tokens=1)
+        net.add_place("blocker", tokens=1)
+        net.add_place("q")
+        net.add_timed_transition("t", 1.0)
+        net.add_arc("p", "t")
+        net.add_arc("t", "q")
+        net.add_inhibitor_arc("blocker", "t")
+        assert net.enabled_transitions(net.initial_marking()) == []
+
+    def test_inhibitor_multiplicity(self):
+        net = StochasticRewardNet()
+        net.add_place("p", tokens=1)
+        net.add_place("blocker", tokens=1)
+        net.add_place("q")
+        net.add_timed_transition("t", 1.0)
+        net.add_arc("p", "t")
+        net.add_arc("t", "q")
+        net.add_inhibitor_arc("blocker", "t", multiplicity=2)
+        assert [t.name for t in net.enabled_transitions(net.initial_marking())] == ["t"]
+
+    def test_immediate_priority_filtering(self):
+        net = StochasticRewardNet()
+        net.add_place("p", tokens=1)
+        net.add_place("q")
+        net.add_place("r")
+        net.add_immediate_transition("low", priority=0)
+        net.add_arc("p", "low")
+        net.add_arc("low", "q")
+        net.add_immediate_transition("high", priority=5)
+        net.add_arc("p", "high")
+        net.add_arc("high", "r")
+        enabled = net.enabled_transitions(net.initial_marking())
+        assert [t.name for t in enabled] == ["high"]
+
+    def test_immediate_preempts_timed(self):
+        net = StochasticRewardNet()
+        net.add_place("p", tokens=1)
+        net.add_place("q")
+        net.add_timed_transition("slow", 1.0)
+        net.add_arc("p", "slow")
+        net.add_arc("slow", "q")
+        net.add_immediate_transition("now")
+        net.add_arc("p", "now")
+        net.add_arc("now", "q")
+        enabled = net.enabled_transitions(net.initial_marking())
+        assert [t.name for t in enabled] == ["now"]
+        assert net.is_vanishing(net.initial_marking())
+
+    def test_arc_multiplicity(self):
+        net = StochasticRewardNet()
+        net.add_place("p", tokens=1)
+        net.add_place("q")
+        net.add_timed_transition("t", 1.0)
+        net.add_arc("p", "t", multiplicity=2)
+        net.add_arc("t", "q")
+        assert net.enabled_transitions(net.initial_marking()) == []
+        assert [
+            t.name for t in net.enabled_transitions(net.marking({"p": 2}))
+        ] == ["t"]
+
+
+class TestFiring:
+    def test_fire_moves_tokens(self):
+        net = updown_net()
+        marking = net.initial_marking()
+        after = net.fire(marking, net.transition("fail"))
+        assert after.nonzero() == {"down": 1}
+
+    def test_fire_disabled_raises(self):
+        net = updown_net()
+        with pytest.raises(SrnError):
+            net.fire(net.initial_marking(), net.transition("repair"))
+
+    def test_marking_dependent_rate(self):
+        net = StochasticRewardNet()
+        net.add_place("p", tokens=3)
+        net.add_place("q")
+        net.add_timed_transition("t", rate=lambda m: 2.0 * m["p"])
+        net.add_arc("p", "t")
+        net.add_arc("t", "q")
+        assert net.transition("t").rate_in(net.initial_marking()) == 6.0
+
+    def test_invalid_dynamic_rate_raises(self):
+        net = StochasticRewardNet()
+        net.add_place("p", tokens=1)
+        net.add_place("q")
+        net.add_timed_transition("t", rate=lambda m: -1.0)
+        net.add_arc("p", "t")
+        net.add_arc("t", "q")
+        with pytest.raises(SrnError):
+            net.transition("t").rate_in(net.initial_marking())
+
+    def test_rate_of_immediate_raises(self):
+        net = StochasticRewardNet()
+        net.add_place("p", tokens=1)
+        net.add_place("q")
+        net.add_immediate_transition("i")
+        net.add_arc("p", "i")
+        net.add_arc("i", "q")
+        with pytest.raises(SrnError):
+            net.transition("i").rate_in(net.initial_marking())

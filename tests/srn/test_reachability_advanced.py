@@ -1,0 +1,109 @@
+"""Advanced reachability cases: multi-token nets, guards, multiplicities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ctmc import birth_death_steady_state
+from repro.srn import StochasticRewardNet, explore, solve
+
+
+class TestMultiToken:
+    def test_marking_dependent_birth_death_matches_closed_form(self):
+        """N tokens with rate k*lambda down / k*mu up == binomial chain."""
+        n, lam, mu = 3, 0.4, 2.0
+        net = StochasticRewardNet()
+        net.add_place("up", tokens=n)
+        net.add_place("down")
+        net.add_timed_transition("fail", rate=lambda m: lam * m["up"])
+        net.add_arc("up", "fail")
+        net.add_arc("fail", "down")
+        net.add_timed_transition("repair", rate=lambda m: mu * m["down"])
+        net.add_arc("down", "repair")
+        net.add_arc("repair", "up")
+        solution = solve(net)
+
+        births = [lam * (n - k) for k in range(n)]  # down-count increases
+        deaths = [mu * (k + 1) for k in range(n)]
+        pi = birth_death_steady_state(births, deaths)
+        for down_count, expected in enumerate(pi):
+            actual = solution.probability_of(
+                lambda m, dc=down_count: m["down"] == dc
+            )
+            assert actual == pytest.approx(expected, abs=1e-10)
+
+    def test_two_independent_tiers_factorise(self):
+        """The joint steady state of independent tiers is a product."""
+        net = StochasticRewardNet()
+        for tier, (lam, mu) in {"a": (0.3, 1.0), "b": (0.7, 2.0)}.items():
+            net.add_place(f"{tier}_up", tokens=1)
+            net.add_place(f"{tier}_down")
+            net.add_timed_transition(f"{tier}_fail", rate=lam)
+            net.add_arc(f"{tier}_up", f"{tier}_fail")
+            net.add_arc(f"{tier}_fail", f"{tier}_down")
+            net.add_timed_transition(f"{tier}_repair", rate=mu)
+            net.add_arc(f"{tier}_down", f"{tier}_repair")
+            net.add_arc(f"{tier}_repair", f"{tier}_up")
+        solution = solve(net)
+        p_a = 1.0 / (1.0 + 0.3)
+        p_b = 2.0 / (2.0 + 0.7)
+        joint = solution.probability_of(
+            lambda m: m["a_up"] == 1 and m["b_up"] == 1
+        )
+        assert joint == pytest.approx(p_a * p_b, abs=1e-10)
+
+
+class TestArcMultiplicity:
+    def test_batch_consumption(self):
+        """A transition consuming two tokens at once halves the up-count
+        granularity: states are up in {0, 2} plus the repair ladder."""
+        net = StochasticRewardNet()
+        net.add_place("up", tokens=2)
+        net.add_place("down")
+        net.add_timed_transition("double_fail", rate=1.0)
+        net.add_arc("up", "double_fail", multiplicity=2)
+        net.add_arc("double_fail", "down", multiplicity=2)
+        net.add_timed_transition("repair", rate=lambda m: 3.0 * m["down"])
+        net.add_arc("down", "repair")
+        net.add_arc("repair", "up")
+        graph = explore(net)
+        up_counts = sorted({m["up"] for m in graph.tangible})
+        assert up_counts == [0, 1, 2]
+        # double_fail needs two tokens, so from up == 1 the only move is
+        # a repair back to up == 2 — never a drop to up == 0
+        chain = graph.to_ctmc()
+        one_up = next(m for m in graph.tangible if m["up"] == 1)
+        zero_up = next(m for m in graph.tangible if m["up"] == 0)
+        assert chain.rate(one_up, zero_up) == 0.0
+
+    def test_guard_prunes_state_space(self):
+        net = StochasticRewardNet()
+        net.add_place("p", tokens=2)
+        net.add_place("q")
+        net.add_timed_transition(
+            "move", rate=1.0, guard=lambda m: m["q"] == 0
+        )
+        net.add_arc("p", "move")
+        net.add_arc("move", "q")
+        net.add_timed_transition("back", rate=1.0)
+        net.add_arc("q", "back")
+        net.add_arc("back", "p")
+        graph = explore(net)
+        # q can never exceed 1 because the guard blocks the second move
+        assert all(m["q"] <= 1 for m in graph.tangible)
+
+
+class TestCustomInitialMarking:
+    def test_initial_distribution_respects_override(self):
+        net = StochasticRewardNet()
+        net.add_place("a", tokens=1)
+        net.add_place("b")
+        net.add_timed_transition("ab", rate=1.0)
+        net.add_arc("a", "ab")
+        net.add_arc("ab", "b")
+        net.add_timed_transition("ba", rate=1.0)
+        net.add_arc("b", "ba")
+        net.add_arc("ba", "a")
+        graph = explore(net, initial=net.marking({"b": 1}))
+        assert graph.tangible[0].nonzero() == {"b": 1}
+        assert graph.initial_distribution[0] == 1.0

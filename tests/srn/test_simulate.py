@@ -1,0 +1,107 @@
+"""Simulation cross-validates the analytic pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SrnError
+from repro.srn import StochasticRewardNet, simulate, solve
+
+
+def updown_net(failure=2.0, repair=8.0):
+    net = StochasticRewardNet()
+    net.add_place("up", tokens=1)
+    net.add_place("down")
+    net.add_timed_transition("fail", rate=failure)
+    net.add_arc("up", "fail")
+    net.add_arc("fail", "down")
+    net.add_timed_transition("repair", rate=repair)
+    net.add_arc("down", "repair")
+    net.add_arc("repair", "up")
+    return net
+
+
+class TestAgainstAnalytic:
+    def test_two_state_availability(self):
+        net = updown_net()
+        result = simulate(net, lambda m: float(m["up"]), horizon=3000.0, seed=7)
+        assert result.time_averaged_reward == pytest.approx(0.8, abs=0.02)
+
+    def test_confidence_interval_brackets_analytic(self):
+        net = updown_net()
+        result = simulate(net, lambda m: float(m["up"]), horizon=5000.0, seed=3)
+        low, high = result.confidence_interval
+        assert low <= 0.8 <= high
+
+    def test_net_with_immediates(self):
+        net = StochasticRewardNet()
+        for name, tokens in (("a", 1), ("b", 0), ("c", 0)):
+            net.add_place(name, tokens=tokens)
+        net.add_timed_transition("t1", rate=1.0)
+        net.add_arc("a", "t1")
+        net.add_arc("t1", "b")
+        net.add_immediate_transition("i", weight=1.0)
+        net.add_arc("b", "i")
+        net.add_arc("i", "c")
+        net.add_timed_transition("t2", rate=1.0)
+        net.add_arc("c", "t2")
+        net.add_arc("t2", "a")
+        analytic = solve(net).expected_tokens("a")
+        simulated = simulate(
+            net, lambda m: float(m["a"]), horizon=4000.0, seed=11
+        ).time_averaged_reward
+        assert simulated == pytest.approx(analytic, abs=0.02)
+
+    def test_deterministic_with_seed(self):
+        net = updown_net()
+        first = simulate(net, lambda m: float(m["up"]), horizon=100.0, seed=5)
+        second = simulate(net, lambda m: float(m["up"]), horizon=100.0, seed=5)
+        assert first.time_averaged_reward == second.time_averaged_reward
+        assert first.transitions_fired == second.transitions_fired
+
+
+class TestInterface:
+    def test_zero_horizon_rejected(self):
+        with pytest.raises(SrnError):
+            simulate(updown_net(), lambda m: 1.0, horizon=0.0)
+
+    def test_bad_batches_rejected(self):
+        with pytest.raises(SrnError):
+            simulate(updown_net(), lambda m: 1.0, horizon=10.0, batches=0)
+
+    def test_warmup_excluded(self):
+        net = updown_net()
+        result = simulate(
+            net, lambda m: float(m["up"]), horizon=2000.0, seed=1, warmup=10.0
+        )
+        assert result.time_averaged_reward == pytest.approx(0.8, abs=0.03)
+
+    def test_batches_reported(self):
+        result = simulate(
+            updown_net(), lambda m: float(m["up"]), horizon=500.0, seed=2, batches=5
+        )
+        assert len(result.batches) == 5
+
+    def test_dead_marking_freezes_reward(self):
+        net = StochasticRewardNet()
+        net.add_place("a", tokens=1)
+        net.add_place("b")
+        net.add_timed_transition("t", rate=100.0)
+        net.add_arc("a", "t")
+        net.add_arc("t", "b")
+        result = simulate(net, lambda m: float(m["b"]), horizon=50.0, seed=0)
+        # the system is absorbed in b almost immediately
+        assert result.time_averaged_reward == pytest.approx(1.0, abs=0.01)
+
+    def test_timeless_trap_detected(self):
+        net = StochasticRewardNet()
+        net.add_place("a", tokens=1)
+        net.add_place("b")
+        net.add_immediate_transition("i1")
+        net.add_arc("a", "i1")
+        net.add_arc("i1", "b")
+        net.add_immediate_transition("i2")
+        net.add_arc("b", "i2")
+        net.add_arc("i2", "a")
+        with pytest.raises(SrnError, match="immediate"):
+            simulate(net, lambda m: 1.0, horizon=1.0)

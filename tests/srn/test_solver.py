@@ -1,0 +1,79 @@
+"""Tests for the SRN solution facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SrnError
+from repro.srn import StochasticRewardNet, solve
+
+
+def updown_net(failure=2.0, repair=8.0):
+    net = StochasticRewardNet()
+    net.add_place("up", tokens=1)
+    net.add_place("down")
+    net.add_timed_transition("fail", rate=failure)
+    net.add_arc("up", "fail")
+    net.add_arc("fail", "down")
+    net.add_timed_transition("repair", rate=repair)
+    net.add_arc("down", "repair")
+    net.add_arc("repair", "up")
+    return net
+
+
+class TestSteadyState:
+    def test_availability(self):
+        solution = solve(updown_net())
+        assert solution.expected_tokens("up") == pytest.approx(0.8)
+
+    def test_probability_of(self):
+        solution = solve(updown_net())
+        assert solution.probability_of(lambda m: m["down"] == 1) == pytest.approx(0.2)
+
+    def test_expected_reward(self):
+        solution = solve(updown_net())
+        value = solution.expected_reward(lambda m: 3.0 if m["up"] else 1.0)
+        assert value == pytest.approx(0.8 * 3 + 0.2 * 1)
+
+    def test_throughput_balance(self):
+        net = updown_net()
+        solution = solve(net)
+        # in steady state, flow up->down equals flow down->up
+        assert solution.throughput("fail", net) == pytest.approx(
+            solution.throughput("repair", net)
+        )
+        assert solution.throughput("fail", net) == pytest.approx(0.8 * 2.0)
+
+    def test_absorbing_net_rejected(self):
+        net = StochasticRewardNet()
+        net.add_place("a", tokens=1)
+        net.add_place("b")
+        net.add_timed_transition("t", rate=1.0)
+        net.add_arc("a", "t")
+        net.add_arc("t", "b")
+        with pytest.raises(SrnError, match="absorbing"):
+            solve(net)
+
+    def test_custom_initial_marking(self):
+        net = updown_net()
+        solution = solve(net, initial=net.marking({"down": 1}))
+        # steady state is independent of the start for irreducible nets
+        assert solution.expected_tokens("up") == pytest.approx(0.8)
+
+
+class TestTransientReward:
+    def test_transient_starts_at_initial_reward(self):
+        solution = solve(updown_net())
+        values = solution.transient_reward(lambda m: float(m["up"]), [0.0])
+        assert values[0] == pytest.approx(1.0)
+
+    def test_transient_converges_to_steady(self):
+        solution = solve(updown_net())
+        values = solution.transient_reward(lambda m: float(m["up"]), [100.0])
+        assert values[0] == pytest.approx(0.8, abs=1e-8)
+
+    def test_transient_monotone_decay_for_two_state(self):
+        solution = solve(updown_net())
+        times = [0.0, 0.1, 0.3, 1.0, 3.0]
+        values = solution.transient_reward(lambda m: float(m["up"]), times)
+        assert all(values[i] >= values[i + 1] - 1e-12 for i in range(len(values) - 1))

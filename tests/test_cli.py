@@ -1,0 +1,37 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_reproduce_prints_tables(self, capsys):
+        assert main(["reproduce"]) == 0
+        out = capsys.readouterr().out
+        assert "[Table I]" in out
+        assert "[Table VI]" in out
+        assert "0.99707" in out
+
+    def test_designs_prints_regions(self, capsys):
+        assert main(["designs"]) == 0
+        out = capsys.readouterr().out
+        assert "Eq.3 region 1: 1 DNS + 1 WEB + 2 APP + 1 DB" in out
+        assert "Eq.4 region 2: 2 DNS + 1 WEB + 1 APP + 1 DB" in out
+
+    def test_bundle_writes_artifacts(self, tmp_path, capsys):
+        assert main(["bundle", "--out", str(tmp_path / "artifacts")]) == 0
+        out = capsys.readouterr().out
+        assert "table6_coa.txt" in out
+        assert (tmp_path / "artifacts" / "design_selections.txt").exists()
+
+    def test_unknown_command_exits_nonzero(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["nonsense"])
+        assert excinfo.value.code != 0
+
+    def test_no_command_exits_nonzero(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,45 @@
+"""The exception hierarchy contracts other modules rely on."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "subclass",
+        [
+            errors.ValidationError,
+            errors.ModelError,
+            errors.GraphError,
+            errors.CvssError,
+            errors.VulnerabilityError,
+            errors.AttackTreeError,
+            errors.HarmError,
+            errors.CtmcError,
+            errors.SrnError,
+            errors.StateSpaceError,
+            errors.SolverError,
+            errors.EvaluationError,
+        ],
+    )
+    def test_everything_derives_from_repro_error(self, subclass):
+        assert issubclass(subclass, errors.ReproError)
+
+    def test_validation_error_is_value_error(self):
+        # Callers using plain ValueError handling still catch our input errors.
+        assert issubclass(errors.ValidationError, ValueError)
+
+    def test_cvss_error_is_validation_error(self):
+        assert issubclass(errors.CvssError, errors.ValidationError)
+
+    def test_state_space_error_is_srn_error(self):
+        assert issubclass(errors.StateSpaceError, errors.SrnError)
+
+    def test_solver_error_is_runtime_error(self):
+        assert issubclass(errors.SolverError, RuntimeError)
+
+    def test_graph_error_is_model_error(self):
+        assert issubclass(errors.GraphError, errors.ModelError)

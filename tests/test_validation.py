@@ -1,0 +1,117 @@
+"""Tests for the shared validation helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import _validation as v
+from repro.errors import ValidationError
+
+
+class TestRequire:
+    def test_passes_on_true(self):
+        v.require(True, "never raised")
+
+    def test_raises_on_false(self):
+        with pytest.raises(ValidationError, match="boom"):
+            v.require(False, "boom")
+
+
+class TestCheckName:
+    def test_accepts_nonempty_string(self):
+        assert v.check_name("web1") == "web1"
+
+    def test_rejects_empty_string(self):
+        with pytest.raises(ValidationError):
+            v.check_name("")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(ValidationError):
+            v.check_name(42)
+
+    def test_message_mentions_what(self):
+        with pytest.raises(ValidationError, match="role"):
+            v.check_name(None, "role")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0, 1])
+    def test_accepts_unit_interval(self, value):
+        assert v.check_probability(value) == float(value)
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 2])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ValidationError):
+            v.check_probability(value)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            v.check_probability(math.nan)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            v.check_probability(True)
+
+
+class TestCheckNonNegativeAndPositive:
+    def test_non_negative_accepts_zero(self):
+        assert v.check_non_negative(0.0) == 0.0
+
+    def test_positive_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            v.check_positive(0.0)
+
+    def test_positive_accepts_small(self):
+        assert v.check_positive(1e-12) == 1e-12
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            v.check_non_negative(-1.0)
+
+    def test_rejects_infinity(self):
+        with pytest.raises(ValidationError):
+            v.check_positive(math.inf)
+
+
+class TestCheckInts:
+    def test_positive_int_accepts_one(self):
+        assert v.check_positive_int(1) == 1
+
+    def test_positive_int_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            v.check_positive_int(0)
+
+    def test_positive_int_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            v.check_positive_int(True)
+
+    def test_positive_int_rejects_float(self):
+        with pytest.raises(ValidationError):
+            v.check_positive_int(2.0)
+
+    def test_non_negative_int_accepts_zero(self):
+        assert v.check_non_negative_int(0) == 0
+
+    def test_non_negative_int_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            v.check_non_negative_int(-1)
+
+
+class TestCheckIn:
+    def test_accepts_member(self):
+        assert v.check_in("a", ["a", "b"]) == "a"
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ValidationError):
+            v.check_in("c", ["a", "b"])
+
+
+class TestCheckUnique:
+    def test_accepts_unique(self):
+        v.check_unique([1, 2, 3])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            v.check_unique([1, 2, 1])
