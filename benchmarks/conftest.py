@@ -14,7 +14,7 @@ from repro.enterprise import (
     paper_case_study,
     paper_designs,
 )
-from repro.evaluation import AvailabilityEvaluator, evaluate_designs
+from repro.evaluation import AvailabilityEvaluator, SweepEngine
 from repro.patching import CriticalVulnerabilityPolicy
 
 
@@ -44,7 +44,11 @@ def availability_evaluator(case_study, critical_policy):
 
 
 @pytest.fixture(scope="session")
-def design_evaluations(case_study, critical_policy, five_designs):
-    return evaluate_designs(
-        five_designs, case_study=case_study, policy=critical_policy
-    )
+def sweep_engine(case_study, critical_policy):
+    """Shared sweep engine; its result cache spans the whole session."""
+    return SweepEngine(case_study=case_study, policy=critical_policy)
+
+
+@pytest.fixture(scope="session")
+def design_evaluations(sweep_engine, five_designs):
+    return sweep_engine.evaluate(five_designs)

@@ -9,11 +9,15 @@ Commands
 ``designs``
     Print the five paper designs with their after-patch metrics and the
     Eq. (3)/(4) region selections.
+``sweep``
+    Evaluate a whole design space (roles x replica counts) through the
+    sweep engine, optionally in parallel, as a table or JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
 
@@ -75,6 +79,60 @@ def _designs(_: argparse.Namespace) -> int:
     return 0
 
 
+def _snapshot_payload(snapshot) -> dict:
+    payload = snapshot.security.as_dict()
+    payload["COA"] = snapshot.coa
+    return payload
+
+
+def _sweep(args: argparse.Namespace) -> int:
+    from repro.evaluation.engine import SweepEngine
+    from repro.evaluation.report import design_comparison_table
+
+    from repro.errors import ReproError
+
+    roles = list(
+        dict.fromkeys(role.strip() for role in args.roles.split(",") if role.strip())
+    )
+    if not roles:
+        print("no roles given", file=sys.stderr)
+        return 2
+    try:
+        engine = SweepEngine(executor=args.executor, max_workers=args.jobs)
+        evaluations = engine.sweep(
+            roles, max_replicas=args.max_replicas, max_total=args.max_total
+        )
+    except ReproError as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 2
+    front = {id(e) for e in engine.pareto(evaluations)}
+    if args.json:
+        payload = {
+            "roles": roles,
+            "max_replicas": args.max_replicas,
+            "max_total": args.max_total,
+            "executor": engine.executor.name,
+            "design_count": len(evaluations),
+            "designs": [
+                {
+                    "label": evaluation.label,
+                    "counts": evaluation.design.counts,
+                    "total_servers": evaluation.design.total_servers,
+                    "before": _snapshot_payload(evaluation.before),
+                    "after": _snapshot_payload(evaluation.after),
+                    "pareto": id(evaluation) in front,
+                }
+                for evaluation in evaluations
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(design_comparison_table(evaluations))
+        labels = [e.label for e in evaluations if id(e) in front]
+        print(f"\nPareto front (after patch): {', '.join(labels)}")
+    return 0
+
+
 def _bundle(args: argparse.Namespace) -> int:
     from repro.evaluation import write_experiment_bundle
 
@@ -106,6 +164,42 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     bundle.add_argument("--out", default="artifacts", help="output directory")
     bundle.set_defaults(handler=_bundle)
+    sweep = commands.add_parser(
+        "sweep", help="evaluate a whole design space through the sweep engine"
+    )
+    sweep.add_argument(
+        "--roles",
+        default="dns,web,app,db",
+        help="comma-separated role names (default: dns,web,app,db)",
+    )
+    sweep.add_argument(
+        "--max-replicas",
+        type=int,
+        default=2,
+        help="replica cap per role (default: 2)",
+    )
+    sweep.add_argument(
+        "--max-total",
+        type=int,
+        default=None,
+        help="optional cap on total server count",
+    )
+    sweep.add_argument(
+        "--executor",
+        choices=("serial", "process"),
+        default="serial",
+        help="sweep-engine executor (default: serial)",
+    )
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker count for the process executor",
+    )
+    sweep.add_argument(
+        "--json", action="store_true", help="emit JSON instead of a table"
+    )
+    sweep.set_defaults(handler=_sweep)
 
     args = parser.parse_args(argv)
     return args.handler(args)

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from collections.abc import Mapping
 
+import numpy as np
+
 from repro._validation import check_positive_int
 from repro.availability.aggregation import ServiceAggregate
 from repro.availability.coa import coa_reward, up_place
@@ -56,6 +58,9 @@ class NetworkAvailabilityModel:
         }
         self._aggregates = dict(aggregates)
         self._solution: SrnSolution | None = None
+        # Built once so repeated COA calls hit the solution's LRU
+        # reward-vector cache (keyed on callable identity).
+        self._coa_reward = coa_reward(self._capacities)
 
     # -- model ------------------------------------------------------------
 
@@ -101,7 +106,7 @@ class NetworkAvailabilityModel:
     def capacity_oriented_availability(self) -> float:
         """COA: the expected Table VI reward at steady state."""
         solution = self.solve()
-        return solution.expected_reward(coa_reward(self._capacities))
+        return solution.expected_reward(self._coa_reward)
 
     def system_availability(self) -> float:
         """P(every service has at least one server up)."""
@@ -114,9 +119,11 @@ class NetworkAvailabilityModel:
     def expected_running_servers(self) -> float:
         """Expected number of servers that are up."""
         solution = self.solve()
-        places = [up_place(svc) for svc in self._capacities]
-        return solution.expected_reward(
-            lambda m: float(sum(m[place] for place in places))
+        return float(
+            sum(
+                solution.expected_tokens(up_place(svc))
+                for svc in self._capacities
+            )
         )
 
     def service_up_distribution(self, service: str) -> dict[int, float]:
@@ -125,8 +132,11 @@ class NetworkAvailabilityModel:
             raise EvaluationError(f"unknown service {service!r}")
         solution = self.solve()
         place = up_place(service)
-        distribution: dict[int, float] = {}
-        for marking, probability in zip(solution.markings, solution.probabilities):
-            count = marking[place]
-            distribution[count] = distribution.get(count, 0.0) + float(probability)
-        return dict(sorted(distribution.items()))
+        places = solution.markings[0].places()
+        counts = solution.token_matrix()[:, places.index(place)].astype(int)
+        mass = np.bincount(
+            counts,
+            weights=solution.probabilities,
+            minlength=self._capacities[service] + 1,
+        )
+        return {count: float(probability) for count, probability in enumerate(mass)}

@@ -18,12 +18,14 @@ from repro.ctmc.aggregate import TwoStateAggregate, aggregate_two_state
 from repro.ctmc.birthdeath import birth_death_steady_state
 from repro.ctmc.chain import Ctmc
 from repro.ctmc.rewards import expected_reward_rate, reward_vector
-from repro.ctmc.steady import steady_state
+from repro.ctmc.steady import BatchSteadySolver, steady_state, steady_state_batch
 from repro.ctmc.transient import transient_distribution
 
 __all__ = [
     "Ctmc",
     "steady_state",
+    "steady_state_batch",
+    "BatchSteadySolver",
     "transient_distribution",
     "expected_reward_rate",
     "reward_vector",

@@ -15,9 +15,18 @@ Three methods are provided:
 
 ``steady_state`` picks ``gth`` for small chains and ``direct`` otherwise,
 falling back across methods on numerical failure.
+
+Each method is split into a matrix-level core (operating on the generator
+directly) and a thin :class:`~repro.ctmc.chain.Ctmc` wrapper, so that
+:class:`BatchSteadySolver` can solve whole families of chains that share
+one transition structure without rebuilding per-chain ``Ctmc`` objects:
+the sparsity pattern, index arrays and dense scaffolding are assembled
+once and only the rate values change between solves.
 """
 
 from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 from scipy import sparse
@@ -26,7 +35,14 @@ from scipy.sparse import linalg as sparse_linalg
 from repro.ctmc.chain import Ctmc
 from repro.errors import SolverError
 
-__all__ = ["steady_state", "steady_state_direct", "steady_state_gth", "steady_state_power"]
+__all__ = [
+    "steady_state",
+    "steady_state_direct",
+    "steady_state_gth",
+    "steady_state_power",
+    "steady_state_batch",
+    "BatchSteadySolver",
+]
 
 _GTH_CUTOFF = 200
 
@@ -63,9 +79,46 @@ def steady_state_direct(chain: Ctmc) -> np.ndarray:
     n = chain.number_of_states()
     if n == 1:
         return np.array([1.0])
-    q = chain.generator().transpose().tocsr().astype(float)
+    return _direct_core(chain.generator().astype(float))
+
+
+def steady_state_gth(chain: Ctmc) -> np.ndarray:
+    """Grassmann-Taksar-Heyman elimination (dense, subtraction-free)."""
+    n = chain.number_of_states()
+    if n == 1:
+        return np.array([1.0])
+    return _gth_core(chain.dense_generator())
+
+
+def steady_state_power(
+    chain: Ctmc,
+    tolerance: float = 1e-12,
+    max_iterations: int = 2_000_000,
+) -> np.ndarray:
+    """Uniformised power iteration.
+
+    Builds ``P = I + Q / Lambda`` with ``Lambda`` slightly above the
+    largest exit rate and iterates ``pi P`` until the L1 change falls
+    below *tolerance*.
+    """
+    n = chain.number_of_states()
+    if n == 1:
+        return np.array([1.0])
+    return _power_core(
+        chain.generator().tocsr().astype(float),
+        tolerance=tolerance,
+        max_iterations=max_iterations,
+    )
+
+
+# -- matrix-level cores -------------------------------------------------------
+
+
+def _direct_core(q: sparse.spmatrix) -> np.ndarray:
+    """Direct solve given the sparse generator ``Q`` (n >= 2)."""
+    n = q.shape[0]
+    a = q.transpose().tolil()
     # Replace the last equation with sum(pi) = 1.
-    a = q.tolil()
     a[n - 1, :] = np.ones(n)
     b = np.zeros(n)
     b[n - 1] = 1.0
@@ -85,12 +138,9 @@ def steady_state_direct(chain: Ctmc) -> np.ndarray:
     return pi / total
 
 
-def steady_state_gth(chain: Ctmc) -> np.ndarray:
-    """Grassmann-Taksar-Heyman elimination (dense, subtraction-free)."""
-    n = chain.number_of_states()
-    if n == 1:
-        return np.array([1.0])
-    q = chain.dense_generator()
+def _gth_core(q: np.ndarray) -> np.ndarray:
+    """GTH elimination given the dense generator ``Q`` (n >= 2)."""
+    n = q.shape[0]
     # Work on the off-diagonal rate matrix.
     a = q.copy()
     np.fill_diagonal(a, 0.0)
@@ -120,21 +170,13 @@ def steady_state_gth(chain: Ctmc) -> np.ndarray:
     return pi / total
 
 
-def steady_state_power(
-    chain: Ctmc,
+def _power_core(
+    q: sparse.csr_matrix,
     tolerance: float = 1e-12,
     max_iterations: int = 2_000_000,
 ) -> np.ndarray:
-    """Uniformised power iteration.
-
-    Builds ``P = I + Q / Lambda`` with ``Lambda`` slightly above the
-    largest exit rate and iterates ``pi P`` until the L1 change falls
-    below *tolerance*.
-    """
-    n = chain.number_of_states()
-    if n == 1:
-        return np.array([1.0])
-    q = chain.generator().tocsr().astype(float)
+    """Uniformised power iteration given the sparse generator (n >= 2)."""
+    n = q.shape[0]
     max_exit = float(np.max(-q.diagonal())) if n else 0.0
     if max_exit <= 0.0:
         # No transitions at all: every state is absorbing.
@@ -153,3 +195,151 @@ def steady_state_power(
     raise SolverError(
         f"power iteration did not converge within {max_iterations} iterations"
     )
+
+
+# -- batched solves over a shared structure -----------------------------------
+
+
+class BatchSteadySolver:
+    """Solve many CTMCs that share one transition structure.
+
+    The solver is built once from the state count and the off-diagonal
+    transition pattern (``(src, dst)`` index pairs); each solve then only
+    supplies the rate *values* aligned with that pattern.  Generator
+    assembly is fully vectorised (index arrays + ``bincount`` for the
+    diagonal), so sweeping a parameter space costs one numpy assembly and
+    one linear solve per point instead of a Python dict walk per point.
+
+    Examples
+    --------
+    >>> solver = BatchSteadySolver(2, [(0, 1), (1, 0)])
+    >>> solver.solve([2.0, 8.0]).round(3).tolist()
+    [0.8, 0.2]
+    """
+
+    def __init__(self, n: int, transitions: Sequence[tuple[int, int]]) -> None:
+        if n < 1:
+            raise SolverError("a chain needs at least one state")
+        self.n = int(n)
+        pattern = list(transitions)
+        if len(set(pattern)) != len(pattern):
+            raise SolverError("transition pattern contains duplicate pairs")
+        for src, dst in pattern:
+            if src == dst:
+                raise SolverError(f"self-loop ({src}, {dst}) in transition pattern")
+            if not (0 <= src < n and 0 <= dst < n):
+                raise SolverError(f"transition ({src}, {dst}) outside 0..{n - 1}")
+        self._pattern: tuple[tuple[int, int], ...] = tuple(pattern)
+        self._src = np.array([s for s, _ in pattern], dtype=np.intp)
+        self._dst = np.array([d for _, d in pattern], dtype=np.intp)
+        diag = np.arange(n, dtype=np.intp)
+        self._rows = np.concatenate([self._src, diag])
+        self._cols = np.concatenate([self._dst, diag])
+
+    @classmethod
+    def from_chain(cls, chain: Ctmc) -> "BatchSteadySolver":
+        """A solver over *chain*'s transition pattern."""
+        pattern = [(i, j) for i, j, _ in chain.transitions()]
+        return cls(chain.number_of_states(), pattern)
+
+    @property
+    def pattern(self) -> tuple[tuple[int, int], ...]:
+        """The off-diagonal ``(src, dst)`` pairs, in rate-vector order."""
+        return self._pattern
+
+    def rates_of(self, chain: Ctmc) -> np.ndarray:
+        """*chain*'s rates aligned with :attr:`pattern` (0 where absent).
+
+        Raises
+        ------
+        SolverError
+            If the chain has a transition outside this solver's pattern.
+        """
+        lookup = {(i, j): rate for i, j, rate in chain.transitions()}
+        rates = np.array([lookup.pop(pair, 0.0) for pair in self._pattern])
+        if lookup:
+            extra = next(iter(lookup))
+            raise SolverError(f"chain transition {extra} not in solver pattern")
+        return rates
+
+    def generator(self, rates: Sequence[float]) -> sparse.csr_matrix:
+        """Assemble the sparse generator for one rate vector."""
+        values = self._values(rates)
+        outflow = np.bincount(self._src, weights=values, minlength=self.n)
+        data = np.concatenate([values, -outflow])
+        return sparse.csr_matrix(
+            (data, (self._rows, self._cols)), shape=(self.n, self.n)
+        )
+
+    def dense_generator(self, rates: Sequence[float]) -> np.ndarray:
+        """Assemble the dense generator for one rate vector."""
+        values = self._values(rates)
+        q = np.zeros((self.n, self.n))
+        q[self._src, self._dst] = values
+        q[np.arange(self.n), np.arange(self.n)] = -np.bincount(
+            self._src, weights=values, minlength=self.n
+        )
+        return q
+
+    def solve(self, rates: Sequence[float], method: str = "auto") -> np.ndarray:
+        """Steady-state vector for the chain with the given rate values."""
+        if self.n == 1:
+            return np.array([1.0])
+        if method == "auto":
+            if self.n <= _GTH_CUTOFF:
+                return _gth_core(self.dense_generator(rates))
+            try:
+                return _direct_core(self.generator(rates))
+            except SolverError:
+                return _power_core(self.generator(rates))
+        if method == "gth":
+            return _gth_core(self.dense_generator(rates))
+        if method == "direct":
+            return _direct_core(self.generator(rates))
+        if method == "power":
+            return _power_core(self.generator(rates))
+        raise SolverError(f"unknown steady-state method {method!r}")
+
+    def solve_batch(
+        self, rate_rows: Iterable[Sequence[float]], method: str = "auto"
+    ) -> np.ndarray:
+        """Solve one chain per row of *rate_rows*; rows align with input."""
+        rows = [self.solve(rates, method=method) for rates in rate_rows]
+        if not rows:
+            return np.zeros((0, self.n))
+        return np.vstack(rows)
+
+    def _values(self, rates: Sequence[float]) -> np.ndarray:
+        values = np.asarray(rates, dtype=float)
+        if values.shape != (len(self._pattern),):
+            raise SolverError(
+                f"expected {len(self._pattern)} rates, got shape {values.shape}"
+            )
+        if np.any(~np.isfinite(values)) or np.any(values < 0):
+            raise SolverError("rates must be finite and non-negative")
+        return values
+
+
+def steady_state_batch(
+    chains: Sequence[Ctmc], method: str = "auto"
+) -> list[np.ndarray]:
+    """Steady states of many chains, reusing structure where shared.
+
+    Chains are grouped by (state count, transition pattern); each group
+    shares one :class:`BatchSteadySolver` so pattern index arrays and
+    dense scaffolding are built once per distinct structure.  Results are
+    returned in input order.
+    """
+    groups: dict[tuple[int, tuple[tuple[int, int], ...]], BatchSteadySolver] = {}
+    results: list[np.ndarray] = []
+    for chain in chains:
+        key = (
+            chain.number_of_states(),
+            tuple(sorted((i, j) for i, j, _ in chain.transitions())),
+        )
+        solver = groups.get(key)
+        if solver is None:
+            solver = BatchSteadySolver(key[0], key[1])
+            groups[key] = solver
+        results.append(solver.solve(solver.rates_of(chain), method=method))
+    return results

@@ -7,6 +7,7 @@ Poisson tail is below the requested tolerance.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Mapping, Sequence
 
 import numpy as np
@@ -16,6 +17,22 @@ from repro.ctmc.chain import Ctmc, State
 from repro.errors import SolverError
 
 __all__ = ["transient_distribution", "transient_rewards"]
+
+#: Below this state count the uniformisation matrix is densified: numpy
+#: matvecs beat scipy-sparse call overhead, and the left-truncation
+#: advance can use matrix powers (repeated squaring) instead of
+#: ``left`` sequential multiplications — for stiff chains ``left`` is of
+#: the order ``Lambda t`` and the sequential loop dominated whole runs.
+_DENSE_CUTOFF = 400
+
+
+def _use_matrix_power(n: int, left: int) -> bool:
+    """Whether repeated squaring beats ``left`` sequential vec-mats.
+
+    Squaring costs ~log2(left) n^3 multiplies vs left n^2 for the loop,
+    so the break-even scales with the state count (factor 3 for safety).
+    """
+    return left > 64 and left > 3 * n * math.log2(left)
 
 
 def transient_distribution(
@@ -41,6 +58,8 @@ def transient_distribution(
         return pi0  # no transitions: distribution is frozen
     lam = max_exit * 1.02
     p = sparse.identity(n, format="csr") + q / lam
+    if n <= _DENSE_CUTOFF:
+        p = p.toarray()
 
     # Poisson weights with left/right truncation.
     mean = lam * time
@@ -48,8 +67,11 @@ def transient_distribution(
 
     term = pi0.copy()
     # Advance to the left truncation point.
-    for _ in range(left):
-        term = np.asarray(term @ p).ravel()
+    if isinstance(p, np.ndarray) and _use_matrix_power(n, left):
+        term = term @ np.linalg.matrix_power(p, left)
+    else:
+        for _ in range(left):
+            term = np.asarray(term @ p).ravel()
     result = np.zeros(n)
     for weight in weights:
         result += weight * term

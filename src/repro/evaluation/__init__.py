@@ -7,7 +7,9 @@ before/after-patch snapshot a design gets in Figs. 6-7;
 decision functions; :mod:`repro.evaluation.report` renders the paper's
 tables; :mod:`repro.evaluation.charts` produces the scatter/radar data
 (and ASCII renderings); :mod:`repro.evaluation.sweep` explores larger
-design spaces; :mod:`repro.evaluation.cost` adds the operational-cost
+design spaces; :mod:`repro.evaluation.engine` scales those sweeps with
+caching and pluggable (serial/process-pool) executors;
+:mod:`repro.evaluation.cost` adds the operational-cost
 extension sketched in Section V.
 """
 
@@ -18,6 +20,13 @@ from repro.evaluation.combined import (
     DesignSnapshot,
     evaluate_design,
     evaluate_designs,
+    evaluate_designs_shared,
+)
+from repro.evaluation.engine import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    SweepEngine,
 )
 from repro.evaluation.requirements import (
     MultiMetricRequirement,
@@ -35,6 +44,11 @@ __all__ = [
     "DesignEvaluation",
     "evaluate_design",
     "evaluate_designs",
+    "evaluate_designs_shared",
+    "SweepEngine",
+    "Executor",
+    "SerialExecutor",
+    "ProcessExecutor",
     "TwoMetricRequirement",
     "MultiMetricRequirement",
     "satisfying_designs",

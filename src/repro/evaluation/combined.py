@@ -12,7 +12,13 @@ from repro.evaluation.security import SecurityEvaluator
 from repro.harm import SecurityMetrics
 from repro.patching.policy import CriticalVulnerabilityPolicy, PatchPolicy
 
-__all__ = ["DesignSnapshot", "DesignEvaluation", "evaluate_design", "evaluate_designs"]
+__all__ = [
+    "DesignSnapshot",
+    "DesignEvaluation",
+    "evaluate_design",
+    "evaluate_designs",
+    "evaluate_designs_shared",
+]
 
 
 @dataclass(frozen=True)
@@ -82,16 +88,17 @@ def evaluate_design(
     )
 
 
-def evaluate_designs(
+def evaluate_designs_shared(
     designs: Iterable[RedundancyDesign],
-    case_study: EnterpriseCaseStudy | None = None,
-    policy: PatchPolicy | None = None,
+    case_study: EnterpriseCaseStudy,
+    policy: PatchPolicy,
 ) -> list[DesignEvaluation]:
-    """Evaluate many designs with shared (cached) evaluators."""
-    if case_study is None:
-        case_study = paper_case_study()
-    if policy is None:
-        policy = CriticalVulnerabilityPolicy()
+    """Serial evaluation of *designs* with one shared evaluator pair.
+
+    This is the chunk primitive of the sweep engine: the shared
+    :class:`AvailabilityEvaluator` amortises the per-role lower-layer SRN
+    solves across every design in the chunk.
+    """
     security_evaluator = SecurityEvaluator(case_study)
     availability_evaluator = AvailabilityEvaluator(case_study, policy)
     return [
@@ -104,3 +111,32 @@ def evaluate_designs(
         )
         for design in designs
     ]
+
+
+def evaluate_designs(
+    designs: Iterable[RedundancyDesign],
+    case_study: EnterpriseCaseStudy | None = None,
+    policy: PatchPolicy | None = None,
+    executor: str | None = None,
+    max_workers: int | None = None,
+) -> list[DesignEvaluation]:
+    """Evaluate many designs with shared (cached) evaluators.
+
+    *executor* selects a sweep-engine executor (``"serial"`` or
+    ``"process"``); the default runs in-process without engine overhead.
+    """
+    if case_study is None:
+        case_study = paper_case_study()
+    if policy is None:
+        policy = CriticalVulnerabilityPolicy()
+    if executor is not None and executor != "serial":
+        from repro.evaluation.engine import SweepEngine
+
+        engine = SweepEngine(
+            case_study=case_study,
+            policy=policy,
+            executor=executor,
+            max_workers=max_workers,
+        )
+        return engine.evaluate(designs)
+    return evaluate_designs_shared(designs, case_study, policy)

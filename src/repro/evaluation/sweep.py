@@ -37,9 +37,21 @@ def sweep_designs(
     case_study: EnterpriseCaseStudy,
     policy: PatchPolicy,
     designs: Iterable[RedundancyDesign],
+    executor: str | None = None,
+    max_workers: int | None = None,
 ) -> list[DesignEvaluation]:
-    """Evaluate an arbitrary design collection with shared caches."""
-    return evaluate_designs(list(designs), case_study=case_study, policy=policy)
+    """Evaluate an arbitrary design collection with shared caches.
+
+    *executor*/*max_workers* select a :mod:`repro.evaluation.engine`
+    executor for large spaces; the default stays serial and in-process.
+    """
+    return evaluate_designs(
+        list(designs),
+        case_study=case_study,
+        policy=policy,
+        executor=executor,
+        max_workers=max_workers,
+    )
 
 
 def pareto_front(

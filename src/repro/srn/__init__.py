@@ -18,7 +18,7 @@ independent estimate used to cross-validate the analytic pipeline.
 from repro.srn.marking import Marking
 from repro.srn.net import Place, StochasticRewardNet, Transition
 from repro.srn.reachability import ReachabilityGraph, explore
-from repro.srn.solver import SrnSolution, solve
+from repro.srn.solver import SrnSolution, solve, solve_family
 from repro.srn.simulate import SimulationResult, simulate
 
 __all__ = [
@@ -30,6 +30,7 @@ __all__ = [
     "explore",
     "SrnSolution",
     "solve",
+    "solve_family",
     "SimulationResult",
     "simulate",
 ]

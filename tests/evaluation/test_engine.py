@@ -1,0 +1,171 @@
+"""Unit tests for the sweep engine (caching, chunking, executors)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enterprise import RedundancyDesign
+from repro.errors import EvaluationError
+from repro.evaluation import (
+    SerialExecutor,
+    SweepEngine,
+    enumerate_designs,
+    evaluate_designs,
+    pareto_front,
+    sweep_designs,
+)
+from repro.evaluation.engine import ProcessExecutor, _evaluate_chunk
+
+
+def _total_servers(design):
+    """Module-level so it pickles across the process boundary."""
+    return design.total_servers
+
+
+class RecordingExecutor(SerialExecutor):
+    """Serial executor that remembers how many batches it ran."""
+
+    name = "recording"
+
+    def __init__(self):
+        self.batches_run = 0
+
+    def run(self, fn, batches):
+        self.batches_run += len(batches)
+        return super().run(fn, batches)
+
+
+@pytest.fixture(scope="module")
+def small_space():
+    return list(enumerate_designs(["dns", "web"], max_replicas=2))
+
+
+class TestSweepEngine:
+    def test_evaluate_preserves_input_order(self, small_space):
+        engine = SweepEngine()
+        shuffled = list(reversed(small_space))
+        evaluations = engine.evaluate(shuffled)
+        assert [e.design for e in evaluations] == shuffled
+
+    def test_duplicates_evaluated_once(self, small_space):
+        engine = SweepEngine()
+        doubled = small_space + small_space
+        evaluations = engine.evaluate(doubled)
+        assert len(evaluations) == len(doubled)
+        assert engine.cache_info["size"] == len(small_space)
+        # The two halves are the same cached objects.
+        assert evaluations[0] is evaluations[len(small_space)]
+
+    def test_cache_hits_and_clear(self, small_space):
+        engine = SweepEngine()
+        engine.evaluate(small_space)
+        misses = engine.cache_info["misses"]
+        engine.evaluate(small_space)
+        assert engine.cache_info["misses"] == misses
+        assert engine.cache_info["hits"] >= len(small_space)
+        engine.clear_cache()
+        assert engine.cache_info == {"hits": 0, "misses": 0, "size": 0}
+
+    def test_cached_designs_skip_executor(self, small_space):
+        executor = RecordingExecutor()
+        engine = SweepEngine(executor=executor)
+        engine.evaluate(small_space)
+        ran = executor.batches_run
+        engine.evaluate(small_space)
+        assert executor.batches_run == ran
+
+    def test_sweep_matches_enumerate_plus_evaluate(self):
+        engine = SweepEngine()
+        swept = engine.sweep(["dns", "web"], max_replicas=2, max_total=3)
+        manual = engine.evaluate(
+            enumerate_designs(["dns", "web"], max_replicas=2, max_total=3)
+        )
+        assert swept == manual
+
+    def test_pareto_delegates_to_pareto_front(self, small_space):
+        engine = SweepEngine()
+        evaluations = engine.evaluate(small_space)
+        assert engine.pareto(evaluations) == pareto_front(evaluations)
+
+    def test_map_is_ordered(self, small_space):
+        engine = SweepEngine(chunk_size=3)
+        totals = engine.map(_total_servers, small_space)
+        assert totals == [design.total_servers for design in small_space]
+
+    def test_map_through_process_pool(self, small_space):
+        engine = SweepEngine(
+            executor="process", max_workers=2, chunk_size=1
+        )
+        totals = engine.map(_total_servers, small_space)
+        assert totals == [design.total_servers for design in small_space]
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(EvaluationError):
+            SweepEngine(executor="threads")
+
+    def test_custom_executor_instance_accepted(self, small_space):
+        executor = RecordingExecutor()
+        engine = SweepEngine(executor=executor)
+        engine.evaluate(small_space)
+        assert executor.batches_run >= 1
+
+    def test_chunking_covers_all_items(self):
+        engine = SweepEngine(chunk_size=3)
+        chunks = engine._chunks(list(range(10)))
+        assert [len(c) for c in chunks] == [3, 3, 3, 1]
+        assert [x for chunk in chunks for x in chunk] == list(range(10))
+
+
+class TestModuleLevelApi:
+    def test_evaluate_designs_executor_kwarg(self, small_space, case_study, critical_policy):
+        serial = evaluate_designs(
+            small_space, case_study=case_study, policy=critical_policy
+        )
+        parallel = evaluate_designs(
+            small_space,
+            case_study=case_study,
+            policy=critical_policy,
+            executor="process",
+            max_workers=2,
+        )
+        assert serial == parallel
+
+    def test_sweep_designs_executor_kwarg(self, small_space, case_study, critical_policy):
+        default = sweep_designs(case_study, critical_policy, small_space)
+        engine_run = sweep_designs(
+            case_study, critical_policy, small_space, executor="serial"
+        )
+        assert default == engine_run
+
+    def test_chunk_worker_matches_serial(self, small_space, case_study, critical_policy):
+        chunked = _evaluate_chunk(case_study, critical_policy, small_space)
+        assert chunked == evaluate_designs(
+            small_space, case_study=case_study, policy=critical_policy
+        )
+
+
+class TestProcessExecutor:
+    def test_single_batch_avoids_pool(self):
+        executor = ProcessExecutor(max_workers=2)
+        # A lambda is not picklable: it only works because a single batch
+        # short-circuits to an in-process call.
+        assert executor.run(lambda x: x + 1, [(41,)]) == [42]
+
+    def test_empty_batches(self):
+        assert ProcessExecutor(max_workers=2).run(_total_servers, []) == []
+
+    def test_invalid_workers(self):
+        with pytest.raises(Exception):
+            ProcessExecutor(max_workers=0)
+
+    def test_default_workers_positive(self):
+        assert ProcessExecutor().max_workers >= 1
+
+
+class TestEngineDefaults:
+    def test_defaults_to_paper_case_study(self):
+        engine = SweepEngine()
+        evaluations = engine.evaluate(
+            [RedundancyDesign({"dns": 1, "web": 1, "app": 1, "db": 1})]
+        )
+        assert evaluations[0].after.coa == pytest.approx(0.995614, abs=5e-4)

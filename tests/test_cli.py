@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -26,6 +28,73 @@ class TestCli:
         out = capsys.readouterr().out
         assert "table6_coa.txt" in out
         assert (tmp_path / "artifacts" / "design_selections.txt").exists()
+
+    def test_sweep_json_schema(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--roles",
+                    "dns,web",
+                    "--max-replicas",
+                    "2",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["roles"] == ["dns", "web"]
+        assert payload["max_replicas"] == 2
+        assert payload["executor"] == "serial"
+        assert payload["design_count"] == 4
+        assert len(payload["designs"]) == 4
+        snapshot_keys = {"AIM", "ASP", "NoEV", "NoAP", "NoEP", "COA"}
+        for design in payload["designs"]:
+            assert set(design) == {
+                "label",
+                "counts",
+                "total_servers",
+                "before",
+                "after",
+                "pareto",
+            }
+            assert set(design["before"]) == snapshot_keys
+            assert set(design["after"]) == snapshot_keys
+            assert design["total_servers"] == sum(design["counts"].values())
+            assert 0.0 < design["after"]["COA"] <= 1.0
+            assert isinstance(design["pareto"], bool)
+        assert any(design["pareto"] for design in payload["designs"])
+
+    def test_sweep_table_output(self, capsys):
+        assert main(["sweep", "--roles", "dns,web", "--max-replicas", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "COA" in out
+        assert "Pareto front (after patch):" in out
+        assert "2 DNS + 2 WEB" in out
+
+    def test_sweep_max_total_caps_space(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--roles",
+                    "dns,web",
+                    "--max-replicas",
+                    "3",
+                    "--max-total",
+                    "4",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["design_count"] == 6
+        assert all(d["total_servers"] <= 4 for d in payload["designs"])
+
+    def test_sweep_rejects_empty_roles(self, capsys):
+        assert main(["sweep", "--roles", " , "]) == 2
 
     def test_unknown_command_exits_nonzero(self):
         with pytest.raises(SystemExit) as excinfo:
