@@ -1,25 +1,21 @@
 """Extension: heterogeneous redundancy (paper Section V future work).
 
 Compares the dual-Apache web tier (the paper's third design) with an
-Apache + nginx diverse tier: identical COA-level benefit, but the
-attacker needs distinct exploits per stack (unique-CVE count rises).
+Apache + nginx diverse tier through the unified ``DesignSpec``
+pipeline — the same :class:`SweepEngine` path homogeneous designs take:
+identical COA-level benefit, but the attacker needs distinct exploits
+per stack (unique-CVE count rises).
 """
 
 from __future__ import annotations
 
-from repro.enterprise import (
-    HeterogeneousDesign,
-    build_heterogeneous_harm,
-    heterogeneous_availability_model,
-    paper_variants,
-)
-from repro.harm import evaluate_security
+from repro.enterprise import HeterogeneousDesign, paper_variants
+from repro.evaluation import SweepEngine
 from repro.vulnerability.diversity import diversity_database
 
 
 def _compare(case_study, critical_policy):
     variants = paper_variants()
-    database = diversity_database()
     base = {
         "dns": {variants["dns_ms"]: 1},
         "app": {variants["app_weblogic"]: 1},
@@ -31,15 +27,16 @@ def _compare(case_study, critical_policy):
     diverse = HeterogeneousDesign(
         {**base, "web": {variants["web_apache"]: 1, variants["web_nginx"]: 1}}
     )
-    results = {}
-    for label, design in (("uniform", uniform), ("diverse", diverse)):
-        harm = build_heterogeneous_harm(case_study, design, database, critical_policy)
-        metrics = evaluate_security(harm)
-        model = heterogeneous_availability_model(
-            case_study, design, database, critical_policy
-        )
-        results[label] = (metrics, model.capacity_oriented_availability())
-    return results
+    engine = SweepEngine(
+        case_study=case_study,
+        policy=critical_policy,
+        database=diversity_database(),
+    )
+    evaluations = engine.evaluate([uniform, diverse])
+    return {
+        label: (evaluation.after.security, evaluation.after.coa)
+        for label, evaluation in zip(("uniform", "diverse"), evaluations)
+    }
 
 
 def test_extension_heterogeneous(benchmark, case_study, critical_policy):

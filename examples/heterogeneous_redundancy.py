@@ -6,6 +6,13 @@ strategies on the paper's network — single Apache, dual Apache
 (the paper's third design), and Apache + nginx diversity — plus a
 diverse database tier, reporting the security metrics and COA for each.
 
+It then shows the unified ``DesignSpec`` pipeline: the sweep engine
+evaluates the whole diversity design space (every variant-count
+assignment over the paper's variant pools) next to the homogeneous
+replica-count space, and ranks the *mixed* population on one
+(ASP, COA) Pareto front — the ``repro sweep --variants`` CLI does the
+same from the command line.
+
 Usage::
 
     python examples/heterogeneous_redundancy.py
@@ -18,8 +25,11 @@ from repro.enterprise import (
     build_heterogeneous_harm,
     heterogeneous_availability_model,
     paper_case_study,
+    paper_variant_space,
     paper_variants,
 )
+from repro.evaluation import SweepEngine, enumerate_designs, pareto_front
+from repro.evaluation.sweep import enumerate_heterogeneous_designs
 from repro.harm import evaluate_security
 from repro.patching import CriticalVulnerabilityPolicy
 from repro.vulnerability.diversity import diversity_database
@@ -89,6 +99,31 @@ def main() -> None:
     print("   exploits per stack (see the unique-CVE column);")
     print(" - diversity is not free: each extra stack contributes its own")
     print("   exploitable vulnerabilities to the attack surface.")
+
+    # -- the unified sweep: replica counts AND stacks on one front --------
+    roles = ["dns", "web", "app", "db"]
+    engine = SweepEngine(database=database)
+    mixed = list(enumerate_designs(roles, max_replicas=2))
+    mixed += list(
+        enumerate_heterogeneous_designs(
+            roles, paper_variant_space(), max_replicas=2
+        )
+    )
+    evaluations = engine.evaluate(mixed)
+    front = pareto_front(evaluations)
+    print()
+    print(
+        f"unified sweep: {len(evaluations)} designs "
+        f"({sum(isinstance(e.design, HeterogeneousDesign) for e in evaluations)}"
+        " heterogeneous), Pareto front on (ASP down, COA up):"
+    )
+    for evaluation in front:
+        after = evaluation.after
+        print(
+            f"  ASP={after.security.attack_success_probability:.4f}"
+            f" COA={after.coa:.6f}  {evaluation.label}"
+        )
+    print("(the CLI equivalent: python -m repro sweep --variants --json)")
 
 
 if __name__ == "__main__":

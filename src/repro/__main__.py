@@ -10,8 +10,11 @@ Commands
     Print the five paper designs with their after-patch metrics and the
     Eq. (3)/(4) region selections.
 ``sweep``
-    Evaluate a whole design space (roles x replica counts) through the
-    sweep engine, optionally in parallel, as a table or JSON.
+    Evaluate a whole design space through the sweep engine, optionally
+    in parallel, as a table or JSON.  The default space is roles x
+    replica counts; ``--variants`` switches to the heterogeneous
+    (software-diversity) space, enumerating variant-count assignments
+    from the paper's variant pools and the diversity database.
 """
 
 from __future__ import annotations
@@ -85,6 +88,22 @@ def _snapshot_payload(snapshot) -> dict:
     return payload
 
 
+def _design_payload(evaluation, on_front: bool) -> dict:
+    from repro.enterprise import HeterogeneousDesign
+
+    payload = {
+        "label": evaluation.label,
+        "counts": evaluation.design.counts,
+        "total_servers": evaluation.design.total_servers,
+        "before": _snapshot_payload(evaluation.before),
+        "after": _snapshot_payload(evaluation.after),
+        "pareto": on_front,
+    }
+    if isinstance(evaluation.design, HeterogeneousDesign):
+        payload["variants"] = evaluation.design.tiers()
+    return payload
+
+
 def _sweep(args: argparse.Namespace) -> int:
     from repro.evaluation.engine import SweepEngine
     from repro.evaluation.report import design_comparison_table
@@ -98,10 +117,35 @@ def _sweep(args: argparse.Namespace) -> int:
         print("no roles given", file=sys.stderr)
         return 2
     try:
-        engine = SweepEngine(executor=args.executor, max_workers=args.jobs)
-        evaluations = engine.sweep(
-            roles, max_replicas=args.max_replicas, max_total=args.max_total
-        )
+        if args.variants:
+            from repro.enterprise import paper_variant_space
+            from repro.vulnerability.diversity import diversity_database
+
+            space = paper_variant_space()
+            unknown = [role for role in roles if role not in space]
+            if unknown:
+                print(
+                    f"no variant pool for roles {unknown}; "
+                    f"choose from {sorted(space)}",
+                    file=sys.stderr,
+                )
+                return 2
+            engine = SweepEngine(
+                executor=args.executor,
+                max_workers=args.jobs,
+                database=diversity_database(),
+            )
+            evaluations = engine.sweep_variants(
+                roles,
+                {role: space[role] for role in roles},
+                max_replicas=args.max_replicas,
+                max_total=args.max_total,
+            )
+        else:
+            engine = SweepEngine(executor=args.executor, max_workers=args.jobs)
+            evaluations = engine.sweep(
+                roles, max_replicas=args.max_replicas, max_total=args.max_total
+            )
     except ReproError as exc:
         print(f"sweep failed: {exc}", file=sys.stderr)
         return 2
@@ -111,17 +155,11 @@ def _sweep(args: argparse.Namespace) -> int:
             "roles": roles,
             "max_replicas": args.max_replicas,
             "max_total": args.max_total,
+            "variants": bool(args.variants),
             "executor": engine.executor.name,
             "design_count": len(evaluations),
             "designs": [
-                {
-                    "label": evaluation.label,
-                    "counts": evaluation.design.counts,
-                    "total_servers": evaluation.design.total_servers,
-                    "before": _snapshot_payload(evaluation.before),
-                    "after": _snapshot_payload(evaluation.after),
-                    "pareto": id(evaluation) in front,
-                }
+                _design_payload(evaluation, id(evaluation) in front)
                 for evaluation in evaluations
             ],
         }
@@ -185,8 +223,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="optional cap on total server count",
     )
     sweep.add_argument(
+        "--variants",
+        action="store_true",
+        help=(
+            "sweep the heterogeneous space: enumerate variant-count "
+            "assignments from the paper's diversity stacks instead of "
+            "plain replica counts"
+        ),
+    )
+    sweep.add_argument(
         "--executor",
-        choices=("serial", "process"),
+        choices=("serial", "thread", "process"),
         default="serial",
         help="sweep-engine executor (default: serial)",
     )
@@ -194,7 +241,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--jobs",
         type=int,
         default=None,
-        help="worker count for the process executor",
+        help="worker count for the thread/process pool executors",
     )
     sweep.add_argument(
         "--json", action="store_true", help="emit JSON instead of a table"

@@ -14,6 +14,7 @@ from collections.abc import Mapping
 
 from repro._validation import check_positive_int
 from repro.availability.aggregation import ServiceAggregate
+from repro.availability.coa import up_place
 from repro.errors import EvaluationError
 from repro.srn import Marking, SrnSolution, StochasticRewardNet, solve
 
@@ -76,12 +77,20 @@ class HeterogeneousAvailabilityModel:
         )
 
     def build_srn(self) -> StochasticRewardNet:
-        """One up/down place pair and transition pair per variant group."""
+        """One up/down place pair and transition pair per variant group.
+
+        Place and transition names follow the homogeneous
+        :class:`~repro.availability.network.NetworkAvailabilityModel`
+        convention (``P<variant>up`` via :func:`up_place`), so a
+        single-variant-per-role design produces a net that is
+        structurally identical to — and solves bit-identically with —
+        the homogeneous model of the same counts.
+        """
         net = StochasticRewardNet("heterogeneous-availability")
         for variants in self._tiers.values():
             for variant, count in variants.items():
                 aggregate = self._aggregates[variant]
-                place_up = f"P{variant}up"
+                place_up = up_place(variant)
                 place_down = f"P{variant}d"
                 net.add_place(place_up, tokens=count)
                 net.add_place(place_down)
@@ -111,7 +120,7 @@ class HeterogeneousAvailabilityModel:
     def _reward(self, marking: Marking) -> float:
         running = 0
         for variants in self._tiers.values():
-            tier_up = sum(marking[f"P{v}up"] for v in variants)
+            tier_up = sum(marking[up_place(v)] for v in variants)
             if tier_up == 0:
                 return 0.0
             running += tier_up
@@ -127,7 +136,7 @@ class HeterogeneousAvailabilityModel:
 
         def all_tiers_up(marking: Marking) -> bool:
             return all(
-                sum(marking[f"P{v}up"] for v in variants) >= 1
+                sum(marking[up_place(v)] for v in variants) >= 1
                 for variants in self._tiers.values()
             )
 

@@ -11,6 +11,7 @@ availability models.
 from repro.enterprise.attacker import AttackerModel
 from repro.enterprise.casestudy import EnterpriseCaseStudy, paper_case_study
 from repro.enterprise.design import (
+    DesignSpec,
     RedundancyDesign,
     example_network_design,
     paper_designs,
@@ -19,6 +20,7 @@ from repro.enterprise.heterogeneous import (
     HeterogeneousDesign,
     build_heterogeneous_harm,
     heterogeneous_availability_model,
+    paper_variant_space,
     paper_variants,
 )
 from repro.enterprise.roles import ServerRole
@@ -28,6 +30,7 @@ __all__ = [
     "ServerRole",
     "NetworkTopology",
     "AttackerModel",
+    "DesignSpec",
     "RedundancyDesign",
     "paper_designs",
     "example_network_design",
@@ -37,4 +40,5 @@ __all__ = [
     "build_heterogeneous_harm",
     "heterogeneous_availability_model",
     "paper_variants",
+    "paper_variant_space",
 ]

@@ -41,7 +41,29 @@ from repro.vulnerability.catalog import (
 from repro.vulnerability.database import VulnerabilityDatabase
 from repro.vulnerability.model import Vulnerability
 
-__all__ = ["EnterpriseCaseStudy", "paper_case_study"]
+__all__ = ["EnterpriseCaseStudy", "paper_case_study", "variant_vulnerabilities"]
+
+
+def variant_vulnerabilities(
+    database: VulnerabilityDatabase, variant: ServerRole
+) -> list[Vulnerability]:
+    """All records for a variant stack's products, refusing empty sets.
+
+    A variant without any record would silently understate the attack
+    surface (and break pipeline derivation), so the lookup fails loudly
+    instead — typically the caller forgot to pass a database covering
+    the diversity stacks.
+    """
+    vulns = database.for_products(variant.products)
+    if not vulns:
+        raise ValidationError(
+            f"variant {variant.name!r} has no vulnerability records for "
+            f"products {variant.products!r}; evaluating it would silently "
+            "understate the attack surface — pass a database covering the "
+            "variant stacks (e.g. repro.vulnerability.diversity"
+            ".diversity_database())"
+        )
+    return vulns
 
 
 class EnterpriseCaseStudy:
@@ -170,6 +192,40 @@ class EnterpriseCaseStudy:
         rates = self._component_rates.get(definition.name, ComponentRates())
         return ServerParameters(
             name=definition.name,
+            rates=rates,
+            patch=pipeline,
+            patch_interval_hours=self.schedule.interval_hours,
+        )
+
+    def variant_parameters(
+        self,
+        variant: ServerRole,
+        policy: PatchPolicy,
+        database: VulnerabilityDatabase | None = None,
+        role: str | None = None,
+    ) -> ServerParameters:
+        """Lower-layer SRN parameters for a variant stack under *policy*.
+
+        The variant-aware analog of :meth:`server_parameters`: the patch
+        pipeline derives from the vulnerabilities *policy* selects on the
+        variant's products.  *database* defaults to the case study's own
+        database; pass a diversity database when the variant's products
+        are not part of the paper catalog.  Component-rate overrides are
+        looked up by variant name first, then by *role* (the tier the
+        variant serves), so variants inherit their role's rates unless
+        they override them — keeping single-variant designs bit-identical
+        to their homogeneous twins even under per-role rate overrides.
+        """
+        db = database if database is not None else self.database
+        pipeline = derive_pipeline(variant_vulnerabilities(db, variant), policy)
+        if variant.name in self._component_rates:
+            rates = self._component_rates[variant.name]
+        elif role is not None and role in self._component_rates:
+            rates = self._component_rates[role]
+        else:
+            rates = ComponentRates()
+        return ServerParameters(
+            name=variant.name,
             rates=rates,
             patch=pipeline,
             patch_interval_hours=self.schedule.interval_hours,

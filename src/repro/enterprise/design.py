@@ -1,13 +1,62 @@
-"""Redundancy designs: how many replicas each role gets."""
+"""Redundancy designs: how many replicas each role gets.
+
+:class:`DesignSpec` is the protocol every design kind implements —
+homogeneous :class:`RedundancyDesign` here and the diverse-stack
+:class:`~repro.enterprise.heterogeneous.HeterogeneousDesign` — so the
+evaluation layers (:mod:`repro.evaluation.combined`,
+:mod:`repro.evaluation.engine`, :mod:`repro.evaluation.sweep`) score,
+cache and rank any mix of design kinds through one pipeline.
+"""
 
 from __future__ import annotations
 
-from collections.abc import Mapping
+from collections.abc import Hashable, Mapping
+from typing import Protocol, runtime_checkable
 
 from repro._validation import check_positive_int
 from repro.errors import ValidationError
 
-__all__ = ["RedundancyDesign", "paper_designs", "example_network_design"]
+__all__ = [
+    "DesignSpec",
+    "RedundancyDesign",
+    "paper_designs",
+    "example_network_design",
+]
+
+
+@runtime_checkable
+class DesignSpec(Protocol):
+    """What every design kind exposes to the evaluation pipeline.
+
+    Implementations are immutable value objects: hashable (so sweep
+    engines can memoise one evaluation per design), picklable (so they
+    can cross a process-pool boundary) and equality-comparable through
+    :meth:`cache_key`.
+    """
+
+    @property
+    def label(self) -> str:
+        """Human-readable summary used in tables and JSON output."""
+        ...
+
+    @property
+    def roles(self) -> list[str]:
+        """Role names in insertion order."""
+        ...
+
+    @property
+    def counts(self) -> dict[str, int]:
+        """Role -> total replica count (all variants of the role)."""
+        ...
+
+    @property
+    def total_servers(self) -> int:
+        """Total number of deployed servers."""
+        ...
+
+    def cache_key(self) -> Hashable:
+        """Order-insensitive identity used for hashing and memoisation."""
+        ...
 
 
 class RedundancyDesign:
@@ -85,13 +134,17 @@ class RedundancyDesign:
 
     # -- identity ----------------------------------------------------------------
 
+    def cache_key(self) -> tuple:
+        """Order-insensitive identity (the :class:`DesignSpec` contract)."""
+        return ("homogeneous", tuple(sorted(self._counts.items())))
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, RedundancyDesign):
             return NotImplemented
         return self._counts == other._counts
 
     def __hash__(self) -> int:
-        return hash(tuple(sorted(self._counts.items())))
+        return hash(self.cache_key())
 
     def __repr__(self) -> str:
         return f"RedundancyDesign({self._counts!r})"

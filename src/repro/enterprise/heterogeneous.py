@@ -14,27 +14,45 @@ that stack's paths.
 from __future__ import annotations
 
 from collections.abc import Mapping
+from dataclasses import replace
 
 from repro._validation import check_positive_int
 from repro.attacktree.tree import BranchSpec
 from repro.availability.aggregation import ServiceAggregate, aggregate_service
 from repro.availability.heterogeneous import HeterogeneousAvailabilityModel
-from repro.availability.parameters import ComponentRates, ServerParameters
-from repro.enterprise.casestudy import EnterpriseCaseStudy
+from repro.availability.parameters import ComponentRates
+from repro.enterprise.casestudy import EnterpriseCaseStudy, variant_vulnerabilities
 from repro.enterprise.roles import ServerRole
-from repro.errors import ValidationError
+from repro.errors import EvaluationError, ValidationError
 from repro.harm import Harm, build_harm
 from repro.patching.policy import PatchPolicy
-from repro.patching.workload import derive_pipeline
 from repro.vulnerability.database import VulnerabilityDatabase
 from repro.vulnerability.model import Vulnerability
 
 __all__ = [
     "HeterogeneousDesign",
     "build_heterogeneous_harm",
+    "check_design_kind",
     "heterogeneous_availability_model",
     "paper_variants",
+    "paper_variant_space",
 ]
+
+
+def check_design_kind(design: object) -> None:
+    """Reject :class:`DesignSpec` implementations no evaluator knows.
+
+    The evaluators dispatch on the two concrete spec kinds; an unknown
+    implementation must fail loudly here rather than silently fall into
+    the homogeneous code path and produce plausible-but-wrong metrics.
+    """
+    from repro.enterprise.design import RedundancyDesign
+
+    if not isinstance(design, (RedundancyDesign, HeterogeneousDesign)):
+        raise EvaluationError(
+            f"unknown design kind {type(design).__name__!r}; the evaluation "
+            "pipeline dispatches on RedundancyDesign and HeterogeneousDesign"
+        )
 
 
 def paper_variants() -> dict[str, ServerRole]:
@@ -97,8 +115,30 @@ def paper_variants() -> dict[str, ServerRole]:
     }
 
 
+def paper_variant_space() -> dict[str, tuple[ServerRole, ...]]:
+    """The :func:`paper_variants` stacks grouped by the role they serve.
+
+    This is the variant pool
+    :func:`repro.evaluation.sweep.enumerate_heterogeneous_designs` (and
+    ``repro sweep --variants``) explores: every role offers its primary
+    paper stack, and the web/db tiers add the diverse alternatives from
+    :mod:`repro.vulnerability.diversity`.
+    """
+    variants = paper_variants()
+    return {
+        "dns": (variants["dns_ms"],),
+        "web": (variants["web_apache"], variants["web_nginx"]),
+        "app": (variants["app_weblogic"],),
+        "db": (variants["db_mysql"], variants["db_postgres"]),
+    }
+
+
 class HeterogeneousDesign:
     """Replica counts per (role, variant).
+
+    Implements the :class:`~repro.enterprise.design.DesignSpec` protocol,
+    so it flows through the same evaluators, sweep engine and Pareto
+    ranking as :class:`~repro.enterprise.design.RedundancyDesign`.
 
     Parameters
     ----------
@@ -137,12 +177,35 @@ class HeterogeneousDesign:
         """Role names in insertion order."""
         return list(self._assignment)
 
+    @property
+    def counts(self) -> dict[str, int]:
+        """Role -> total replica count, summed over the role's variants."""
+        return {
+            role: sum(variants.values())
+            for role, variants in self._assignment.items()
+        }
+
     def variants(self, role: str) -> dict[ServerRole, int]:
         """Variant -> count mapping of *role*."""
         try:
             return dict(self._assignment[role])
         except KeyError:
             raise ValidationError(f"role {role!r} not in design") from None
+
+    def all_variants(self) -> dict[ServerRole, int]:
+        """Variant -> count over every role (names are globally unique)."""
+        return {
+            variant: count
+            for variants in self._assignment.values()
+            for variant, count in variants.items()
+        }
+
+    def tiers(self) -> dict[str, dict[str, int]]:
+        """Role -> {variant name -> count}, the availability-model shape."""
+        return {
+            role: {variant.name: count for variant, count in variants.items()}
+            for role, variants in self._assignment.items()
+        }
 
     @property
     def total_servers(self) -> int:
@@ -172,11 +235,30 @@ class HeterogeneousDesign:
             parts.append(f"{role}[{inner}]")
         return " / ".join(parts)
 
+    # -- identity ----------------------------------------------------------------
 
-def _variant_vulnerabilities(
-    database: VulnerabilityDatabase, variant: ServerRole
-) -> list[Vulnerability]:
-    return database.for_products(variant.products)
+    def cache_key(self) -> tuple:
+        """Order-insensitive identity (the :class:`DesignSpec` contract)."""
+        return (
+            "heterogeneous",
+            tuple(
+                sorted(
+                    (role, tuple(sorted((v.name, count) for v, count in variants.items())))
+                    for role, variants in self._assignment.items()
+                )
+            ),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HeterogeneousDesign):
+            return NotImplemented
+        return self._assignment == other._assignment
+
+    def __hash__(self) -> int:
+        return hash(self.cache_key())
+
+    def __repr__(self) -> str:
+        return f"HeterogeneousDesign({self.label!r})"
 
 
 def build_heterogeneous_harm(
@@ -199,7 +281,7 @@ def build_heterogeneous_harm(
         hosts = design.instances(role)
         role_hosts[role] = list(hosts)
         for host, variant in hosts.items():
-            host_vulns[host] = _variant_vulnerabilities(database, variant)
+            host_vulns[host] = variant_vulnerabilities(database, variant)
             if variant.attack_tree_spec is not None:
                 tree_specs[host] = variant.attack_tree_spec
 
@@ -252,17 +334,14 @@ def heterogeneous_availability_model(
     """
     rates_overrides = dict(component_rates or {})
     aggregates: dict[str, ServiceAggregate] = {}
-    tiers: dict[str, dict[str, int]] = {}
     for role in design.roles:
-        tiers[role] = {}
-        for variant, count in design.variants(role).items():
-            vulns = _variant_vulnerabilities(database, variant)
-            parameters = ServerParameters(
-                name=variant.name,
-                rates=rates_overrides.get(variant.name, ComponentRates()),
-                patch=derive_pipeline(vulns, policy),
-                patch_interval_hours=case_study.schedule.interval_hours,
+        for variant in design.variants(role):
+            parameters = case_study.variant_parameters(
+                variant, policy, database=database, role=role
             )
+            if variant.name in rates_overrides:
+                parameters = replace(
+                    parameters, rates=rates_overrides[variant.name]
+                )
             aggregates[variant.name] = aggregate_service(parameters)
-            tiers[role][variant.name] = count
-    return HeterogeneousAvailabilityModel(tiers, aggregates)
+    return HeterogeneousAvailabilityModel(design.tiers(), aggregates)

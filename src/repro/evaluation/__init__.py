@@ -7,8 +7,11 @@ before/after-patch snapshot a design gets in Figs. 6-7;
 decision functions; :mod:`repro.evaluation.report` renders the paper's
 tables; :mod:`repro.evaluation.charts` produces the scatter/radar data
 (and ASCII renderings); :mod:`repro.evaluation.sweep` explores larger
-design spaces; :mod:`repro.evaluation.engine` scales those sweeps with
-caching and pluggable (serial/process-pool) executors;
+design spaces — homogeneous replica counts and heterogeneous variant
+assignments alike, unified behind the
+:class:`~repro.enterprise.design.DesignSpec` protocol;
+:mod:`repro.evaluation.engine` scales those sweeps with caching and
+pluggable (serial/thread/process-pool) executors;
 :mod:`repro.evaluation.cost` adds the operational-cost
 extension sketched in Section V.
 """
@@ -27,6 +30,7 @@ from repro.evaluation.engine import (
     ProcessExecutor,
     SerialExecutor,
     SweepEngine,
+    ThreadExecutor,
 )
 from repro.evaluation.requirements import (
     MultiMetricRequirement,
@@ -35,7 +39,13 @@ from repro.evaluation.requirements import (
 )
 from repro.evaluation.security import SecurityEvaluator
 from repro.evaluation.sensitivity import SensitivityEntry, coa_sensitivity
-from repro.evaluation.sweep import enumerate_designs, pareto_front, sweep_designs
+from repro.evaluation.sweep import (
+    enumerate_designs,
+    enumerate_heterogeneous_designs,
+    pareto_front,
+    pareto_front_loop,
+    sweep_designs,
+)
 
 __all__ = [
     "SecurityEvaluator",
@@ -48,13 +58,16 @@ __all__ = [
     "SweepEngine",
     "Executor",
     "SerialExecutor",
+    "ThreadExecutor",
     "ProcessExecutor",
     "TwoMetricRequirement",
     "MultiMetricRequirement",
     "satisfying_designs",
     "enumerate_designs",
+    "enumerate_heterogeneous_designs",
     "sweep_designs",
     "pareto_front",
+    "pareto_front_loop",
     "SensitivityEntry",
     "coa_sensitivity",
     "write_experiment_bundle",

@@ -1,14 +1,22 @@
 """Availability evaluation of designs (lower-layer solve + aggregation +
-upper-layer COA), with caching of the per-role aggregates."""
+upper-layer COA), with caching of the per-role and per-variant aggregates."""
 
 from __future__ import annotations
 
 from repro.availability.aggregation import ServiceAggregate, aggregate_service
+from repro.availability.heterogeneous import HeterogeneousAvailabilityModel
 from repro.availability.network import NetworkAvailabilityModel
 from repro.availability.product_form import product_form_coa
 from repro.enterprise.casestudy import EnterpriseCaseStudy
-from repro.enterprise.design import RedundancyDesign
+from repro.enterprise.design import DesignSpec
+from repro.enterprise.heterogeneous import (
+    HeterogeneousDesign,
+    check_design_kind as _check_spec_kind,
+)
+from repro.enterprise.roles import ServerRole
+from repro.errors import EvaluationError
 from repro.patching.policy import PatchPolicy
+from repro.vulnerability.database import VulnerabilityDatabase
 
 __all__ = ["AvailabilityEvaluator"]
 
@@ -16,18 +24,35 @@ __all__ = ["AvailabilityEvaluator"]
 class AvailabilityEvaluator:
     """Compute COA and related availability measures for designs.
 
-    The expensive part — solving each role's lower-layer SRN and
-    aggregating it into (lambda_eq, mu_eq) — depends only on the role and
-    the patch policy, not on the replica counts, so aggregates are cached
-    per role and reused across designs.
+    Accepts any :class:`~repro.enterprise.design.DesignSpec`.  The
+    expensive part — solving each stack's lower-layer SRN and
+    aggregating it into (lambda_eq, mu_eq) — depends only on the stack
+    and the patch policy, not on the replica counts, so aggregates are
+    cached per role (homogeneous designs) and per variant (heterogeneous
+    designs) and reused across every design the evaluator scores.
+
+    Parameters
+    ----------
+    case_study:
+        The enterprise description.
+    policy:
+        The patch policy selecting which vulnerabilities get patched.
+    database:
+        Vulnerability database for variant lookups of heterogeneous
+        designs (default: the case study's own database).
     """
 
     def __init__(
-        self, case_study: EnterpriseCaseStudy, policy: PatchPolicy
+        self,
+        case_study: EnterpriseCaseStudy,
+        policy: PatchPolicy,
+        database: VulnerabilityDatabase | None = None,
     ) -> None:
         self.case_study = case_study
         self.policy = policy
+        self.database = database if database is not None else case_study.database
         self._aggregates: dict[str, ServiceAggregate] = {}
+        self._variant_aggregates: dict[tuple[str, ServerRole], ServiceAggregate] = {}
 
     # -- per-role aggregation (Table V) ------------------------------------
 
@@ -38,22 +63,58 @@ class AvailabilityEvaluator:
             self._aggregates[role] = aggregate_service(parameters)
         return self._aggregates[role]
 
-    def aggregates_for(self, design: RedundancyDesign) -> dict[str, ServiceAggregate]:
-        """Aggregates for every role the design uses."""
+    def variant_aggregate(
+        self, variant: ServerRole, role: str | None = None
+    ) -> ServiceAggregate:
+        """The (cached) lower-layer aggregate for a variant stack.
+
+        *role* is the tier the variant serves; it only matters for
+        component-rate override lookup (variant name first, then role).
+        """
+        key = (role or "", variant)
+        if key not in self._variant_aggregates:
+            parameters = self.case_study.variant_parameters(
+                variant, self.policy, database=self.database, role=role
+            )
+            self._variant_aggregates[key] = aggregate_service(parameters)
+        return self._variant_aggregates[key]
+
+    def aggregates_for(self, design: DesignSpec) -> dict[str, ServiceAggregate]:
+        """Aggregates for every role (or variant) the design uses."""
+        if isinstance(design, HeterogeneousDesign):
+            return {
+                variant.name: self.variant_aggregate(variant, role)
+                for role in design.roles
+                for variant in design.variants(role)
+            }
+        _check_spec_kind(design)
         return {role: self.aggregate(role) for role in design.roles}
 
     # -- per-design measures ------------------------------------------------
 
-    def network_model(self, design: RedundancyDesign) -> NetworkAvailabilityModel:
-        """The upper-layer SRN model for *design*."""
+    def network_model(
+        self, design: DesignSpec
+    ) -> NetworkAvailabilityModel | HeterogeneousAvailabilityModel:
+        """The upper-layer SRN model for *design*, per spec kind."""
+        if isinstance(design, HeterogeneousDesign):
+            return HeterogeneousAvailabilityModel(
+                design.tiers(), self.aggregates_for(design)
+            )
+        _check_spec_kind(design)
         return NetworkAvailabilityModel(design.counts, self.aggregates_for(design))
 
-    def coa(self, design: RedundancyDesign) -> float:
+    def coa(self, design: DesignSpec) -> float:
         """Capacity-oriented availability of *design*."""
         return self.network_model(design).capacity_oriented_availability()
 
-    def coa_closed_form(self, design: RedundancyDesign) -> float:
+    def coa_closed_form(self, design: DesignSpec) -> float:
         """Product-form COA (validation path, no SRN solve)."""
+        if isinstance(design, HeterogeneousDesign):
+            raise EvaluationError(
+                "closed-form COA is defined for homogeneous designs only; "
+                "heterogeneous tiers couple variants through the tier-up "
+                "condition"
+            )
         aggregates = self.aggregates_for(design)
         return product_form_coa(
             design.counts,
@@ -61,6 +122,6 @@ class AvailabilityEvaluator:
             {role: agg.recovery_rate for role, agg in aggregates.items()},
         )
 
-    def system_availability(self, design: RedundancyDesign) -> float:
+    def system_availability(self, design: DesignSpec) -> float:
         """P(every tier has a running server) for *design*."""
         return self.network_model(design).system_availability()

@@ -1,4 +1,12 @@
-"""Joint security + availability snapshots per design (Figs. 6-7 data)."""
+"""Joint security + availability snapshots per design (Figs. 6-7 data).
+
+Every entry point accepts any :class:`~repro.enterprise.design.DesignSpec`
+— homogeneous :class:`~repro.enterprise.design.RedundancyDesign` and
+diverse-stack :class:`~repro.enterprise.heterogeneous.HeterogeneousDesign`
+flow through the same evaluators and produce the same
+:class:`DesignEvaluation` shape, so sweeps and Pareto ranking can mix
+design kinds freely.
+"""
 
 from __future__ import annotations
 
@@ -6,11 +14,12 @@ from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.enterprise.casestudy import EnterpriseCaseStudy, paper_case_study
-from repro.enterprise.design import RedundancyDesign
+from repro.enterprise.design import DesignSpec
 from repro.evaluation.availability import AvailabilityEvaluator
 from repro.evaluation.security import SecurityEvaluator
 from repro.harm import SecurityMetrics
 from repro.patching.policy import CriticalVulnerabilityPolicy, PatchPolicy
+from repro.vulnerability.database import VulnerabilityDatabase
 
 __all__ = [
     "DesignSnapshot",
@@ -42,9 +51,9 @@ class DesignSnapshot:
 
 @dataclass(frozen=True)
 class DesignEvaluation:
-    """Before- and after-patch snapshots of one design."""
+    """Before- and after-patch snapshots of one design (any spec kind)."""
 
-    design: RedundancyDesign
+    design: DesignSpec
     before: DesignSnapshot
     after: DesignSnapshot
 
@@ -55,26 +64,31 @@ class DesignEvaluation:
 
 
 def evaluate_design(
-    design: RedundancyDesign,
+    design: DesignSpec,
     case_study: EnterpriseCaseStudy | None = None,
     policy: PatchPolicy | None = None,
     security_evaluator: SecurityEvaluator | None = None,
     availability_evaluator: AvailabilityEvaluator | None = None,
+    database: VulnerabilityDatabase | None = None,
 ) -> DesignEvaluation:
     """Evaluate one design before and after patching.
 
     With no arguments beyond *design*, uses the paper's case study and
     critical-vulnerability policy.  Pass shared evaluator instances when
-    scoring many designs so lower-layer solutions are reused.
+    scoring many designs so lower-layer solutions are reused; *database*
+    supplies variant vulnerability records for heterogeneous designs
+    (ignored when explicit evaluators are given).
     """
     if case_study is None:
         case_study = paper_case_study()
     if policy is None:
         policy = CriticalVulnerabilityPolicy()
     if security_evaluator is None:
-        security_evaluator = SecurityEvaluator(case_study)
+        security_evaluator = SecurityEvaluator(case_study, database=database)
     if availability_evaluator is None:
-        availability_evaluator = AvailabilityEvaluator(case_study, policy)
+        availability_evaluator = AvailabilityEvaluator(
+            case_study, policy, database=database
+        )
 
     coa = availability_evaluator.coa(design)
     return DesignEvaluation(
@@ -89,18 +103,22 @@ def evaluate_design(
 
 
 def evaluate_designs_shared(
-    designs: Iterable[RedundancyDesign],
+    designs: Iterable[DesignSpec],
     case_study: EnterpriseCaseStudy,
     policy: PatchPolicy,
+    database: VulnerabilityDatabase | None = None,
 ) -> list[DesignEvaluation]:
     """Serial evaluation of *designs* with one shared evaluator pair.
 
     This is the chunk primitive of the sweep engine: the shared
-    :class:`AvailabilityEvaluator` amortises the per-role lower-layer SRN
-    solves across every design in the chunk.
+    :class:`AvailabilityEvaluator` amortises the per-role (and
+    per-variant) lower-layer SRN solves across every design in the
+    chunk, whatever mix of spec kinds the chunk holds.
     """
-    security_evaluator = SecurityEvaluator(case_study)
-    availability_evaluator = AvailabilityEvaluator(case_study, policy)
+    security_evaluator = SecurityEvaluator(case_study, database=database)
+    availability_evaluator = AvailabilityEvaluator(
+        case_study, policy, database=database
+    )
     return [
         evaluate_design(
             design,
@@ -114,16 +132,18 @@ def evaluate_designs_shared(
 
 
 def evaluate_designs(
-    designs: Iterable[RedundancyDesign],
+    designs: Iterable[DesignSpec],
     case_study: EnterpriseCaseStudy | None = None,
     policy: PatchPolicy | None = None,
     executor: str | None = None,
     max_workers: int | None = None,
+    database: VulnerabilityDatabase | None = None,
 ) -> list[DesignEvaluation]:
     """Evaluate many designs with shared (cached) evaluators.
 
-    *executor* selects a sweep-engine executor (``"serial"`` or
-    ``"process"``); the default runs in-process without engine overhead.
+    *executor* selects a sweep-engine executor (``"serial"``,
+    ``"thread"`` or ``"process"``); the default runs in-process without
+    engine overhead.
     """
     if case_study is None:
         case_study = paper_case_study()
@@ -137,6 +157,7 @@ def evaluate_designs(
             policy=policy,
             executor=executor,
             max_workers=max_workers,
+            database=database,
         )
         return engine.evaluate(designs)
-    return evaluate_designs_shared(designs, case_study, policy)
+    return evaluate_designs_shared(designs, case_study, policy, database=database)

@@ -5,33 +5,43 @@ This module is the scaling entry point for whole-design-space studies
 wraps :func:`repro.evaluation.combined.evaluate_design` behind a
 :class:`SweepEngine` with pluggable executors and deterministic output.
 
+The engine is design-kind agnostic: anything implementing the
+:class:`~repro.enterprise.design.DesignSpec` protocol — homogeneous
+:class:`~repro.enterprise.design.RedundancyDesign`, diverse-stack
+:class:`~repro.enterprise.heterogeneous.HeterogeneousDesign`, or a mix —
+is cached, chunked and dispatched identically.
+
 Caching / batching contract
 ---------------------------
 * **Engine-level result cache.**  ``SweepEngine.evaluate`` memoises one
-  :class:`DesignEvaluation` per :class:`RedundancyDesign` (designs are
-  hashable value objects).  Re-sweeping an overlapping space only pays
-  for the designs not seen before; ``clear_cache()`` resets it.
+  :class:`DesignEvaluation` per design spec (specs are hashable value
+  objects).  Re-sweeping an overlapping space only pays for the designs
+  not seen before; ``clear_cache()`` resets it.
 * **Chunked dispatch.**  Uncached designs are split into contiguous
   chunks and each chunk is evaluated by one executor call through the
   module-level :func:`_evaluate_chunk`.  Within a chunk the shared
   ``SecurityEvaluator``/``AvailabilityEvaluator`` pair amortises the
-  per-role lower-layer SRN solves (Table V aggregates) across designs,
-  so chunking is what keeps the process pool from re-solving the lower
-  layer once per design.
+  per-role and per-variant lower-layer SRN solves (Table V aggregates)
+  across designs, so chunking is what keeps the process pool from
+  re-solving the lower layer once per design.
 * **Deterministic ordering.**  Results are always returned in input
   order, regardless of executor: chunks are indexed at submission and
-  reassembled positionally.  The serial and process executors run the
-  *same* chunk function, so a parallel sweep is byte-identical to a
-  serial one.
-* **Pickling boundary.**  Only the case study, the policy and the
-  designs cross the process boundary (all plain value objects).  SRN
-  internals (closures, marking-dependent rates) never leave the worker
-  that builds them.
+  reassembled positionally.  The serial, thread and process executors
+  run the *same* chunk function, so a parallel sweep is byte-identical
+  to a serial one.
+* **Pickling boundary.**  Only the case study, the policy, the variant
+  database and the designs cross the process boundary (all plain value
+  objects).  SRN internals (closures, marking-dependent rates) never
+  leave the worker that builds them.
 
 Executors
 ---------
 ``"serial"``
     In-process loop; zero overhead, the default.
+``"thread"``
+    ``concurrent.futures.ThreadPoolExecutor``; the cheap parallelism —
+    no fork, no pickling — that pays off because the solve phase spends
+    its time in scipy's ``spsolve``, which releases the GIL.
 ``"process"``
     ``concurrent.futures.ProcessPoolExecutor``; one chunk per task.
 Custom executors implement :class:`Executor` (a ``run(fn, batches)``
@@ -42,23 +52,37 @@ from __future__ import annotations
 
 import os
 from collections.abc import Callable, Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any
 
 from repro._validation import check_positive_int
 from repro.enterprise.casestudy import EnterpriseCaseStudy, paper_case_study
-from repro.enterprise.design import RedundancyDesign
+from repro.enterprise.design import DesignSpec
+from repro.enterprise.roles import ServerRole
 from repro.errors import EvaluationError
 from repro.evaluation.combined import DesignEvaluation, evaluate_designs_shared
 from repro.patching.policy import CriticalVulnerabilityPolicy, PatchPolicy
+from repro.vulnerability.database import VulnerabilityDatabase
 
-__all__ = ["Executor", "SerialExecutor", "ProcessExecutor", "SweepEngine"]
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "SweepEngine",
+]
 
 
 class Executor:
     """Strategy interface: run ``fn`` over argument batches, in order."""
 
     name = "abstract"
+
+    #: Parallelism hint used by the engine to size chunks: ``None`` means
+    #: "no concurrency, hand me one batch"; pool-backed executors set it
+    #: to their worker count.  Custom executors with real parallelism
+    #: must set this, or they receive a single batch holding everything.
+    max_workers: int | None = None
 
     def run(self, fn: Callable[..., Any], batches: Sequence[tuple]) -> list:
         """Apply *fn* to each argument tuple; results align with *batches*."""
@@ -74,10 +98,10 @@ class SerialExecutor(Executor):
         return [fn(*batch) for batch in batches]
 
 
-class ProcessExecutor(Executor):
-    """``ProcessPoolExecutor``-backed executor with ordered results."""
+class _PoolExecutor(Executor):
+    """Shared pool plumbing: ordered submit/collect over a futures pool."""
 
-    name = "process"
+    _pool_factory: Callable[..., Any]
 
     def __init__(self, max_workers: int | None = None) -> None:
         if max_workers is not None:
@@ -88,15 +112,45 @@ class ProcessExecutor(Executor):
         if not batches:
             return []
         if len(batches) == 1:
-            # A single batch gains nothing from a pool; skip the fork.
+            # A single batch gains nothing from a pool; skip the spawn.
             return [fn(*batches[0])]
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+        with self._pool_factory(max_workers=self.max_workers) as pool:
             futures = [pool.submit(fn, *batch) for batch in batches]
             return [future.result() for future in futures]
 
 
+class ThreadExecutor(_PoolExecutor):
+    """``ThreadPoolExecutor``-backed executor with ordered results.
+
+    The cheap alternative to a process pool: no fork, no pickling, and
+    real parallelism during the solve phase because scipy's ``spsolve``
+    releases the GIL.  Chunk workers share nothing mutable (each builds
+    its own evaluator pair), so results are identical to serial.
+    """
+
+    name = "thread"
+    _pool_factory = ThreadPoolExecutor
+
+
+class ProcessExecutor(_PoolExecutor):
+    """``ProcessPoolExecutor``-backed executor with ordered results."""
+
+    name = "process"
+    _pool_factory = ProcessPoolExecutor
+
+
+def _serial_factory(max_workers: int | None) -> Executor:
+    if max_workers is not None:
+        raise EvaluationError(
+            "max_workers requires a pool executor ('thread' or 'process'); "
+            "the serial executor runs everything in-process"
+        )
+    return SerialExecutor()
+
+
 _EXECUTORS: dict[str, Callable[[int | None], Executor]] = {
-    "serial": lambda max_workers: SerialExecutor(),
+    "serial": _serial_factory,
+    "thread": lambda max_workers: ThreadExecutor(max_workers),
     "process": lambda max_workers: ProcessExecutor(max_workers),
 }
 
@@ -105,6 +159,11 @@ def _resolve_executor(
     executor: str | Executor, max_workers: int | None
 ) -> Executor:
     if isinstance(executor, Executor):
+        if max_workers is not None:
+            raise EvaluationError(
+                "max_workers only applies to named executors; configure "
+                f"the {type(executor).__name__} instance directly"
+            )
         return executor
     factory = _EXECUTORS.get(executor)
     if factory is None:
@@ -118,10 +177,11 @@ def _resolve_executor(
 def _evaluate_chunk(
     case_study: EnterpriseCaseStudy,
     policy: PatchPolicy,
-    designs: Sequence[RedundancyDesign],
+    database: VulnerabilityDatabase | None,
+    designs: Sequence[DesignSpec],
 ) -> list[DesignEvaluation]:
     """Worker entry point: evaluate one chunk with shared evaluators."""
-    return evaluate_designs_shared(designs, case_study, policy)
+    return evaluate_designs_shared(designs, case_study, policy, database=database)
 
 
 def _map_chunk(fn: Callable[[Any], Any], items: Sequence[Any]) -> list:
@@ -139,12 +199,17 @@ class SweepEngine:
     policy:
         Patch policy (default: critical-only, base score > 8.0).
     executor:
-        ``"serial"``, ``"process"`` or an :class:`Executor` instance.
+        ``"serial"``, ``"thread"``, ``"process"`` or an :class:`Executor`
+        instance.
     max_workers:
-        Worker cap for the ``"process"`` executor.
+        Worker cap for the named pool executors; rejected alongside an
+        :class:`Executor` instance (configure the instance directly).
     chunk_size:
         Designs per executor task; defaults to an even split over
         ``4 * workers`` tasks (at least one design per task).
+    database:
+        Vulnerability database for variant lookups of heterogeneous
+        designs (default: the case study's own database).
 
     Examples
     --------
@@ -161,6 +226,7 @@ class SweepEngine:
         executor: str | Executor = "serial",
         max_workers: int | None = None,
         chunk_size: int | None = None,
+        database: VulnerabilityDatabase | None = None,
     ) -> None:
         self.case_study = case_study if case_study is not None else paper_case_study()
         self.policy = policy if policy is not None else CriticalVulnerabilityPolicy()
@@ -168,19 +234,18 @@ class SweepEngine:
         if chunk_size is not None:
             check_positive_int(chunk_size, "chunk_size")
         self.chunk_size = chunk_size
-        self._cache: dict[RedundancyDesign, DesignEvaluation] = {}
+        self.database = database
+        self._cache: dict[DesignSpec, DesignEvaluation] = {}
         self._hits = 0
         self._misses = 0
 
     # -- sweeping -----------------------------------------------------------
 
-    def evaluate(
-        self, designs: Iterable[RedundancyDesign]
-    ) -> list[DesignEvaluation]:
-        """Evaluate *designs*, returning results in input order."""
+    def evaluate(self, designs: Iterable[DesignSpec]) -> list[DesignEvaluation]:
+        """Evaluate *designs* (any mix of spec kinds), in input order."""
         designs = list(designs)
-        pending: list[RedundancyDesign] = []
-        seen_pending: set[RedundancyDesign] = set()
+        pending: list[DesignSpec] = []
+        seen_pending: set[DesignSpec] = set()
         for design in designs:
             if design in self._cache:
                 self._hits += 1
@@ -190,7 +255,7 @@ class SweepEngine:
                 pending.append(design)
         if pending:
             batches = [
-                (self.case_study, self.policy, chunk)
+                (self.case_study, self.policy, self.database, chunk)
                 for chunk in self._chunks(pending)
             ]
             for chunk_result in self.executor.run(_evaluate_chunk, batches):
@@ -204,10 +269,28 @@ class SweepEngine:
         max_replicas: int,
         max_total: int | None = None,
     ) -> list[DesignEvaluation]:
-        """Enumerate and evaluate every design of the given space."""
+        """Enumerate and evaluate every homogeneous design of the space."""
         from repro.evaluation.sweep import enumerate_designs
 
         return self.evaluate(enumerate_designs(roles, max_replicas, max_total))
+
+    def sweep_variants(
+        self,
+        roles: Sequence[str],
+        variants: dict[str, Sequence[ServerRole]],
+        max_replicas: int,
+        max_total: int | None = None,
+    ) -> list[DesignEvaluation]:
+        """Enumerate and evaluate the heterogeneous (diversity) space.
+
+        *variants* maps each role to its candidate stacks; see
+        :func:`repro.evaluation.sweep.enumerate_heterogeneous_designs`.
+        """
+        from repro.evaluation.sweep import enumerate_heterogeneous_designs
+
+        return self.evaluate(
+            enumerate_heterogeneous_designs(roles, variants, max_replicas, max_total)
+        )
 
     def pareto(
         self,
@@ -259,7 +342,7 @@ class SweepEngine:
         if self.chunk_size is not None:
             size = self.chunk_size
         else:
-            workers = getattr(self.executor, "max_workers", None)
+            workers = self.executor.max_workers
             if workers is None:
                 # Serial executors gain nothing from splitting; one chunk
                 # keeps a single shared evaluator pair across all designs.

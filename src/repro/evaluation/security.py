@@ -4,15 +4,27 @@ from __future__ import annotations
 
 from repro.attacktree.semantics import GateSemantics, WORST_CASE
 from repro.enterprise.casestudy import EnterpriseCaseStudy
-from repro.enterprise.design import RedundancyDesign
-from repro.harm import PathAggregation, SecurityMetrics, evaluate_security
+from repro.enterprise.design import DesignSpec
+from repro.enterprise.heterogeneous import (
+    HeterogeneousDesign,
+    build_heterogeneous_harm,
+    check_design_kind as _check_spec_kind,
+)
+from repro.harm import Harm, PathAggregation, SecurityMetrics, evaluate_security
 from repro.patching.policy import PatchPolicy
+from repro.vulnerability.database import VulnerabilityDatabase
 
 __all__ = ["SecurityEvaluator"]
 
 
 class SecurityEvaluator:
     """Compute before/after-patch security metrics for designs.
+
+    Accepts any :class:`~repro.enterprise.design.DesignSpec`: homogeneous
+    :class:`~repro.enterprise.design.RedundancyDesign` specs expand
+    through the case study's role definitions, heterogeneous specs
+    through their per-variant stacks — one evaluator, one metric
+    pipeline.
 
     Parameters
     ----------
@@ -23,6 +35,11 @@ class SecurityEvaluator:
     aggregation:
         Network-level ASP aggregation (paper-consistent default:
         independent paths; see DESIGN.md for the discussion).
+    database:
+        Vulnerability database for variant lookups of heterogeneous
+        designs (default: the case study's own database).  Pass a
+        diversity database when variant stacks fall outside the paper
+        catalog.
     """
 
     def __init__(
@@ -30,23 +47,38 @@ class SecurityEvaluator:
         case_study: EnterpriseCaseStudy,
         semantics: GateSemantics = WORST_CASE,
         aggregation: PathAggregation = PathAggregation.INDEPENDENT_PATHS,
+        database: VulnerabilityDatabase | None = None,
     ) -> None:
         self.case_study = case_study
         self.semantics = semantics
         self.aggregation = aggregation
+        self.database = database if database is not None else case_study.database
 
-    def before_patch(self, design: RedundancyDesign) -> SecurityMetrics:
+    def build_harm(
+        self, design: DesignSpec, policy: PatchPolicy | None = None
+    ) -> Harm:
+        """Host-level HARM for any design kind (after patch iff *policy*)."""
+        if isinstance(design, HeterogeneousDesign):
+            return build_heterogeneous_harm(
+                self.case_study, design, self.database, policy
+            )
+        _check_spec_kind(design)
+        return self.case_study.build_harm(design, policy)
+
+    def before_patch(self, design: DesignSpec) -> SecurityMetrics:
         """Metrics of the unpatched network."""
-        harm = self.case_study.build_harm(design)
         return evaluate_security(
-            harm, semantics=self.semantics, aggregation=self.aggregation
+            self.build_harm(design),
+            semantics=self.semantics,
+            aggregation=self.aggregation,
         )
 
     def after_patch(
-        self, design: RedundancyDesign, policy: PatchPolicy
+        self, design: DesignSpec, policy: PatchPolicy
     ) -> SecurityMetrics:
         """Metrics after applying *policy*'s patches."""
-        harm = self.case_study.build_harm(design, policy)
         return evaluate_security(
-            harm, semantics=self.semantics, aggregation=self.aggregation
+            self.build_harm(design, policy),
+            semantics=self.semantics,
+            aggregation=self.aggregation,
         )

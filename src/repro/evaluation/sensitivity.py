@@ -4,6 +4,13 @@ Scales one model parameter at a time (patch interval, per-stage patch
 durations, reboot durations, failure rates) and reports the COA swing —
 the tornado-chart data an administrator uses to see which lever actually
 moves availability.
+
+All perturbations of a scan share net *structure* — only rate values
+change — so the whole tornado is solved through
+:func:`repro.srn.solve_family`: the lower-layer server SRN of each role
+and the upper-layer network SRN are each explored once, and every
+perturbation re-evaluates rates on the stored tangible markings instead
+of re-walking the reachability graph.
 """
 
 from __future__ import annotations
@@ -11,13 +18,16 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, replace
 
-from repro.availability.aggregation import aggregate_service
+from repro.availability.aggregation import ServiceAggregate, aggregate_from_solution
+from repro.availability.coa import coa_reward
 from repro.availability.network import NetworkAvailabilityModel
 from repro.availability.parameters import ServerParameters
+from repro.availability.server import build_server_srn
 from repro.enterprise.casestudy import EnterpriseCaseStudy
 from repro.enterprise.design import RedundancyDesign
 from repro.errors import EvaluationError
 from repro.patching.policy import PatchPolicy
+from repro.srn import solve_family
 
 __all__ = ["SensitivityEntry", "coa_sensitivity", "PARAMETERS"]
 
@@ -117,28 +127,58 @@ def coa_sensitivity(
                 f"unknown parameter {name!r}; choose from {sorted(PARAMETERS)}"
             )
 
-    def coa_with(scaler: Scaler | None, factor: float) -> float:
-        aggregates = {}
-        for role in design.roles:
-            params = case_study.server_parameters(role, policy)
-            if scaler is not None:
-                params = scaler(params, factor)
-            aggregates[role] = aggregate_service(params)
-        model = NetworkAvailabilityModel(design.counts, aggregates)
-        return model.capacity_oriented_availability()
+    # One scenario per solve: the baseline plus (parameter, factor) pairs.
+    scenarios: list[tuple[Scaler | None, float]] = [(None, 1.0)]
+    scenarios.extend(
+        (PARAMETERS[name], factor) for name in names for factor in (low, high)
+    )
 
-    baseline = coa_with(None, 1.0)
+    # Lower layer: each role's server SRNs differ only in rate values
+    # across scenarios, so the whole scan is one family per role.
+    base_params = {
+        role: case_study.server_parameters(role, policy)
+        for role in design.roles
+    }
+    scenario_params: list[dict[str, ServerParameters]] = [
+        {
+            role: params if scaler is None else scaler(params, factor)
+            for role, params in base_params.items()
+        }
+        for scaler, factor in scenarios
+    ]
+    scenario_aggregates: list[dict[str, ServiceAggregate]] = [
+        {} for _ in scenarios
+    ]
+    for role in design.roles:
+        nets = [build_server_srn(params[role]) for params in scenario_params]
+        for i, solution in enumerate(solve_family(nets)):
+            scenario_aggregates[i][role] = aggregate_from_solution(
+                scenario_params[i][role], solution
+            )
+
+    # Upper layer: one network SRN per scenario, identical structure —
+    # explore once, re-rate per scenario, batch-solve the steady states.
+    upper_nets = [
+        NetworkAvailabilityModel(design.counts, aggregates).build_srn()
+        for aggregates in scenario_aggregates
+    ]
+    reward = coa_reward(design.counts)
+    coas = [
+        solution.expected_reward(reward)
+        for solution in solve_family(upper_nets)
+    ]
+
+    baseline = coas[0]
     entries = []
-    for name in names:
-        scaler = PARAMETERS[name]
+    for position, name in enumerate(names):
         entries.append(
             SensitivityEntry(
                 parameter=name,
                 low_factor=low,
                 high_factor=high,
-                coa_low=coa_with(scaler, low),
+                coa_low=coas[1 + 2 * position],
                 coa_baseline=baseline,
-                coa_high=coa_with(scaler, high),
+                coa_high=coas[2 + 2 * position],
             )
         )
     entries.sort(key=lambda entry: entry.swing, reverse=True)

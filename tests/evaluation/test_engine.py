@@ -14,7 +14,11 @@ from repro.evaluation import (
     pareto_front,
     sweep_designs,
 )
-from repro.evaluation.engine import ProcessExecutor, _evaluate_chunk
+from repro.evaluation.engine import (
+    ProcessExecutor,
+    ThreadExecutor,
+    _evaluate_chunk,
+)
 
 
 def _total_servers(design):
@@ -101,13 +105,28 @@ class TestSweepEngine:
 
     def test_unknown_executor_rejected(self):
         with pytest.raises(EvaluationError):
-            SweepEngine(executor="threads")
+            SweepEngine(executor="greenlet")
+
+    def test_thread_executor_matches_serial(self, small_space):
+        serial = SweepEngine().evaluate(small_space)
+        threaded = SweepEngine(
+            executor="thread", max_workers=2, chunk_size=1
+        ).evaluate(small_space)
+        assert serial == threaded
 
     def test_custom_executor_instance_accepted(self, small_space):
         executor = RecordingExecutor()
         engine = SweepEngine(executor=executor)
         engine.evaluate(small_space)
         assert executor.batches_run >= 1
+
+    def test_executor_instance_with_max_workers_rejected(self):
+        with pytest.raises(EvaluationError):
+            SweepEngine(executor=ThreadExecutor(), max_workers=2)
+
+    def test_serial_with_max_workers_rejected(self):
+        with pytest.raises(EvaluationError):
+            SweepEngine(executor="serial", max_workers=2)
 
     def test_chunking_covers_all_items(self):
         engine = SweepEngine(chunk_size=3)
@@ -138,7 +157,7 @@ class TestModuleLevelApi:
         assert default == engine_run
 
     def test_chunk_worker_matches_serial(self, small_space, case_study, critical_policy):
-        chunked = _evaluate_chunk(case_study, critical_policy, small_space)
+        chunked = _evaluate_chunk(case_study, critical_policy, None, small_space)
         assert chunked == evaluate_designs(
             small_space, case_study=case_study, policy=critical_policy
         )
@@ -160,6 +179,31 @@ class TestProcessExecutor:
 
     def test_default_workers_positive(self):
         assert ProcessExecutor().max_workers >= 1
+
+
+class TestThreadExecutor:
+    def test_ordered_results(self):
+        executor = ThreadExecutor(max_workers=4)
+        batches = [(value,) for value in range(20)]
+        assert executor.run(lambda value: value * 2, batches) == [
+            value * 2 for value in range(20)
+        ]
+
+    def test_closures_allowed(self):
+        # No pickling boundary: closures and lambdas are fine.
+        offset = 10
+        executor = ThreadExecutor(max_workers=2)
+        assert executor.run(lambda x: x + offset, [(1,), (2,)]) == [11, 12]
+
+    def test_empty_batches(self):
+        assert ThreadExecutor(max_workers=2).run(_total_servers, []) == []
+
+    def test_invalid_workers(self):
+        with pytest.raises(Exception):
+            ThreadExecutor(max_workers=0)
+
+    def test_default_workers_positive(self):
+        assert ThreadExecutor().max_workers >= 1
 
 
 class TestEngineDefaults:

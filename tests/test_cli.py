@@ -93,6 +93,88 @@ class TestCli:
         assert payload["design_count"] == 6
         assert all(d["total_servers"] <= 4 for d in payload["designs"])
 
+    def test_sweep_variants_json_schema(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--variants",
+                    "--roles",
+                    "web,db",
+                    "--max-replicas",
+                    "2",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["variants"] is True
+        # 5 web-tier x 5 db-tier variant assignments
+        assert payload["design_count"] == 25
+        for design in payload["designs"]:
+            assert set(design) == {
+                "label",
+                "counts",
+                "total_servers",
+                "before",
+                "after",
+                "pareto",
+                "variants",
+            }
+            assert design["total_servers"] == sum(design["counts"].values())
+            assert design["total_servers"] == sum(
+                count
+                for variants in design["variants"].values()
+                for count in variants.values()
+            )
+        labels = {design["label"] for design in payload["designs"]}
+        assert "web[1 web_apache + 1 web_nginx] / db[1 db_mysql]" in labels
+
+    def test_sweep_variants_table_output(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--variants",
+                    "--roles",
+                    "web",
+                    "--max-replicas",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "web[1 web_apache + 1 web_nginx]" in out
+        assert "Pareto front (after patch):" in out
+
+    def test_sweep_variants_unknown_role(self, capsys):
+        assert main(["sweep", "--variants", "--roles", "cache"]) == 2
+        assert "no variant pool" in capsys.readouterr().err
+
+    def test_sweep_thread_executor(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--roles",
+                    "dns,web",
+                    "--max-replicas",
+                    "2",
+                    "--executor",
+                    "thread",
+                    "--jobs",
+                    "2",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["executor"] == "thread"
+        assert payload["design_count"] == 4
+
     def test_sweep_rejects_empty_roles(self, capsys):
         assert main(["sweep", "--roles", " , "]) == 2
 
