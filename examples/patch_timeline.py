@@ -1,0 +1,95 @@
+"""Patch-timeline study: how designs ride out a patch campaign.
+
+Generalises the paper's before/after-patch snapshots (Figs. 6-7) into
+time-resolved curves for the five paper designs plus two heterogeneous
+(software-diversity) variants:
+
+1. availability-vs-time: the expected COA from the moment the campaign
+   starts (all servers up, all unpatched),
+2. campaign progress: probability the whole campaign has completed and
+   the expected fraction of servers still unpatched,
+3. security exposure: the ASP curve decaying from its before-patch to
+   its after-patch value as servers get patched,
+4. the time-to-patch-completion ranking of all seven designs.
+
+Every design's curves come from one batched uniformisation pass
+(`BatchTransientSolver`), fanned out through `evaluate_timelines`.
+
+Usage::
+
+    python examples/patch_timeline.py
+"""
+
+from __future__ import annotations
+
+from repro.enterprise import HeterogeneousDesign, paper_designs, paper_variant_space
+from repro.evaluation import default_time_grid, evaluate_timelines
+from repro.vulnerability.diversity import diversity_database
+
+
+def spark(values, lo, hi, width=40) -> str:
+    """A one-line ASCII bar for a 0..1-ish value range."""
+    blocks = " .:-=+*#%@"
+    span = max(hi - lo, 1e-12)
+    return "".join(
+        blocks[min(int((value - lo) / span * (len(blocks) - 1)), len(blocks) - 1)]
+        for value in values
+    )
+
+
+def main() -> None:
+    space = paper_variant_space()
+    diverse_web = HeterogeneousDesign(
+        {
+            "dns": {space["dns"][0]: 1},
+            "web": {space["web"][0]: 1, space["web"][1]: 1},
+            "app": {space["app"][0]: 1},
+            "db": {space["db"][0]: 1},
+        }
+    )
+    diverse_db = HeterogeneousDesign(
+        {
+            "dns": {space["dns"][0]: 1},
+            "web": {space["web"][0]: 1},
+            "app": {space["app"][0]: 1},
+            "db": {space["db"][0]: 1, space["db"][1]: 1},
+        }
+    )
+    designs = [*paper_designs(), diverse_web, diverse_db]
+    times = default_time_grid(2160.0, 37)  # three monthly cycles, 60 h steps
+    timelines = evaluate_timelines(designs, times, database=diversity_database())
+
+    print("== COA during the patch campaign (0 .. 2160 h, 60 h per column) ==")
+    lo = min(timeline.min_coa for timeline in timelines)
+    for timeline in timelines:
+        print(f"  {timeline.label:<52} |{spark(timeline.coa, lo, 1.0)}|")
+    print(f"  (darker = closer to 1.0; scale {lo:.6f} .. 1.0)")
+
+    print("\n== campaign progress: P(all servers patched by t) ==")
+    for timeline in timelines:
+        print(
+            f"  {timeline.label:<52} |{spark(timeline.completion_probability, 0.0, 1.0)}|"
+        )
+
+    print("\n== security exposure: ASP decaying toward the after-patch value ==")
+    for timeline in timelines:
+        curve = timeline.security_curve("ASP")
+        print(f"  {timeline.label:<52} |{spark(curve, 0.0, max(curve))}|")
+
+    print("\n== time to patch completion ==")
+    print(f"  {'design':<52} {'servers':>7} {'MTTPC (h)':>10} {'min COA':>9}")
+    for timeline in sorted(timelines, key=lambda t: t.mean_time_to_completion):
+        print(
+            f"  {timeline.label:<52} {timeline.design.total_servers:>7} "
+            f"{timeline.mean_time_to_completion:>10.1f} {timeline.min_coa:>9.6f}"
+        )
+    print(
+        "\nEvery extra replica lengthens the campaign (one more patch clock "
+        "must fire) while raising the COA floor — the timeline view shows "
+        "both sides of the redundancy trade the paper's steady-state "
+        "snapshots can only hint at."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -15,6 +15,16 @@ Commands
     replica counts; ``--variants`` switches to the heterogeneous
     (software-diversity) space, enumerating variant-count assignments
     from the paper's variant pools and the diversity database.
+``timeline``
+    Patch-timeline curves over a design space: transient COA, patch
+    completion probability and security-exposure curves on a shared
+    time grid, one batched uniformisation pass per design.  Takes the
+    same space/executor options as ``sweep`` plus the time grid
+    (``--horizon``/``--points`` or an explicit ``--times`` list).
+
+Both space commands accept ``--cache PATH``: a sqlite file that
+persists results across invocations, so re-running a sweep or timeline
+only pays for designs not seen before.
 """
 
 from __future__ import annotations
@@ -104,48 +114,73 @@ def _design_payload(evaluation, on_front: bool) -> dict:
     return payload
 
 
-def _sweep(args: argparse.Namespace) -> int:
+def _parse_roles(spec: str) -> list[str]:
+    return list(
+        dict.fromkeys(role.strip() for role in spec.split(",") if role.strip())
+    )
+
+
+def _space_engine_and_designs(args: argparse.Namespace, roles):
+    """Build the sweep engine and enumerate the requested design space.
+
+    Shared between ``sweep`` and ``timeline``: the homogeneous replica
+    space by default, the heterogeneous variant space with
+    ``--variants``.  Raises ``ReproError`` on domain errors (mapped to
+    exit code 2 by the callers).
+    """
+    from repro.errors import ValidationError
     from repro.evaluation.engine import SweepEngine
+    from repro.evaluation.sweep import (
+        enumerate_designs,
+        enumerate_heterogeneous_designs,
+    )
+
+    cache_path = getattr(args, "cache", None)
+    if args.variants:
+        from repro.enterprise import paper_variant_space
+        from repro.vulnerability.diversity import diversity_database
+
+        space = paper_variant_space()
+        unknown = [role for role in roles if role not in space]
+        if unknown:
+            raise ValidationError(
+                f"no variant pool for roles {unknown}; "
+                f"choose from {sorted(space)}"
+            )
+        engine = SweepEngine(
+            executor=args.executor,
+            max_workers=args.jobs,
+            database=diversity_database(),
+            cache_path=cache_path,
+        )
+        designs = enumerate_heterogeneous_designs(
+            roles,
+            {role: space[role] for role in roles},
+            max_replicas=args.max_replicas,
+            max_total=args.max_total,
+        )
+    else:
+        engine = SweepEngine(
+            executor=args.executor, max_workers=args.jobs, cache_path=cache_path
+        )
+        designs = enumerate_designs(
+            roles, max_replicas=args.max_replicas, max_total=args.max_total
+        )
+    return engine, designs
+
+
+def _sweep(args: argparse.Namespace) -> int:
     from repro.evaluation.report import design_comparison_table
 
     from repro.errors import ReproError
 
-    roles = list(
-        dict.fromkeys(role.strip() for role in args.roles.split(",") if role.strip())
-    )
+    roles = _parse_roles(args.roles)
     if not roles:
         print("no roles given", file=sys.stderr)
         return 2
     try:
-        if args.variants:
-            from repro.enterprise import paper_variant_space
-            from repro.vulnerability.diversity import diversity_database
-
-            space = paper_variant_space()
-            unknown = [role for role in roles if role not in space]
-            if unknown:
-                print(
-                    f"no variant pool for roles {unknown}; "
-                    f"choose from {sorted(space)}",
-                    file=sys.stderr,
-                )
-                return 2
-            engine = SweepEngine(
-                executor=args.executor,
-                max_workers=args.jobs,
-                database=diversity_database(),
-            )
-            evaluations = engine.sweep_variants(
-                roles,
-                {role: space[role] for role in roles},
-                max_replicas=args.max_replicas,
-                max_total=args.max_total,
-            )
-        else:
-            engine = SweepEngine(executor=args.executor, max_workers=args.jobs)
-            evaluations = engine.sweep(
-                roles, max_replicas=args.max_replicas, max_total=args.max_total
-            )
+        engine, designs = _space_engine_and_designs(args, roles)
+        evaluations = engine.evaluate(designs)
     except ReproError as exc:
         print(f"sweep failed: {exc}", file=sys.stderr)
         return 2
@@ -168,6 +203,87 @@ def _sweep(args: argparse.Namespace) -> int:
         print(design_comparison_table(evaluations))
         labels = [e.label for e in evaluations if id(e) in front]
         print(f"\nPareto front (after patch): {', '.join(labels)}")
+    return 0
+
+
+def _timeline_payload(timeline) -> dict:
+    import math
+
+    from repro.enterprise import HeterogeneousDesign
+
+    mttc = timeline.mean_time_to_completion
+    payload = {
+        "label": timeline.label,
+        "counts": timeline.design.counts,
+        "total_servers": timeline.design.total_servers,
+        "mean_time_to_completion": mttc if math.isfinite(mttc) else None,
+        "steady_coa": timeline.steady_coa,
+        "min_coa": timeline.min_coa,
+        "coa": list(timeline.coa),
+        "completion_probability": list(timeline.completion_probability),
+        "unpatched_fraction": list(timeline.unpatched_fraction),
+        "security": {
+            name: list(curve) for name, curve in timeline.security_curves().items()
+        },
+    }
+    if isinstance(timeline.design, HeterogeneousDesign):
+        payload["variants"] = timeline.design.tiers()
+    return payload
+
+
+def _timeline(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.evaluation.timeline import default_time_grid
+
+    roles = _parse_roles(args.roles)
+    if not roles:
+        print("no roles given", file=sys.stderr)
+        return 2
+    if args.times:
+        try:
+            times = tuple(
+                float(part) for part in args.times.split(",") if part.strip()
+            )
+            if not times:
+                raise ValueError("empty time list")
+        except ValueError as exc:
+            print(f"timeline failed: bad time grid ({exc})", file=sys.stderr)
+            return 2
+    try:
+        if not args.times:
+            times = default_time_grid(args.horizon, args.points)
+        engine, designs = _space_engine_and_designs(args, roles)
+        timelines = engine.timeline(designs, times)
+    except ReproError as exc:
+        print(f"timeline failed: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        payload = {
+            "roles": roles,
+            "max_replicas": args.max_replicas,
+            "max_total": args.max_total,
+            "variants": bool(args.variants),
+            "executor": engine.executor.name,
+            "times": list(times),
+            "design_count": len(timelines),
+            "designs": [_timeline_payload(timeline) for timeline in timelines],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        end = times[-1]
+        print(
+            f"{'design':<42} {'srv':>3} {'MTTPC (h)':>10} {'min COA':>9} "
+            f"{'COA(end)':>9} {'P(done)':>8}"
+        )
+        for timeline in timelines:
+            mttc = timeline.mean_time_to_completion
+            mttc_text = f"{mttc:10.1f}" if mttc != float("inf") else "       inf"
+            print(
+                f"{timeline.label:<42} {timeline.design.total_servers:>3} "
+                f"{mttc_text} {timeline.min_coa:9.6f} "
+                f"{timeline.coa[-1]:9.6f} {timeline.completion_probability[-1]:8.4f}"
+            )
+        print(f"\n{len(timelines)} designs, grid 0..{end:g} h x {len(times)} points")
     return 0
 
 
@@ -202,51 +318,90 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     bundle.add_argument("--out", default="artifacts", help="output directory")
     bundle.set_defaults(handler=_bundle)
+    def add_space_options(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--roles",
+            default="dns,web,app,db",
+            help="comma-separated role names (default: dns,web,app,db)",
+        )
+        command.add_argument(
+            "--max-replicas",
+            type=int,
+            default=2,
+            help="replica cap per role (default: 2)",
+        )
+        command.add_argument(
+            "--max-total",
+            type=int,
+            default=None,
+            help="optional cap on total server count",
+        )
+        command.add_argument(
+            "--variants",
+            action="store_true",
+            help=(
+                "use the heterogeneous space: enumerate variant-count "
+                "assignments from the paper's diversity stacks instead of "
+                "plain replica counts"
+            ),
+        )
+        command.add_argument(
+            "--executor",
+            choices=("serial", "thread", "process"),
+            default="serial",
+            help="sweep-engine executor (default: serial)",
+        )
+        command.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            help="worker count for the thread/process pool executors",
+        )
+        command.add_argument(
+            "--cache",
+            default=None,
+            metavar="PATH",
+            help=(
+                "sqlite file persisting results across invocations; "
+                "repeated runs only pay for designs not cached yet"
+            ),
+        )
+        command.add_argument(
+            "--json", action="store_true", help="emit JSON instead of a table"
+        )
+
     sweep = commands.add_parser(
         "sweep", help="evaluate a whole design space through the sweep engine"
     )
-    sweep.add_argument(
-        "--roles",
-        default="dns,web,app,db",
-        help="comma-separated role names (default: dns,web,app,db)",
-    )
-    sweep.add_argument(
-        "--max-replicas",
-        type=int,
-        default=2,
-        help="replica cap per role (default: 2)",
-    )
-    sweep.add_argument(
-        "--max-total",
-        type=int,
-        default=None,
-        help="optional cap on total server count",
-    )
-    sweep.add_argument(
-        "--variants",
-        action="store_true",
+    add_space_options(sweep)
+    sweep.set_defaults(handler=_sweep)
+
+    timeline = commands.add_parser(
+        "timeline",
         help=(
-            "sweep the heterogeneous space: enumerate variant-count "
-            "assignments from the paper's diversity stacks instead of "
-            "plain replica counts"
+            "patch-timeline curves (transient COA, completion probability, "
+            "security exposure) over a design space"
         ),
     )
-    sweep.add_argument(
-        "--executor",
-        choices=("serial", "thread", "process"),
-        default="serial",
-        help="sweep-engine executor (default: serial)",
+    add_space_options(timeline)
+    timeline.add_argument(
+        "--horizon",
+        type=float,
+        default=720.0,
+        help="time-grid end in hours (default: 720, the monthly cycle)",
     )
-    sweep.add_argument(
-        "--jobs",
+    timeline.add_argument(
+        "--points",
         type=int,
+        default=24,
+        help="number of evenly spaced grid points (default: 24)",
+    )
+    timeline.add_argument(
+        "--times",
         default=None,
-        help="worker count for the thread/process pool executors",
+        help="explicit comma-separated times in hours (overrides the grid)",
     )
-    sweep.add_argument(
-        "--json", action="store_true", help="emit JSON instead of a table"
-    )
-    sweep.set_defaults(handler=_sweep)
+    timeline.set_defaults(handler=_timeline)
 
     args = parser.parse_args(argv)
     return args.handler(args)

@@ -130,6 +130,15 @@ class HeterogeneousAvailabilityModel:
         """COA with the tier-up condition over all variants of a role."""
         return self.solve().expected_reward(self._reward)
 
+    def transient_coa(self, times):
+        """Expected COA at each time, starting from the all-up marking.
+
+        One batched uniformisation pass serves the whole time grid,
+        matching :meth:`NetworkAvailabilityModel.transient_coa` so the
+        timeline pipeline treats both model kinds identically.
+        """
+        return self.solve().transient_reward(self._reward, times)
+
     def system_availability(self) -> float:
         """P(every tier has at least one running server of any variant)."""
         solution = self.solve()

@@ -108,6 +108,13 @@ class NetworkAvailabilityModel:
         solution = self.solve()
         return solution.expected_reward(self._coa_reward)
 
+    def transient_coa(self, times) -> np.ndarray:
+        """Expected COA at each time, starting from the all-up marking.
+
+        One batched uniformisation pass serves the whole time grid.
+        """
+        return self.solve().transient_reward(self._coa_reward, times)
+
     def system_availability(self) -> float:
         """P(every service has at least one server up)."""
         solution = self.solve()

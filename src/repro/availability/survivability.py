@@ -17,7 +17,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.availability.coa import coa_reward, up_place
+from repro.availability.coa import up_place
 from repro.availability.network import NetworkAvailabilityModel
 from repro.ctmc import make_absorbing, mean_time_to_absorption
 from repro.errors import EvaluationError
@@ -58,12 +58,14 @@ def mean_time_to_outage(model: NetworkAvailabilityModel) -> float:
     return float(mean_time_to_absorption(chain, start=all_up))
 
 
-def transient_coa(
-    model: NetworkAvailabilityModel, times: Sequence[float]
-) -> np.ndarray:
-    """Expected COA at each time, starting from the all-up marking."""
+def transient_coa(model, times: Sequence[float]) -> np.ndarray:
+    """Expected COA at each time, starting from the all-up marking.
+
+    Accepts either availability model kind
+    (:class:`~repro.availability.network.NetworkAvailabilityModel` or
+    :class:`~repro.availability.heterogeneous.HeterogeneousAvailabilityModel`);
+    both serve the whole time grid from one uniformisation pass.
+    """
     if any(t < 0 for t in times):
         raise EvaluationError("times must be non-negative")
-    solution = model.solve()
-    reward = coa_reward(model.capacities)
-    return solution.transient_reward(reward, times)
+    return model.transient_coa(times)

@@ -19,14 +19,22 @@ from repro.ctmc.birthdeath import birth_death_steady_state
 from repro.ctmc.chain import Ctmc
 from repro.ctmc.rewards import expected_reward_rate, reward_vector
 from repro.ctmc.steady import BatchSteadySolver, steady_state, steady_state_batch
-from repro.ctmc.transient import transient_distribution
+from repro.ctmc.transient import (
+    BatchTransientSolver,
+    transient_batch,
+    transient_distribution,
+    transient_rewards,
+)
 
 __all__ = [
     "Ctmc",
     "steady_state",
     "steady_state_batch",
     "BatchSteadySolver",
+    "BatchTransientSolver",
     "transient_distribution",
+    "transient_rewards",
+    "transient_batch",
     "expected_reward_rate",
     "reward_vector",
     "TwoStateAggregate",

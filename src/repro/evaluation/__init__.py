@@ -18,6 +18,7 @@ extension sketched in Section V.
 
 from repro.evaluation.artifacts import write_experiment_bundle
 from repro.evaluation.availability import AvailabilityEvaluator
+from repro.evaluation.cache import PersistentEvaluationCache
 from repro.evaluation.combined import (
     DesignEvaluation,
     DesignSnapshot,
@@ -46,6 +47,13 @@ from repro.evaluation.sweep import (
     pareto_front_loop,
     sweep_designs,
 )
+from repro.evaluation.timeline import (
+    DesignTimeline,
+    default_time_grid,
+    evaluate_timeline,
+    evaluate_timelines,
+    evaluate_timelines_shared,
+)
 
 __all__ = [
     "SecurityEvaluator",
@@ -71,4 +79,10 @@ __all__ = [
     "SensitivityEntry",
     "coa_sensitivity",
     "write_experiment_bundle",
+    "DesignTimeline",
+    "default_time_grid",
+    "evaluate_timeline",
+    "evaluate_timelines",
+    "evaluate_timelines_shared",
+    "PersistentEvaluationCache",
 ]

@@ -1,0 +1,142 @@
+"""Persistent on-disk cache for design evaluations (sqlite-backed).
+
+The sweep engine's in-memory memo dies with the engine instance; this
+module persists evaluated :class:`~repro.evaluation.combined.DesignEvaluation`
+and :class:`~repro.evaluation.timeline.DesignTimeline` records across
+processes, keyed by ``DesignSpec.cache_key()`` plus a fingerprint of the
+evaluation context (case study, policy, database), so repeated CLI
+sweeps across sessions only pay for designs not seen before.
+
+Payloads are pickled value objects — the same objects that already
+cross the process-pool boundary.  A *scope* column separates record
+kinds (``"evaluation"`` vs per-time-grid ``"timeline"`` entries) so one
+cache file serves both ``repro sweep --cache`` and ``repro timeline
+--cache``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import sqlite3
+from collections.abc import Hashable
+
+from repro.errors import EvaluationError
+
+__all__ = ["PersistentEvaluationCache", "context_fingerprint"]
+
+
+def context_fingerprint(*parts: object) -> str:
+    """A stable digest of the evaluation context.
+
+    Cached results are only valid for the exact case study / policy /
+    database they were computed under; the fingerprint keys them apart.
+    All evaluation-context objects are plain picklable value objects
+    (they already cross the process-pool boundary), and each is pickled
+    independently so one unpicklable part fails loudly here rather than
+    silently aliasing distinct contexts.
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        try:
+            digest.update(pickle.dumps(part, protocol=4))
+        except Exception as exc:
+            raise EvaluationError(
+                f"cannot fingerprint evaluation context part {type(part).__name__}: "
+                f"{exc}"
+            ) from exc
+    return digest.hexdigest()[:32]
+
+
+class PersistentEvaluationCache:
+    """A ``(scope, key) -> pickled payload`` store in one sqlite file.
+
+    Parameters
+    ----------
+    path:
+        The sqlite database file; created (with its table) on first use.
+
+    Examples
+    --------
+    >>> import tempfile, os
+    >>> path = os.path.join(tempfile.mkdtemp(), "cache.sqlite")
+    >>> cache = PersistentEvaluationCache(path)
+    >>> cache.put("evaluation", "k1", {"coa": 0.99})
+    >>> cache.get("evaluation", "k1")
+    {'coa': 0.99}
+    >>> cache.get("evaluation", "missing") is None
+    True
+    """
+
+    def __init__(self, path) -> None:
+        self.path = str(path)
+        try:
+            self._conn = sqlite3.connect(self.path)
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS entries ("
+                "  scope TEXT NOT NULL,"
+                "  key TEXT NOT NULL,"
+                "  payload BLOB NOT NULL,"
+                "  PRIMARY KEY (scope, key)"
+                ")"
+            )
+            self._conn.commit()
+        except sqlite3.Error as exc:
+            raise EvaluationError(
+                f"cannot open evaluation cache at {self.path!r}: {exc}"
+            ) from exc
+
+    @staticmethod
+    def entry_key(fingerprint: str, *parts: Hashable) -> str:
+        """The canonical text key for a cache entry."""
+        return repr((fingerprint, *parts))
+
+    def get(self, scope: str, key: str):
+        """The stored payload, or ``None`` on a miss (or stale pickle)."""
+        try:
+            row = self._conn.execute(
+                "SELECT payload FROM entries WHERE scope = ? AND key = ?",
+                (scope, key),
+            ).fetchone()
+        except sqlite3.Error as exc:
+            raise EvaluationError(
+                f"evaluation cache read failed ({self.path!r}): {exc}"
+            ) from exc
+        if row is None:
+            return None
+        try:
+            return pickle.loads(row[0])
+        except Exception:
+            # A payload written by an incompatible library version is a
+            # miss, not an error: the caller recomputes and overwrites.
+            return None
+
+    def put(self, scope: str, key: str, value: object) -> None:
+        """Store (or replace) *value* under ``(scope, key)``."""
+        payload = pickle.dumps(value, protocol=4)
+        try:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO entries (scope, key, payload) "
+                "VALUES (?, ?, ?)",
+                (scope, key, sqlite3.Binary(payload)),
+            )
+            self._conn.commit()
+        except sqlite3.Error as exc:
+            raise EvaluationError(
+                f"evaluation cache write failed ({self.path!r}): {exc}"
+            ) from exc
+
+    def __len__(self) -> int:
+        return int(
+            self._conn.execute("SELECT COUNT(*) FROM entries").fetchone()[0]
+        )
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        self._conn.close()
+
+    def __enter__(self) -> "PersistentEvaluationCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -184,6 +184,22 @@ def _evaluate_chunk(
     return evaluate_designs_shared(designs, case_study, policy, database=database)
 
 
+def _timeline_chunk(
+    case_study: EnterpriseCaseStudy,
+    policy: PatchPolicy,
+    database: VulnerabilityDatabase | None,
+    times: tuple[float, ...],
+    tolerance: float,
+    designs: Sequence[DesignSpec],
+):
+    """Worker entry point: patch timelines of one chunk, shared evaluators."""
+    from repro.evaluation.timeline import evaluate_timelines_shared
+
+    return evaluate_timelines_shared(
+        designs, times, case_study, policy, database=database, tolerance=tolerance
+    )
+
+
 def _map_chunk(fn: Callable[[Any], Any], items: Sequence[Any]) -> list:
     """Worker entry point for :meth:`SweepEngine.map`."""
     return [fn(item) for item in items]
@@ -210,6 +226,15 @@ class SweepEngine:
     database:
         Vulnerability database for variant lookups of heterogeneous
         designs (default: the case study's own database).
+    cache_path:
+        Optional sqlite file for a
+        :class:`~repro.evaluation.cache.PersistentEvaluationCache`
+        behind the in-memory memo: evaluations (and timelines) found on
+        disk skip computation entirely, and fresh results are written
+        back, so repeated CLI sweeps across sessions only pay for new
+        designs.  Entries are keyed by ``DesignSpec.cache_key()`` plus a
+        fingerprint of the case study / policy / database, so a cache
+        file can never serve results from a different context.
 
     Examples
     --------
@@ -227,6 +252,7 @@ class SweepEngine:
         max_workers: int | None = None,
         chunk_size: int | None = None,
         database: VulnerabilityDatabase | None = None,
+        cache_path=None,
     ) -> None:
         self.case_study = case_study if case_study is not None else paper_case_study()
         self.policy = policy if policy is not None else CriticalVulnerabilityPolicy()
@@ -235,9 +261,18 @@ class SweepEngine:
             check_positive_int(chunk_size, "chunk_size")
         self.chunk_size = chunk_size
         self.database = database
+        if cache_path is not None:
+            from repro.evaluation.cache import PersistentEvaluationCache
+
+            self.persistent_cache = PersistentEvaluationCache(cache_path)
+        else:
+            self.persistent_cache = None
+        self._fingerprint: str | None = None
         self._cache: dict[DesignSpec, DesignEvaluation] = {}
+        self._timelines: dict[tuple, Any] = {}
         self._hits = 0
         self._misses = 0
+        self._disk_hits = 0
 
     # -- sweeping -----------------------------------------------------------
 
@@ -249,7 +284,16 @@ class SweepEngine:
         for design in designs:
             if design in self._cache:
                 self._hits += 1
-            elif design not in seen_pending:
+                continue
+            if self.persistent_cache is not None:
+                stored = self.persistent_cache.get(
+                    "evaluation", self._disk_key(design)
+                )
+                if stored is not None:
+                    self._cache[design] = stored
+                    self._disk_hits += 1
+                    continue
+            if design not in seen_pending:
                 self._misses += 1
                 seen_pending.add(design)
                 pending.append(design)
@@ -261,7 +305,75 @@ class SweepEngine:
             for chunk_result in self.executor.run(_evaluate_chunk, batches):
                 for evaluation in chunk_result:
                     self._cache[evaluation.design] = evaluation
+                    if self.persistent_cache is not None:
+                        self.persistent_cache.put(
+                            "evaluation",
+                            self._disk_key(evaluation.design),
+                            evaluation,
+                        )
         return [self._cache[design] for design in designs]
+
+    def timeline(
+        self,
+        designs: Iterable[DesignSpec],
+        times: Sequence[float],
+        tolerance: float = 1e-10,
+    ) -> list:
+        """Patch timelines of *designs* over *times*, in input order.
+
+        The transient companion of :meth:`evaluate`: same chunked
+        dispatch (one shared evaluator pair per chunk), same
+        deterministic ordering across executors, same two-level
+        memoisation — in-memory per ``(design, time grid, tolerance)``
+        and, when a ``cache_path`` is configured, persisted on disk.
+        See :func:`repro.evaluation.timeline.evaluate_timeline`.
+        """
+        designs = list(designs)
+        times_key = tuple(float(t) for t in times)
+        pending: list[DesignSpec] = []
+        seen_pending: set[DesignSpec] = set()
+        for design in designs:
+            key = (design, times_key, tolerance)
+            if key in self._timelines:
+                self._hits += 1
+                continue
+            if self.persistent_cache is not None:
+                stored = self.persistent_cache.get(
+                    "timeline", self._disk_key(design, times_key, tolerance)
+                )
+                if stored is not None:
+                    self._timelines[key] = stored
+                    self._disk_hits += 1
+                    continue
+            if design not in seen_pending:
+                self._misses += 1
+                seen_pending.add(design)
+                pending.append(design)
+        if pending:
+            batches = [
+                (
+                    self.case_study,
+                    self.policy,
+                    self.database,
+                    times_key,
+                    tolerance,
+                    chunk,
+                )
+                for chunk in self._chunks(pending)
+            ]
+            for chunk_result in self.executor.run(_timeline_chunk, batches):
+                for result in chunk_result:
+                    key = (result.design, times_key, tolerance)
+                    self._timelines[key] = result
+                    if self.persistent_cache is not None:
+                        self.persistent_cache.put(
+                            "timeline",
+                            self._disk_key(result.design, times_key, tolerance),
+                            result,
+                        )
+        return [
+            self._timelines[(design, times_key, tolerance)] for design in designs
+        ]
 
     def sweep(
         self,
@@ -320,21 +432,39 @@ class SweepEngine:
     # -- cache bookkeeping ----------------------------------------------------
 
     def clear_cache(self) -> None:
-        """Drop memoised evaluations (and hit/miss counters)."""
+        """Drop memoised results and counters (the disk cache survives)."""
         self._cache.clear()
+        self._timelines.clear()
         self._hits = 0
         self._misses = 0
+        self._disk_hits = 0
 
     @property
     def cache_info(self) -> dict[str, int]:
-        """``{"hits", "misses", "size"}`` of the result cache."""
-        return {
+        """``{"hits", "misses", "size"}`` of the in-memory result cache
+        (plus ``"disk_hits"`` when a persistent cache is configured)."""
+        info = {
             "hits": self._hits,
             "misses": self._misses,
-            "size": len(self._cache),
+            "size": len(self._cache) + len(self._timelines),
         }
+        if self.persistent_cache is not None:
+            info["disk_hits"] = self._disk_hits
+        return info
 
     # -- internal -------------------------------------------------------------
+
+    def _disk_key(self, design: DesignSpec, *parts) -> str:
+        """Persistent-cache key: context fingerprint + design identity."""
+        from repro.evaluation.cache import PersistentEvaluationCache, context_fingerprint
+
+        if self._fingerprint is None:
+            self._fingerprint = context_fingerprint(
+                self.case_study, self.policy, self.database
+            )
+        return PersistentEvaluationCache.entry_key(
+            self._fingerprint, design.cache_key(), *parts
+        )
 
     def _chunks(self, items: Sequence[Any]) -> list[Sequence[Any]]:
         if not items:

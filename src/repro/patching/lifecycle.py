@@ -7,6 +7,12 @@ selection at the end of the cycle, and the security metrics are
 evaluated before and after each patch.  The result is a step function of
 the attack surface over time, exposing how disclosure rate and patch
 policy interact.
+
+Any :class:`~repro.enterprise.design.DesignSpec` is accepted: a
+homogeneous design tracks one vulnerability list per role, a
+heterogeneous (diversity) design one list per *variant* — the feed
+discloses per product, so an nginx CVE lands only on the nginx replicas
+while the apache replicas of the same tier stay clean.
 """
 
 from __future__ import annotations
@@ -23,7 +29,8 @@ from repro.vulnerability.model import SoftwareLayer, Vulnerability
 
 if TYPE_CHECKING:  # imported lazily to avoid a package-import cycle
     from repro.enterprise.casestudy import EnterpriseCaseStudy
-    from repro.enterprise.design import RedundancyDesign
+    from repro.enterprise.design import DesignSpec
+    from repro.vulnerability.database import VulnerabilityDatabase
 
 __all__ = ["CycleOutcome", "SyntheticDisclosureFeed", "simulate_patch_lifecycle"]
 
@@ -95,61 +102,121 @@ class CycleOutcome:
     after: SecurityMetrics
 
 
+@dataclass(frozen=True)
+class _Unit:
+    """One independently-tracked software stack of a design.
+
+    A homogeneous design has one unit per role (all replicas share the
+    role's list); a heterogeneous design one unit per variant.
+    """
+
+    key: str
+    role: str
+    products: tuple[str, ...]
+    hosts: tuple[str, ...]
+
+
+def _design_units(
+    case_study: EnterpriseCaseStudy,
+    design: DesignSpec,
+    database: VulnerabilityDatabase | None,
+) -> tuple[list[_Unit], dict[str, list[Vulnerability]]]:
+    """The design's units and their initial (catalog) vulnerability lists."""
+    from repro.enterprise.casestudy import variant_vulnerabilities
+    from repro.enterprise.heterogeneous import (
+        HeterogeneousDesign,
+        check_design_kind,
+    )
+
+    units: list[_Unit] = []
+    initial: dict[str, list[Vulnerability]] = {}
+    if isinstance(design, HeterogeneousDesign):
+        db = database if database is not None else case_study.database
+        for role in design.roles:
+            hosts_by_variant: dict[str, list[str]] = {}
+            for host, variant in design.instances(role).items():
+                hosts_by_variant.setdefault(variant.name, []).append(host)
+            for variant in design.variants(role):
+                units.append(
+                    _Unit(
+                        key=variant.name,
+                        role=role,
+                        products=tuple(variant.products),
+                        hosts=tuple(hosts_by_variant[variant.name]),
+                    )
+                )
+                initial[variant.name] = variant_vulnerabilities(db, variant)
+        return units, initial
+    check_design_kind(design)
+    for role in design.roles:
+        units.append(
+            _Unit(
+                key=role,
+                role=role,
+                products=tuple(case_study.roles[role].products),
+                hosts=tuple(design.instances(role)),
+            )
+        )
+        initial[role] = list(case_study.role_vulnerabilities(role))
+    return units, initial
+
+
 def simulate_patch_lifecycle(
     case_study: EnterpriseCaseStudy,
-    design: RedundancyDesign,
+    design: DesignSpec,
     policy: PatchPolicy,
     cycles: int,
     feed: SyntheticDisclosureFeed | None = None,
+    database: VulnerabilityDatabase | None = None,
 ) -> list[CycleOutcome]:
     """Run *cycles* consecutive patch cycles and track the attack surface.
 
-    Cycle 0 starts from the case study's catalog.  Each cycle: the feed
-    discloses new records on every product in use, the security metrics
-    are computed (*before*), the policy patches its selection, and the
-    metrics are recomputed (*after*).  Unpatched records accumulate as
-    backlog into the next cycle — exactly the effect a
-    criticals-only policy has on medium-severity CVEs.
+    Cycle 0 starts from the case study's catalog (per-variant records
+    for heterogeneous designs).  Each cycle: the feed discloses new
+    records on every product in use, the security metrics are computed
+    (*before*), the policy patches its selection, and the metrics are
+    recomputed (*after*).  Unpatched records accumulate as backlog into
+    the next cycle — exactly the effect a criticals-only policy has on
+    medium-severity CVEs.
+
+    *database* supplies the variant vulnerability records of
+    heterogeneous designs (default: the case study's own database).
     """
     if cycles < 1:
         raise EvaluationError(f"cycles must be >= 1, got {cycles}")
     if feed is None:
         feed = SyntheticDisclosureFeed()
 
-    # current vulnerability list per role (replicas share their role's list)
-    current: dict[str, list[Vulnerability]] = {
-        role: list(case_study.role_vulnerabilities(role)) for role in design.roles
-    }
-    products_by_role = {
-        role: list(case_study.roles[role].products) for role in design.roles
-    }
+    units, current = _design_units(case_study, design, database)
 
     outcomes: list[CycleOutcome] = []
     for cycle in range(cycles):
         disclosed_count = 0
         if cycle > 0:  # cycle 0 evaluates the catalog as-is (the paper's case)
             all_products = sorted(
-                {p for products in products_by_role.values() for p in products}
+                {product for unit in units for product in unit.products}
             )
             new_records = feed.disclose(cycle, all_products)
             disclosed_count = len(new_records)
-            for role, products in products_by_role.items():
-                current[role].extend(
-                    record for record in new_records if record.product in products
+            for unit in units:
+                current[unit.key].extend(
+                    record
+                    for record in new_records
+                    if record.product in unit.products
                 )
 
-        before = _evaluate(case_study, design, current, patched=None)
+        before = _evaluate(case_study, units, current, patched=None)
         patched_ids = {
-            role: policy.patched_cve_ids(current[role]) for role in current
+            unit.key: policy.patched_cve_ids(current[unit.key]) for unit in units
         }
-        after = _evaluate(case_study, design, current, patched=patched_ids)
+        after = _evaluate(case_study, units, current, patched=patched_ids)
 
         patched_count = len(set().union(*patched_ids.values()))
-        for role in current:
-            current[role] = [
+        for unit in units:
+            current[unit.key] = [
                 record
-                for record in current[role]
-                if record.cve_id not in patched_ids[role]
+                for record in current[unit.key]
+                if record.cve_id not in patched_ids[unit.key]
             ]
         backlog = sum(len(records) for records in current.values())
         outcomes.append(
@@ -167,43 +234,45 @@ def simulate_patch_lifecycle(
 
 def _evaluate(
     case_study: EnterpriseCaseStudy,
-    design: RedundancyDesign,
+    units: list[_Unit],
     current: dict[str, list[Vulnerability]],
     patched: dict[str, set[str]] | None,
 ) -> SecurityMetrics:
     from repro.harm import build_harm  # local import to avoid cycles
 
+    role_hosts: dict[str, list[str]] = {}
     host_vulns: dict[str, list[Vulnerability]] = {}
-    for role in design.roles:
-        for instance in design.instances(role):
-            host_vulns[instance] = current[role]
+    for unit in units:
+        role_hosts.setdefault(unit.role, []).extend(unit.hosts)
+        for host in unit.hosts:
+            host_vulns[host] = current[unit.key]
     reachability = [
-        (src_instance, dst_instance)
+        (src_host, dst_host)
         for src_role, dst_role in case_study.topology.role_edges()
-        if src_role in design.counts and dst_role in design.counts
-        for src_instance in design.instances(src_role)
-        for dst_instance in design.instances(dst_role)
+        if src_role in role_hosts and dst_role in role_hosts
+        for src_host in role_hosts[src_role]
+        for dst_host in role_hosts[dst_role]
     ]
     entry_hosts = [
-        instance
+        host
         for role in case_study.topology.entry_roles
-        if role in design.counts
-        for instance in design.instances(role)
+        if role in role_hosts
+        for host in role_hosts[role]
     ]
     targets = [
-        instance
+        host
         for role in case_study.topology.target_roles
-        if role in design.counts
-        for instance in design.instances(role)
+        if role in role_hosts
+        for host in role_hosts[role]
     ]
     # trees are flat ORs here: synthetic feeds have no expert tree shape
     harm = build_harm(host_vulns, reachability, entry_hosts, targets)
     if patched is not None:
         harm = harm.after_patching(
             {
-                instance: patched[role]
-                for role in design.roles
-                for instance in design.instances(role)
+                host: patched[unit.key]
+                for unit in units
+                for host in unit.hosts
             }
         )
     return evaluate_security(harm)

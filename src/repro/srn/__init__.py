@@ -18,7 +18,7 @@ independent estimate used to cross-validate the analytic pipeline.
 from repro.srn.marking import Marking
 from repro.srn.net import Place, StochasticRewardNet, Transition
 from repro.srn.reachability import ReachabilityGraph, explore
-from repro.srn.solver import SrnSolution, solve, solve_family
+from repro.srn.solver import SrnSolution, solve, solve_family, transient_family
 from repro.srn.simulate import SimulationResult, simulate
 
 __all__ = [
@@ -31,6 +31,7 @@ __all__ = [
     "SrnSolution",
     "solve",
     "solve_family",
+    "transient_family",
     "SimulationResult",
     "simulate",
 ]

@@ -10,7 +10,13 @@ the parity tests and benchmarks compare against.
 :func:`solve_family` solves a family of structurally identical nets
 (same places, transitions and arcs; only rate values differ) while
 exploring the reachability graph once and batching the steady-state
-solves over the shared transition pattern.
+solves over the shared transition pattern.  :func:`transient_family` is
+its transient counterpart: one reachability exploration, one reward
+evaluation over the shared tangible markings, and one
+:class:`~repro.ctmc.transient.BatchTransientSolver` pass per net that
+serves every time point and reward function at once.  Unlike the
+steady-state path it accepts absorbing chains — patch-completion models
+are naturally absorbing.
 """
 
 from __future__ import annotations
@@ -23,13 +29,13 @@ import numpy as np
 
 from repro.ctmc import Ctmc, steady_state
 from repro.ctmc.steady import BatchSteadySolver
-from repro.ctmc.transient import transient_distribution
+from repro.ctmc.transient import BatchTransientSolver
 from repro.errors import SrnError
 from repro.srn.marking import Marking
 from repro.srn.net import StochasticRewardNet, TransitionKind
 from repro.srn.reachability import DEFAULT_MAX_MARKINGS, ReachabilityGraph, explore
 
-__all__ = ["SrnSolution", "solve", "solve_family"]
+__all__ = ["SrnSolution", "solve", "solve_family", "transient_family"]
 
 #: A reward function over markings (SPNP-style reward definition).
 RewardFn = Callable[[Marking], float]
@@ -47,6 +53,7 @@ class SrnSolution:
     probabilities: np.ndarray
     _reward_cache: OrderedDict = field(default_factory=OrderedDict, repr=False)
     _token_matrix: np.ndarray | None = field(default=None, repr=False)
+    _transient_solver: BatchTransientSolver | None = field(default=None, repr=False)
 
     @property
     def markings(self) -> tuple[Marking, ...]:
@@ -166,16 +173,21 @@ class SrnSolution:
         """Expected instantaneous reward rate at each time in *times*.
 
         The initial distribution is the one implied by the net's initial
-        marking (mass spread over tangibles if it was vanishing).
+        marking (mass spread over tangibles if it was vanishing).  The
+        chain is uniformised once per solution (the batch solver is
+        cached), so repeated curves over different rewards or time grids
+        only pay for the shared Poisson pass.
         """
         values = self.reward_vector(reward)
-        out = []
-        for time in times:
-            dist = transient_distribution(
-                self.chain, self.graph.initial_distribution, time
-            )
-            out.append(float(dist @ values))
-        return np.array(out)
+        return self.transient_solver().rewards(
+            self.graph.initial_distribution, np.asarray(values), times
+        )
+
+    def transient_solver(self) -> BatchTransientSolver:
+        """The (cached) batched uniformisation solver over this chain."""
+        if self._transient_solver is None:
+            self._transient_solver = BatchTransientSolver(self.chain)
+        return self._transient_solver
 
 
 def solve(
@@ -285,6 +297,88 @@ def solve_family(
             )
         )
     return solutions
+
+
+def transient_family(
+    nets: Sequence[StochasticRewardNet],
+    rewards: RewardFn | Sequence[RewardFn],
+    times: Sequence[float],
+    initial: Marking | None = None,
+    max_markings: int = DEFAULT_MAX_MARKINGS,
+    tolerance: float = 1e-10,
+) -> list[np.ndarray]:
+    """Transient reward curves for structurally identical nets.
+
+    The transient counterpart of :func:`solve_family`: the first net's
+    reachability graph is explored once, every reward function is
+    evaluated once over the shared tangible markings, and each net's
+    rates are re-evaluated on the stored markings and handed to one
+    :class:`~repro.ctmc.transient.BatchTransientSolver` (generators
+    assembled through a shared
+    :class:`~repro.ctmc.steady.BatchSteadySolver` pattern), which
+    serves every time point and reward in a single uniformisation pass.
+
+    Unlike :func:`solve` and :func:`solve_family` there is **no**
+    absorbing-marking guard: transient questions are well-posed on
+    absorbing chains (patch-completion models are naturally absorbing —
+    the probability mass simply accumulates in the absorbing markings).
+
+    Returns one array per net: shape ``(len(times),)`` for a single
+    reward function, ``(len(times), len(rewards))`` for a sequence.
+    Nets with vanishing markings fall back to independent explorations
+    (immediate-weight changes can reshape the eliminated graph).
+    """
+    nets = list(nets)
+    if not nets:
+        return []
+    single = callable(rewards)
+    reward_fns: list[RewardFn] = [rewards] if single else list(rewards)
+    if not reward_fns:
+        raise SrnError("transient_family needs at least one reward function")
+
+    def reward_matrix(markings: Sequence[Marking]) -> np.ndarray:
+        matrix = np.array(
+            [[float(fn(marking)) for marking in markings] for fn in reward_fns]
+        )
+        return matrix[0] if single else matrix
+
+    base = nets[0]
+    _check_family_signature(base, nets)
+    base_graph = explore(base, initial=initial, max_markings=max_markings)
+    if base_graph.vanishing_count > 0:
+        results = []
+        for net in nets:
+            graph = explore(net, initial=initial, max_markings=max_markings)
+            solver = BatchTransientSolver(graph.to_ctmc(), tolerance=tolerance)
+            results.append(
+                solver.rewards(
+                    graph.initial_distribution, reward_matrix(graph.tangible), times
+                )
+            )
+        return results
+
+    index = {marking: i for i, marking in enumerate(base_graph.tangible)}
+    place_count = len(base.places)
+    all_rates: list[dict[tuple[int, int], float]] = [dict(base_graph.rates)]
+    for net in nets[1:]:
+        all_rates.append(
+            _rates_on_graph(net, base_graph.tangible, index, place_count)
+        )
+    pattern = sorted(
+        {key for rates in all_rates for key in rates if key[0] != key[1]}
+    )
+    assembler = BatchSteadySolver(base_graph.number_of_states, pattern)
+    matrix = reward_matrix(base_graph.tangible)
+    results = []
+    for rates in all_rates:
+        values = [rates.get(pair, 0.0) for pair in pattern]
+        solver = BatchTransientSolver.from_generator(
+            assembler.generator(values), tolerance=tolerance
+        )
+        results.append(
+            solver.rewards(base_graph.initial_distribution, matrix, times)
+        )
+    return results
 
 
 def _check_family_signature(

@@ -1,0 +1,113 @@
+"""Tests for the sqlite-backed persistent evaluation cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enterprise import paper_designs
+from repro.errors import EvaluationError
+from repro.evaluation import PersistentEvaluationCache, SweepEngine
+from repro.evaluation.cache import context_fingerprint
+from repro.patching import CriticalVulnerabilityPolicy
+from repro.patching.policy import PatchAllPolicy
+
+
+class TestPersistentEvaluationCache:
+    def test_roundtrip(self, tmp_path):
+        cache = PersistentEvaluationCache(tmp_path / "cache.sqlite")
+        assert cache.get("evaluation", "k") is None
+        cache.put("evaluation", "k", {"value": 1.25})
+        assert cache.get("evaluation", "k") == {"value": 1.25}
+        assert len(cache) == 1
+
+    def test_scopes_are_separate(self, tmp_path):
+        cache = PersistentEvaluationCache(tmp_path / "cache.sqlite")
+        cache.put("evaluation", "k", "a")
+        cache.put("timeline", "k", "b")
+        assert cache.get("evaluation", "k") == "a"
+        assert cache.get("timeline", "k") == "b"
+
+    def test_replace(self, tmp_path):
+        cache = PersistentEvaluationCache(tmp_path / "cache.sqlite")
+        cache.put("evaluation", "k", 1)
+        cache.put("evaluation", "k", 2)
+        assert cache.get("evaluation", "k") == 2
+        assert len(cache) == 1
+
+    def test_corrupt_payload_is_a_miss(self, tmp_path):
+        path = tmp_path / "cache.sqlite"
+        cache = PersistentEvaluationCache(path)
+        cache._conn.execute(
+            "INSERT INTO entries (scope, key, payload) VALUES (?, ?, ?)",
+            ("evaluation", "bad", b"not a pickle"),
+        )
+        cache._conn.commit()
+        assert cache.get("evaluation", "bad") is None
+
+    def test_unopenable_path_raises(self, tmp_path):
+        with pytest.raises(EvaluationError):
+            PersistentEvaluationCache(tmp_path / "missing-dir" / "cache.sqlite")
+
+    def test_context_manager_closes(self, tmp_path):
+        with PersistentEvaluationCache(tmp_path / "cache.sqlite") as cache:
+            cache.put("evaluation", "k", 1)
+        with pytest.raises(EvaluationError):
+            cache.get("evaluation", "k")
+
+
+class TestContextFingerprint:
+    def test_deterministic_and_sensitive(self):
+        a = context_fingerprint(CriticalVulnerabilityPolicy(), None)
+        b = context_fingerprint(CriticalVulnerabilityPolicy(), None)
+        c = context_fingerprint(PatchAllPolicy(), None)
+        assert a == b
+        assert a != c
+
+
+class TestEngineDiskCache:
+    def test_second_engine_hits_disk(self, tmp_path):
+        path = tmp_path / "cache.sqlite"
+        designs = paper_designs()[:3]
+        first = SweepEngine(cache_path=path)
+        evaluations = first.evaluate(designs)
+        assert first.cache_info["disk_hits"] == 0
+        assert first.cache_info["misses"] == len(designs)
+
+        second = SweepEngine(cache_path=path)
+        again = second.evaluate(designs)
+        assert second.cache_info["disk_hits"] == len(designs)
+        assert second.cache_info["misses"] == 0
+        for a, b in zip(evaluations, again):
+            assert a.design == b.design
+            assert a.before.coa == b.before.coa
+            assert a.before.security.as_dict() == b.before.security.as_dict()
+
+    def test_timeline_cached_per_grid(self, tmp_path):
+        path = tmp_path / "cache.sqlite"
+        designs = paper_designs()[:2]
+        grid = (0.0, 360.0, 720.0)
+        first = SweepEngine(cache_path=path)
+        timelines = first.timeline(designs, grid)
+
+        second = SweepEngine(cache_path=path)
+        again = second.timeline(designs, grid)
+        assert second.cache_info["disk_hits"] == len(designs)
+        for a, b in zip(timelines, again):
+            assert a.coa == b.coa
+            assert a.completion_probability == b.completion_probability
+        # a different grid misses
+        second.timeline(designs, (0.0, 24.0))
+        assert second.cache_info["misses"] == len(designs)
+
+    def test_different_policy_does_not_alias(self, tmp_path):
+        path = tmp_path / "cache.sqlite"
+        designs = paper_designs()[:1]
+        SweepEngine(cache_path=path).evaluate(designs)
+        other = SweepEngine(policy=PatchAllPolicy(), cache_path=path)
+        other.evaluate(designs)
+        assert other.cache_info["disk_hits"] == 0
+        assert other.cache_info["misses"] == 1
+
+    def test_no_cache_path_keeps_legacy_cache_info(self):
+        engine = SweepEngine()
+        assert engine.cache_info == {"hits": 0, "misses": 0, "size": 0}

@@ -120,3 +120,91 @@ class TestLifecycle:
             simulate_patch_lifecycle(
                 case_study, baseline_design, critical_policy, cycles=0
             )
+
+
+class TestHeterogeneousLifecycle:
+    """simulate_patch_lifecycle dispatches per DesignSpec kind."""
+
+    @pytest.fixture(scope="class")
+    def variant_space(self):
+        from repro.enterprise import paper_variant_space
+
+        return paper_variant_space()
+
+    @pytest.fixture(scope="class")
+    def diversity_db(self):
+        from repro.vulnerability.diversity import diversity_database
+
+        return diversity_database()
+
+    def test_primary_variants_match_homogeneous(
+        self, case_study, baseline_design, critical_policy, variant_space, diversity_db
+    ):
+        # One replica of each role's primary (paper) stack carries
+        # exactly the paper's vulnerabilities: the whole lifecycle must
+        # match the homogeneous design cycle for cycle.
+        from repro.enterprise import HeterogeneousDesign
+
+        design = HeterogeneousDesign(
+            {role: {variant_space[role][0]: 1} for role in ("dns", "web", "app", "db")}
+        )
+        homogeneous = simulate_patch_lifecycle(
+            case_study,
+            baseline_design,
+            critical_policy,
+            cycles=3,
+            feed=SyntheticDisclosureFeed(seed=11),
+        )
+        heterogeneous = simulate_patch_lifecycle(
+            case_study,
+            design,
+            critical_policy,
+            cycles=3,
+            feed=SyntheticDisclosureFeed(seed=11),
+            database=diversity_db,
+        )
+        for a, b in zip(homogeneous, heterogeneous):
+            assert a.before.as_dict() == b.before.as_dict()
+            assert a.after.as_dict() == b.after.as_dict()
+            assert (a.disclosed, a.patched, a.backlog) == (
+                b.disclosed,
+                b.patched,
+                b.backlog,
+            )
+
+    def test_mixed_variants_track_per_variant_lists(
+        self, case_study, critical_policy, variant_space, diversity_db
+    ):
+        from repro.enterprise import HeterogeneousDesign
+
+        design = HeterogeneousDesign(
+            {
+                "dns": {variant_space["dns"][0]: 1},
+                "web": {variant_space["web"][0]: 1, variant_space["web"][1]: 1},
+                "app": {variant_space["app"][0]: 1},
+                "db": {variant_space["db"][1]: 2},
+            }
+        )
+        outcomes = simulate_patch_lifecycle(
+            case_study,
+            design,
+            critical_policy,
+            cycles=3,
+            feed=SyntheticDisclosureFeed(seed=3),
+            database=diversity_db,
+        )
+        assert len(outcomes) == 3
+        for outcome in outcomes:
+            assert outcome.before.as_dict()["ASP"] >= outcome.after.as_dict()["ASP"]
+        # later cycles disclose onto the diverse product set too
+        assert any(outcome.disclosed > 0 for outcome in outcomes[1:])
+
+    def test_unknown_design_kind_rejected(self, case_study, critical_policy):
+        class FakeSpec:
+            roles = ["dns"]
+            counts = {"dns": 1}
+
+        with pytest.raises(EvaluationError):
+            simulate_patch_lifecycle(
+                case_study, FakeSpec(), critical_policy, cycles=1
+            )

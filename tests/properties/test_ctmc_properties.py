@@ -95,3 +95,60 @@ class TestAggregationProperties:
         assert aggregate.failure_rate > 0.0
         assert aggregate.repair_rate > 0.0
         assert 0.0 < aggregate.availability < 1.0
+
+
+class TestBatchTransientProperties:
+    @given(irreducible_chains(), st.lists(st.floats(min_value=0.0, max_value=20.0), min_size=1, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_batch_rows_are_distributions_matching_reference(self, chain, times):
+        from repro.ctmc.transient import BatchTransientSolver
+
+        initial = {chain.states[0]: 1.0}
+        dists = BatchTransientSolver(chain).distributions(initial, times)
+        assert np.all(dists >= 0.0)
+        assert np.abs(dists.sum(axis=1) - 1.0).max() < 1e-9
+        for row, t in zip(dists, times):
+            reference = transient_distribution(chain, initial, t)
+            assert np.abs(row - reference).max() < 1e-8
+
+    @given(irreducible_chains(), st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_batch_is_bit_identical_to_per_time_loop(self, chain, times):
+        from repro.ctmc.transient import BatchTransientSolver, transient_rewards
+
+        initial = {chain.states[0]: 1.0}
+        rewards = np.arange(chain.number_of_states(), dtype=float)
+        batch = BatchTransientSolver(chain).rewards(initial, rewards, times)
+        oracle = transient_rewards(chain, initial, rewards, times)
+        assert batch.tobytes() == oracle.tobytes()
+
+    @given(irreducible_chains())
+    @settings(max_examples=20, deadline=None)
+    def test_batch_converges_to_steady_state(self, chain):
+        from repro.ctmc.transient import BatchTransientSolver
+
+        initial = {chain.states[0]: 1.0}
+        pi = steady_state(chain)
+        horizon = 200.0 / max(
+            min(rate for _, _, rate in chain.transitions()), 1e-2
+        )
+        dists = BatchTransientSolver(chain).distributions(initial, [horizon])
+        assert np.abs(dists[0] - pi).max() < 1e-5
+
+    @given(
+        st.floats(min_value=0.05, max_value=30.0),
+        st.integers(min_value=1, max_value=4),
+        st.lists(st.floats(min_value=0.0, max_value=50.0), min_size=2, max_size=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_absorption_is_monotone(self, rate, tokens, times):
+        from repro.ctmc.transient import BatchTransientSolver
+
+        # pure-death chain: tokens, tokens-1, ..., 0 (absorbing)
+        chain = Ctmc(list(range(tokens, -1, -1)))
+        for k in range(tokens, 0, -1):
+            chain.add_rate(k, k - 1, rate * k)
+        times = sorted(times)
+        dists = BatchTransientSolver(chain).distributions({tokens: 1.0}, times)
+        absorbed = dists[:, chain.index_of(0)]
+        assert np.all(np.diff(absorbed) >= -1e-12)

@@ -1,0 +1,125 @@
+"""Tests for transient analysis over families of structurally identical nets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SrnError
+from repro.srn import StochasticRewardNet, solve, transient_family
+
+
+def updown_net(failure: float, repair: float, servers: int = 2):
+    net = StochasticRewardNet(f"updown-{failure}-{repair}")
+    net.add_place("up", tokens=servers)
+    net.add_place("down")
+    net.add_timed_transition("fail", rate=lambda m, _r=failure: _r * m["up"])
+    net.add_arc("up", "fail")
+    net.add_arc("fail", "down")
+    net.add_timed_transition("repair", rate=lambda m, _r=repair: _r * m["down"])
+    net.add_arc("down", "repair")
+    net.add_arc("repair", "up")
+    return net
+
+
+def death_net(rate: float, tokens: int = 3):
+    """An absorbing net: steady-state analysis is ill-posed on it."""
+    net = StochasticRewardNet(f"death-{rate}")
+    net.add_place("alive", tokens=tokens)
+    net.add_place("dead")
+    net.add_timed_transition("die", rate=lambda m, _r=rate: _r * m["alive"])
+    net.add_arc("alive", "die")
+    net.add_arc("die", "dead")
+    return net
+
+
+class TestTransientFamily:
+    def test_matches_per_net_solution_curves(self):
+        nets = [updown_net(1.0, 4.0), updown_net(2.0, 4.0), updown_net(1.0, 9.0)]
+        times = [0.0, 0.3, 1.5, 80.0]
+        reward = lambda m: float(m["up"])  # noqa: E731
+        family = transient_family(nets, reward, times)
+        for net, curve in zip(nets, family):
+            direct = solve(net).transient_reward(reward, times)
+            assert curve == pytest.approx(direct, abs=1e-9)
+
+    def test_multiple_rewards_share_one_pass(self):
+        nets = [updown_net(1.0, 4.0), updown_net(3.0, 2.0)]
+        rewards = [
+            lambda m: float(m["up"]),
+            lambda m: float(m["down"]),
+            lambda m: float(m["up"] == 2),
+        ]
+        curves = transient_family(nets, rewards, [0.0, 1.0])
+        for curve in curves:
+            assert curve.shape == (2, 3)
+            # token conservation: up + down == 2 at every time
+            assert curve[:, 0] + curve[:, 1] == pytest.approx([2.0, 2.0])
+            assert curve[0, 2] == pytest.approx(1.0)  # starts all-up
+
+    def test_absorbing_family_allowed(self):
+        # solve() refuses absorbing nets; transient_family must not.
+        nets = [death_net(0.5), death_net(2.0)]
+        with pytest.raises(SrnError):
+            solve(nets[0])
+        done = lambda m: float(m["alive"] == 0)  # noqa: E731
+        curves = transient_family(nets, done, [0.0, 1.0, 500.0])
+        for curve in curves:
+            assert curve[0] == 0.0
+            assert np.all(np.diff(curve) >= -1e-12)
+            assert curve[-1] == pytest.approx(1.0, abs=1e-8)
+        # the faster death absorbs more mass at t = 1
+        assert curves[1][1] > curves[0][1]
+
+    def test_long_horizon_matches_steady_state(self):
+        nets = [updown_net(1.0, 4.0), updown_net(2.0, 3.0)]
+        reward = lambda m: float(m["up"])  # noqa: E731
+        curves = transient_family(nets, reward, [5000.0])
+        for net, curve in zip(nets, curves):
+            steady = solve(net).expected_reward(reward)
+            assert curve[0] == pytest.approx(steady, abs=1e-8)
+
+    def test_structure_mismatch_rejected(self):
+        other = StochasticRewardNet("different")
+        other.add_place("up", tokens=2)
+        other.add_timed_transition("noop", rate=1.0)
+        other.add_arc("up", "noop")
+        other.add_arc("noop", "up")
+        with pytest.raises(SrnError):
+            transient_family(
+                [updown_net(1.0, 4.0), other], lambda m: 1.0, [0.0]
+            )
+
+    def test_empty_family(self):
+        assert transient_family([], lambda m: 1.0, [0.0]) == []
+
+    def test_no_rewards_rejected(self):
+        with pytest.raises(SrnError):
+            transient_family([updown_net(1.0, 4.0)], [], [0.0])
+
+    def test_vanishing_fallback(self):
+        def with_immediate(weight: float):
+            net = StochasticRewardNet(f"vanishing-{weight}")
+            net.add_place("start", tokens=1)
+            net.add_place("a")
+            net.add_place("b")
+            net.add_immediate_transition("choose_a", weight=weight)
+            net.add_arc("start", "choose_a")
+            net.add_arc("choose_a", "a")
+            net.add_immediate_transition("choose_b", weight=1.0)
+            net.add_arc("start", "choose_b")
+            net.add_arc("choose_b", "b")
+            net.add_timed_transition("swap", rate=1.0)
+            net.add_arc("a", "swap")
+            net.add_arc("swap", "b")
+            net.add_timed_transition("back", rate=1.0)
+            net.add_arc("b", "back")
+            net.add_arc("back", "a")
+            return net
+
+        nets = [with_immediate(1.0), with_immediate(3.0)]
+        reward = lambda m: float(m["a"])  # noqa: E731
+        curves = transient_family(nets, reward, [0.0])
+        # initial vanishing marking splits mass by immediate weights
+        assert curves[0][0] == pytest.approx(0.5)
+        assert curves[1][0] == pytest.approx(0.75)

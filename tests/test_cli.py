@@ -186,3 +186,145 @@ class TestCli:
     def test_no_command_exits_nonzero(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestTimelineCli:
+    def test_timeline_json_schema(self, capsys):
+        assert (
+            main(
+                [
+                    "timeline",
+                    "--roles",
+                    "dns,web",
+                    "--max-replicas",
+                    "2",
+                    "--points",
+                    "5",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["roles"] == ["dns", "web"]
+        assert payload["design_count"] == 4
+        assert payload["times"] == [0.0, 180.0, 360.0, 540.0, 720.0]
+        metric_keys = {"AIM", "ASP", "NoEV", "NoAP", "NoEP"}
+        for design in payload["designs"]:
+            assert set(design) >= {
+                "label",
+                "counts",
+                "total_servers",
+                "mean_time_to_completion",
+                "steady_coa",
+                "min_coa",
+                "coa",
+                "completion_probability",
+                "unpatched_fraction",
+                "security",
+            }
+            assert len(design["coa"]) == 5
+            assert design["coa"][0] == 1.0
+            assert design["completion_probability"][0] == 0.0
+            assert design["mean_time_to_completion"] > 0
+            assert set(design["security"]) == metric_keys
+            assert all(len(curve) == 5 for curve in design["security"].values())
+
+    def test_timeline_table_output(self, capsys):
+        assert (
+            main(["timeline", "--roles", "dns,web", "--points", "4"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "MTTPC (h)" in out
+        assert "2 DNS + 2 WEB" in out
+        assert "grid 0..720 h x 4 points" in out
+
+    def test_timeline_explicit_times(self, capsys):
+        assert (
+            main(
+                [
+                    "timeline",
+                    "--roles",
+                    "dns",
+                    "--times",
+                    "0,24,720",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["times"] == [0.0, 24.0, 720.0]
+
+    def test_timeline_variants(self, capsys):
+        assert (
+            main(
+                [
+                    "timeline",
+                    "--variants",
+                    "--roles",
+                    "web",
+                    "--max-replicas",
+                    "1",
+                    "--points",
+                    "3",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["variants"] is True
+        assert payload["design_count"] == 2
+        assert all("variants" in design for design in payload["designs"])
+
+    def test_timeline_negative_time_exits_2(self, capsys):
+        assert main(["timeline", "--roles", "dns", "--times=-5,3"]) == 2
+        assert "timeline failed" in capsys.readouterr().err
+
+    def test_timeline_bad_grid_exits_2(self, capsys):
+        assert main(["timeline", "--roles", "dns", "--points", "1"]) == 2
+        assert main(["timeline", "--roles", "dns", "--times", "abc"]) == 2
+
+    def test_timeline_empty_roles_exits_2(self, capsys):
+        assert main(["timeline", "--roles", " , "]) == 2
+
+    def test_timeline_unknown_variant_role_exits_2(self, capsys):
+        assert main(["timeline", "--variants", "--roles", "nosuch"]) == 2
+        assert "variant pool" in capsys.readouterr().err
+
+
+class TestCacheCli:
+    def test_sweep_cache_reuse_is_identical(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache.sqlite")
+        args = ["sweep", "--roles", "dns,web", "--json", "--cache", cache]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_timeline_cache_reuse_is_identical(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache.sqlite")
+        args = [
+            "timeline",
+            "--roles",
+            "dns,web",
+            "--points",
+            "4",
+            "--json",
+            "--cache",
+            cache,
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_bad_cache_path_exits_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "no-such-dir" / "cache.sqlite")
+        assert (
+            main(["sweep", "--roles", "dns", "--cache", missing]) == 2
+        )
+        assert "sweep failed" in capsys.readouterr().err
