@@ -21,10 +21,19 @@ Commands
     time grid, one batched uniformisation pass per design.  Takes the
     same space/executor options as ``sweep`` plus the time grid
     (``--horizon``/``--points`` or an explicit ``--times`` list).
+``cache``
+    Maintain a ``--cache`` sqlite file: ``stats``, ``purge``
+    (everything, one scope or one context fingerprint) and ``trim``
+    (LRU-evict down to entry/size bounds).
 
 Both space commands accept ``--cache PATH``: a sqlite file that
 persists results across invocations, so re-running a sweep or timeline
-only pays for designs not seen before.
+only pays for designs not seen before.  They also accept
+``--shared-memory`` (default) / ``--no-shared-memory``: with sharing
+on, the lower-layer aggregate table and the canonical per-pattern SRN
+structures are solved once and shared — published to process-pool
+workers over ``multiprocessing.shared_memory`` — instead of being
+re-solved per chunk; results are byte-identical either way.
 """
 
 from __future__ import annotations
@@ -151,6 +160,7 @@ def _space_engine_and_designs(args: argparse.Namespace, roles):
             executor=args.executor,
             max_workers=args.jobs,
             database=diversity_database(),
+            structure_sharing=args.shared_memory,
             cache_path=cache_path,
         )
         designs = enumerate_heterogeneous_designs(
@@ -161,7 +171,10 @@ def _space_engine_and_designs(args: argparse.Namespace, roles):
         )
     else:
         engine = SweepEngine(
-            executor=args.executor, max_workers=args.jobs, cache_path=cache_path
+            executor=args.executor,
+            max_workers=args.jobs,
+            structure_sharing=args.shared_memory,
+            cache_path=cache_path,
         )
         designs = enumerate_designs(
             roles, max_replicas=args.max_replicas, max_total=args.max_total
@@ -287,6 +300,54 @@ def _timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cache(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.evaluation.cache import PersistentEvaluationCache
+
+    try:
+        with PersistentEvaluationCache(args.cache) as cache:
+            if args.cache_command == "stats":
+                stats = cache.stats()
+                if args.json:
+                    print(json.dumps(stats, indent=2))
+                else:
+                    print(f"cache {stats['path']}")
+                    print(
+                        f"  {stats['entries']} entries, "
+                        f"{stats['bytes'] / 1e6:.2f} MB"
+                    )
+                    for scope, info in stats["scopes"].items():
+                        print(
+                            f"  {scope:<12} {info['entries']:>6} entries  "
+                            f"{info['bytes'] / 1e6:8.2f} MB"
+                        )
+            elif args.cache_command == "purge":
+                removed = cache.purge(
+                    fingerprint=args.fingerprint, scope=args.scope
+                )
+                print(f"purged {removed} entries")
+            elif args.cache_command == "trim":
+                if args.max_entries is None and args.max_mb is None:
+                    print(
+                        "trim needs --max-entries and/or --max-mb",
+                        file=sys.stderr,
+                    )
+                    return 2
+                removed = cache.trim(
+                    max_entries=args.max_entries,
+                    max_bytes=(
+                        int(args.max_mb * 1e6)
+                        if args.max_mb is not None
+                        else None
+                    ),
+                )
+                print(f"evicted {removed} least-recently-used entries")
+    except ReproError as exc:
+        print(f"cache failed: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _bundle(args: argparse.Namespace) -> int:
     from repro.evaluation import write_experiment_bundle
 
@@ -303,6 +364,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         description=(
             "Reproduction of Ge, Kim & Kim (DSN-W 2017): security and "
             "availability of redundancy designs under security patching."
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "structure sharing:\n"
+            "  'sweep' and 'timeline' run the structure-sharing pipeline by\n"
+            "  default (--shared-memory): the per-role Table V aggregates and\n"
+            "  one canonical SRN structure per transition pattern (counts\n"
+            "  multiset) are solved once and reused across the whole design\n"
+            "  space; with --executor process they are published to the pool\n"
+            "  workers through multiprocessing.shared_memory so chunks carry\n"
+            "  only designs.  --no-shared-memory re-solves everything per\n"
+            "  chunk (the benchmark baseline); results are byte-identical\n"
+            "  either way.  Persistent result caches (--cache PATH) are\n"
+            "  maintained with 'python -m repro cache stats|purge|trim'."
         ),
     )
     commands = parser.add_subparsers(dest="command", required=True)
@@ -363,7 +438,20 @@ def main(argv: Sequence[str] | None = None) -> int:
             metavar="PATH",
             help=(
                 "sqlite file persisting results across invocations; "
-                "repeated runs only pay for designs not cached yet"
+                "repeated runs only pay for designs not cached yet "
+                "(maintain it with 'python -m repro cache')"
+            ),
+        )
+        command.add_argument(
+            "--shared-memory",
+            action=argparse.BooleanOptionalAction,
+            default=True,
+            help=(
+                "structure-sharing pipeline: solve the lower-layer "
+                "aggregates and the per-pattern SRN structures once and "
+                "share them (via multiprocessing.shared_memory for the "
+                "process executor) instead of re-solving per chunk; "
+                "results are byte-identical either way (default: on)"
             ),
         )
         command.add_argument(
@@ -402,6 +490,58 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="explicit comma-separated times in hours (overrides the grid)",
     )
     timeline.set_defaults(handler=_timeline)
+
+    cache = commands.add_parser(
+        "cache",
+        help="maintain a persistent evaluation cache (stats, purge, trim)",
+    )
+    cache_commands = cache.add_subparsers(dest="cache_command", required=True)
+
+    def add_cache_path(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--cache",
+            required=True,
+            metavar="PATH",
+            help="the sqlite cache file to maintain",
+        )
+
+    cache_stats = cache_commands.add_parser(
+        "stats", help="entry and size counts, total and per scope"
+    )
+    add_cache_path(cache_stats)
+    cache_stats.add_argument(
+        "--json", action="store_true", help="emit JSON instead of a table"
+    )
+    cache_purge = cache_commands.add_parser(
+        "purge",
+        help="delete entries (all, one scope, or one context fingerprint)",
+    )
+    add_cache_path(cache_purge)
+    cache_purge.add_argument(
+        "--fingerprint",
+        default=None,
+        help="only entries of this evaluation-context fingerprint",
+    )
+    cache_purge.add_argument(
+        "--scope",
+        default=None,
+        choices=("evaluation", "timeline"),
+        help="only entries of this record kind",
+    )
+    cache_trim = cache_commands.add_parser(
+        "trim", help="evict least-recently-used entries down to bounds"
+    )
+    add_cache_path(cache_trim)
+    cache_trim.add_argument(
+        "--max-entries", type=int, default=None, help="keep at most N entries"
+    )
+    cache_trim.add_argument(
+        "--max-mb",
+        type=float,
+        default=None,
+        help="keep at most this many megabytes of payload",
+    )
+    cache.set_defaults(handler=_cache)
 
     args = parser.parse_args(argv)
     return args.handler(args)

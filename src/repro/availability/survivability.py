@@ -9,15 +9,24 @@ Two questions beyond the paper's steady-state COA:
 - **transient COA**: the expected Table VI reward as a function of time
   from a given starting marking (uniformisation), showing how quickly
   the patch process erodes and restores capacity.
+
+Both accept either availability model kind: the homogeneous
+:class:`~repro.availability.network.NetworkAvailabilityModel` (one group
+per tier) and the variant-aware
+:class:`~repro.availability.heterogeneous.HeterogeneousAvailabilityModel`
+(a tier is down only when *every* variant group of the tier has zero
+running servers) — the heterogeneous model already exposes its solved
+chain, so the absorbing-state analysis is identical.
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
 from repro.availability.coa import up_place
+from repro.availability.heterogeneous import HeterogeneousAvailabilityModel
 from repro.availability.network import NetworkAvailabilityModel
 from repro.ctmc import make_absorbing, mean_time_to_absorption
 from repro.errors import EvaluationError
@@ -26,29 +35,51 @@ from repro.srn import Marking
 __all__ = ["mean_time_to_outage", "transient_coa"]
 
 
-def _is_outage(marking: Marking, services: Sequence[str]) -> bool:
-    return any(marking[up_place(service)] == 0 for service in services)
+def _tier_groups(
+    model: NetworkAvailabilityModel | HeterogeneousAvailabilityModel,
+) -> dict[str, Mapping[str, int]]:
+    """Tier name -> {group name -> capacity}, for either model kind."""
+    if isinstance(model, HeterogeneousAvailabilityModel):
+        return model.tiers
+    if isinstance(model, NetworkAvailabilityModel):
+        return {svc: {svc: count} for svc, count in model.capacities.items()}
+    raise EvaluationError(
+        f"unknown availability model kind {type(model).__name__!r}"
+    )
 
 
-def mean_time_to_outage(model: NetworkAvailabilityModel) -> float:
+def _is_outage(
+    marking: Marking, tiers: Mapping[str, Mapping[str, int]]
+) -> bool:
+    return any(
+        sum(marking[up_place(group)] for group in groups) == 0
+        for groups in tiers.values()
+    )
+
+
+def mean_time_to_outage(
+    model: NetworkAvailabilityModel | HeterogeneousAvailabilityModel,
+) -> float:
     """Expected hours from all-up until some tier first loses all servers.
 
     Patch downs are short and independent, so for redundant designs this
     is dominated by the rare coincidence of every replica of one tier
-    being patched at once.
+    being patched at once.  For a heterogeneous model a tier survives
+    while *any* of its variant groups keeps a server up.
     """
+    tiers = _tier_groups(model)
     solution = model.solve()
-    services = list(model.capacities)
     chain = make_absorbing(
-        solution.chain, lambda marking: _is_outage(marking, services)
+        solution.chain, lambda marking: _is_outage(marking, tiers)
     )
     all_up = next(
         (
             marking
             for marking in solution.markings
             if all(
-                marking[up_place(service)] == model.capacities[service]
-                for service in services
+                marking[up_place(group)] == capacity
+                for groups in tiers.values()
+                for group, capacity in groups.items()
             )
         ),
         None,

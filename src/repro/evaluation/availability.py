@@ -1,9 +1,21 @@
 """Availability evaluation of designs (lower-layer solve + aggregation +
-upper-layer COA), with caching of the per-role and per-variant aggregates."""
+upper-layer COA), with caching of the per-role and per-variant aggregates
+and structure sharing of the upper-layer SRN solves."""
 
 from __future__ import annotations
 
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
 from repro.availability.aggregation import ServiceAggregate, aggregate_service
+from repro.availability.grouped import (
+    CanonicalLayout,
+    CoaStructure,
+    SlotRef,
+    coa_structure,
+    design_layout,
+)
 from repro.availability.heterogeneous import HeterogeneousAvailabilityModel
 from repro.availability.network import NetworkAvailabilityModel
 from repro.availability.product_form import product_form_coa
@@ -31,6 +43,16 @@ class AvailabilityEvaluator:
     cached per role (homogeneous designs) and per variant (heterogeneous
     designs) and reused across every design the evaluator scores.
 
+    The upper-layer COA solve goes through the canonical
+    pattern-grouped pipeline (:mod:`repro.availability.grouped`): each
+    design maps onto the canonical layout of its transition pattern and,
+    with *structure_sharing* on, designs with the same counts multiset
+    share one reachability exploration and one
+    :class:`~repro.ctmc.steady.BatchSteadySolver` — bit-identical to
+    solving each design's canonical net on its own (the
+    ``structure_sharing=False`` path), because the shared structure is a
+    pure function of the layout.
+
     Parameters
     ----------
     case_study:
@@ -40,6 +62,11 @@ class AvailabilityEvaluator:
     database:
         Vulnerability database for variant lookups of heterogeneous
         designs (default: the case study's own database).
+    structure_sharing:
+        Share one canonical exploration per transition pattern across
+        designs (default).  Turning it off re-explores per design —
+        byte-identical results, more work; the sweep benchmarks use it
+        as the baseline.
     """
 
     def __init__(
@@ -47,12 +74,17 @@ class AvailabilityEvaluator:
         case_study: EnterpriseCaseStudy,
         policy: PatchPolicy,
         database: VulnerabilityDatabase | None = None,
+        structure_sharing: bool = True,
     ) -> None:
         self.case_study = case_study
         self.policy = policy
         self.database = database if database is not None else case_study.database
+        self.structure_sharing = bool(structure_sharing)
         self._aggregates: dict[str, ServiceAggregate] = {}
         self._variant_aggregates: dict[tuple[str, ServerRole], ServiceAggregate] = {}
+        self._structures: dict[tuple, CoaStructure] = {}
+        self._aggregate_solves = 0
+        self._structure_builds = 0
 
     # -- per-role aggregation (Table V) ------------------------------------
 
@@ -60,6 +92,7 @@ class AvailabilityEvaluator:
         """The (cached) Table V row for *role*."""
         if role not in self._aggregates:
             parameters = self.case_study.server_parameters(role, self.policy)
+            self._aggregate_solves += 1
             self._aggregates[role] = aggregate_service(parameters)
         return self._aggregates[role]
 
@@ -76,6 +109,7 @@ class AvailabilityEvaluator:
             parameters = self.case_study.variant_parameters(
                 variant, self.policy, database=self.database, role=role
             )
+            self._aggregate_solves += 1
             self._variant_aggregates[key] = aggregate_service(parameters)
         return self._variant_aggregates[key]
 
@@ -89,6 +123,70 @@ class AvailabilityEvaluator:
             }
         _check_spec_kind(design)
         return {role: self.aggregate(role) for role in design.roles}
+
+    # -- precomputed state (shared-memory workers) --------------------------
+
+    def prime_aggregates(
+        self,
+        roles: Mapping[str, ServiceAggregate] | None = None,
+        variants: Mapping[tuple[str, ServerRole], ServiceAggregate] | None = None,
+    ) -> None:
+        """Seed the aggregate caches with already-solved Table V rows.
+
+        Used by the shared-memory sweep pipeline: the parent solves the
+        lower-layer SRNs once and ships the rows to pool workers, which
+        prime their evaluators instead of re-solving.
+        """
+        if roles:
+            self._aggregates.update(roles)
+        if variants:
+            self._variant_aggregates.update(variants)
+
+    def prime_structures(
+        self, structures: Mapping[tuple, CoaStructure]
+    ) -> None:
+        """Seed the canonical-structure cache (keyed by layout tiers)."""
+        self._structures.update(structures)
+
+    # -- canonical upper layer ----------------------------------------------
+
+    def design_slots(
+        self, design: DesignSpec
+    ) -> tuple[CanonicalLayout, tuple[SlotRef, ...]]:
+        """The design's canonical layout and slot assignment."""
+        return design_layout(design)
+
+    def slot_rates(self, slots: Sequence[SlotRef]) -> np.ndarray:
+        """Flat ``(patch, recovery)`` rate vector for canonical *slots*."""
+        rates = np.empty(2 * len(slots), dtype=float)
+        for position, slot in enumerate(slots):
+            if slot.variant is not None:
+                aggregate = self.variant_aggregate(slot.variant, slot.role)
+            else:
+                aggregate = self.aggregate(slot.role)
+            rates[2 * position] = aggregate.patch_rate
+            rates[2 * position + 1] = aggregate.recovery_rate
+        return rates
+
+    def coa_structure_for(
+        self, design: DesignSpec
+    ) -> tuple[CoaStructure, np.ndarray]:
+        """The design's (possibly shared) structure and its rate vector."""
+        layout, slots = self.design_slots(design)
+        rates = self.slot_rates(slots)
+        if self.structure_sharing:
+            structure = self._structures.get(layout.tiers)
+            if structure is not None:
+                return structure, rates
+        self._structure_builds += 1
+        rate_pairs = [
+            (float(rates[2 * i]), float(rates[2 * i + 1]))
+            for i in range(len(slots))
+        ]
+        structure = coa_structure(layout, rate_pairs)
+        if self.structure_sharing:
+            self._structures[layout.tiers] = structure
+        return structure, rates
 
     # -- per-design measures ------------------------------------------------
 
@@ -104,8 +202,29 @@ class AvailabilityEvaluator:
         return NetworkAvailabilityModel(design.counts, self.aggregates_for(design))
 
     def coa(self, design: DesignSpec) -> float:
-        """Capacity-oriented availability of *design*."""
-        return self.network_model(design).capacity_oriented_availability()
+        """Capacity-oriented availability of *design*.
+
+        Solved over the design's canonical layout, so every design with
+        the same transition pattern shares one exploration when
+        structure sharing is on.
+        """
+        structure, rates = self.coa_structure_for(design)
+        return structure.coa(rates)
+
+    def transient_coa(
+        self,
+        design: DesignSpec,
+        times: Sequence[float],
+        tolerance: float = 1e-10,
+    ) -> np.ndarray:
+        """Expected COA of *design* at each time, from the all-up marking.
+
+        One batched uniformisation pass serves the whole time grid; the
+        exploration and reward vector come from the (shared) canonical
+        structure.
+        """
+        structure, rates = self.coa_structure_for(design)
+        return structure.transient_coa(rates, times, tolerance=tolerance)
 
     def coa_closed_form(self, design: DesignSpec) -> float:
         """Product-form COA (validation path, no SRN solve)."""
@@ -125,3 +244,23 @@ class AvailabilityEvaluator:
     def system_availability(self, design: DesignSpec) -> float:
         """P(every tier has a running server) for *design*."""
         return self.network_model(design).system_availability()
+
+    def mean_time_to_outage(self, design: DesignSpec) -> float:
+        """Expected hours from all-up until some tier first loses all
+        servers, for any design kind (per-spec-kind model dispatch)."""
+        from repro.availability.survivability import mean_time_to_outage
+
+        return mean_time_to_outage(self.network_model(design))
+
+    # -- instrumentation ------------------------------------------------------
+
+    @property
+    def solve_stats(self) -> dict[str, int]:
+        """Counters for the benchmarks: lower-layer aggregate solves,
+        canonical structures built (= reachability explorations) and
+        structures currently shared."""
+        return {
+            "aggregate_solves": self._aggregate_solves,
+            "structure_builds": self._structure_builds,
+            "structures_cached": len(self._structures),
+        }

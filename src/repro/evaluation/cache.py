@@ -12,6 +12,12 @@ cross the process-pool boundary.  A *scope* column separates record
 kinds (``"evaluation"`` vs per-time-grid ``"timeline"`` entries) so one
 cache file serves both ``repro sweep --cache`` and ``repro timeline
 --cache``.
+
+The cache is bounded: pass ``max_entries`` and/or ``max_bytes`` and
+every write evicts least-recently-used entries (reads refresh recency)
+until the store fits.  ``repro cache`` exposes the maintenance surface
+from the command line: ``stats``, ``purge`` (everything, one scope, or
+one context fingerprint) and ``trim`` to given bounds.
 """
 
 from __future__ import annotations
@@ -25,18 +31,27 @@ from repro.errors import EvaluationError
 
 __all__ = ["PersistentEvaluationCache", "context_fingerprint"]
 
+#: Salted into every context fingerprint.  Bump when the evaluation
+#: pipeline's numerics change (even at the last-ulp level), so stale
+#: cache files miss instead of mixing results from two pipelines:
+#: version 2 = the PR 4 canonical-structure COA path.
+_PIPELINE_VERSION = b"repro-evaluation-pipeline-v2"
+
 
 def context_fingerprint(*parts: object) -> str:
     """A stable digest of the evaluation context.
 
     Cached results are only valid for the exact case study / policy /
-    database they were computed under; the fingerprint keys them apart.
-    All evaluation-context objects are plain picklable value objects
-    (they already cross the process-pool boundary), and each is pickled
+    database they were computed under — and for the exact evaluation
+    pipeline (:data:`_PIPELINE_VERSION` is salted in, so entries written
+    by a numerically different release read as misses).  All
+    evaluation-context objects are plain picklable value objects (they
+    already cross the process-pool boundary), and each is pickled
     independently so one unpicklable part fails loudly here rather than
     silently aliasing distinct contexts.
     """
     digest = hashlib.sha256()
+    digest.update(_PIPELINE_VERSION)
     for part in parts:
         try:
             digest.update(pickle.dumps(part, protocol=4))
@@ -55,6 +70,13 @@ class PersistentEvaluationCache:
     ----------
     path:
         The sqlite database file; created (with its table) on first use.
+        Files written by earlier versions are migrated in place (the
+        recency/size columns are added on open).
+    max_entries:
+        Optional cap on the number of stored entries; writes evict the
+        least-recently-used entries beyond it.
+    max_bytes:
+        Optional cap on the summed payload size, enforced the same way.
 
     Examples
     --------
@@ -68,8 +90,19 @@ class PersistentEvaluationCache:
     True
     """
 
-    def __init__(self, path) -> None:
+    def __init__(
+        self,
+        path,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+    ) -> None:
         self.path = str(path)
+        for bound, name in ((max_entries, "max_entries"), (max_bytes, "max_bytes")):
+            if bound is not None and bound < 1:
+                raise EvaluationError(f"{name} must be >= 1, got {bound}")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._seq: int | None = None
         try:
             self._conn = sqlite3.connect(self.path)
             self._conn.execute(
@@ -80,19 +113,54 @@ class PersistentEvaluationCache:
                 "  PRIMARY KEY (scope, key)"
                 ")"
             )
+            self._migrate()
             self._conn.commit()
         except sqlite3.Error as exc:
             raise EvaluationError(
                 f"cannot open evaluation cache at {self.path!r}: {exc}"
             ) from exc
 
+    def _migrate(self) -> None:
+        """Add the recency/size columns to pre-LRU cache files."""
+        columns = {
+            row[1]
+            for row in self._conn.execute("PRAGMA table_info(entries)")
+        }
+        if "used_seq" not in columns:
+            self._conn.execute(
+                "ALTER TABLE entries ADD COLUMN used_seq INTEGER NOT NULL DEFAULT 0"
+            )
+        if "size_bytes" not in columns:
+            self._conn.execute(
+                "ALTER TABLE entries ADD COLUMN size_bytes INTEGER NOT NULL DEFAULT 0"
+            )
+            self._conn.execute(
+                "UPDATE entries SET size_bytes = LENGTH(payload)"
+            )
+
     @staticmethod
     def entry_key(fingerprint: str, *parts: Hashable) -> str:
         """The canonical text key for a cache entry."""
         return repr((fingerprint, *parts))
 
+    def _next_seq(self) -> int:
+        # The counter lives in memory after one MAX scan at first use;
+        # concurrent writers may hand out equal sequence numbers, which
+        # only makes their entries tie in LRU order — harmless.
+        if self._seq is None:
+            row = self._conn.execute(
+                "SELECT IFNULL(MAX(used_seq), 0) FROM entries"
+            ).fetchone()
+            self._seq = int(row[0])
+        self._seq += 1
+        return self._seq
+
     def get(self, scope: str, key: str):
-        """The stored payload, or ``None`` on a miss (or stale pickle)."""
+        """The stored payload, or ``None`` on a miss (or stale pickle).
+
+        A hit refreshes the entry's recency (best effort), so hot
+        entries survive LRU trimming.
+        """
         try:
             row = self._conn.execute(
                 "SELECT payload FROM entries WHERE scope = ? AND key = ?",
@@ -102,6 +170,17 @@ class PersistentEvaluationCache:
             raise EvaluationError(
                 f"evaluation cache read failed ({self.path!r}): {exc}"
             ) from exc
+        if row is not None:
+            # Recency tracking must not turn reads into hard writes: a
+            # read-only or contended cache file still serves hits.
+            try:
+                self._conn.execute(
+                    "UPDATE entries SET used_seq = ? WHERE scope = ? AND key = ?",
+                    (self._next_seq(), scope, key),
+                )
+                self._conn.commit()
+            except sqlite3.Error:
+                pass
         if row is None:
             return None
         try:
@@ -112,19 +191,148 @@ class PersistentEvaluationCache:
             return None
 
     def put(self, scope: str, key: str, value: object) -> None:
-        """Store (or replace) *value* under ``(scope, key)``."""
+        """Store (or replace) *value* under ``(scope, key)``.
+
+        When size bounds are configured, least-recently-used entries are
+        evicted until the store fits again.
+        """
         payload = pickle.dumps(value, protocol=4)
         try:
             self._conn.execute(
-                "INSERT OR REPLACE INTO entries (scope, key, payload) "
-                "VALUES (?, ?, ?)",
-                (scope, key, sqlite3.Binary(payload)),
+                "INSERT OR REPLACE INTO entries "
+                "(scope, key, payload, used_seq, size_bytes) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (scope, key, sqlite3.Binary(payload), self._next_seq(), len(payload)),
             )
+            self._trim_locked(self.max_entries, self.max_bytes)
             self._conn.commit()
         except sqlite3.Error as exc:
             raise EvaluationError(
                 f"evaluation cache write failed ({self.path!r}): {exc}"
             ) from exc
+
+    # -- maintenance ----------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Entry/byte counts, total and per scope (plus the bounds)."""
+        try:
+            total, total_bytes = self._conn.execute(
+                "SELECT COUNT(*), IFNULL(SUM(size_bytes), 0) FROM entries"
+            ).fetchone()
+            scopes = {
+                scope: {"entries": count, "bytes": size}
+                for scope, count, size in self._conn.execute(
+                    "SELECT scope, COUNT(*), IFNULL(SUM(size_bytes), 0) "
+                    "FROM entries GROUP BY scope ORDER BY scope"
+                )
+            }
+        except sqlite3.Error as exc:
+            raise EvaluationError(
+                f"evaluation cache stats failed ({self.path!r}): {exc}"
+            ) from exc
+        return {
+            "path": self.path,
+            "entries": int(total),
+            "bytes": int(total_bytes),
+            "scopes": scopes,
+            "max_entries": self.max_entries,
+            "max_bytes": self.max_bytes,
+        }
+
+    def purge(
+        self, fingerprint: str | None = None, scope: str | None = None
+    ) -> int:
+        """Delete entries; returns the number removed.
+
+        With *fingerprint*, only entries of that evaluation context are
+        removed (keys embed the fingerprint as their first component);
+        with *scope*, only that record kind; with neither, everything.
+        """
+        clauses, params = [], []
+        if scope is not None:
+            clauses.append("scope = ?")
+            params.append(scope)
+        if fingerprint is not None:
+            clauses.append("key LIKE ?")
+            params.append(f"({fingerprint!r},%")
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        try:
+            cursor = self._conn.execute(f"DELETE FROM entries{where}", params)
+            self._conn.commit()
+        except sqlite3.Error as exc:
+            raise EvaluationError(
+                f"evaluation cache purge failed ({self.path!r}): {exc}"
+            ) from exc
+        return cursor.rowcount
+
+    def trim(
+        self, max_entries: int | None = None, max_bytes: int | None = None
+    ) -> int:
+        """Evict least-recently-used entries down to the given bounds.
+
+        Returns the number of entries removed.  Bounds default to the
+        cache's configured ones; passing explicit values trims a cache
+        opened without bounds.
+        """
+        max_entries = max_entries if max_entries is not None else self.max_entries
+        max_bytes = max_bytes if max_bytes is not None else self.max_bytes
+        for bound, name in ((max_entries, "max_entries"), (max_bytes, "max_bytes")):
+            if bound is not None and bound < 1:
+                raise EvaluationError(f"{name} must be >= 1, got {bound}")
+        if max_entries is None and max_bytes is None:
+            return 0
+        try:
+            removed = self._trim_locked(max_entries, max_bytes)
+            self._conn.commit()
+        except sqlite3.Error as exc:
+            raise EvaluationError(
+                f"evaluation cache trim failed ({self.path!r}): {exc}"
+            ) from exc
+        return removed
+
+    def _trim_locked(
+        self, max_entries: int | None, max_bytes: int | None
+    ) -> int:
+        removed = 0
+        if max_entries is not None:
+            count = self._conn.execute(
+                "SELECT COUNT(*) FROM entries"
+            ).fetchone()[0]
+            excess = count - max_entries
+            if excess > 0:
+                cursor = self._conn.execute(
+                    "DELETE FROM entries WHERE rowid IN ("
+                    "  SELECT rowid FROM entries ORDER BY used_seq ASC LIMIT ?"
+                    ")",
+                    (excess,),
+                )
+                removed += cursor.rowcount
+        if max_bytes is not None:
+            total = self._conn.execute(
+                "SELECT IFNULL(SUM(size_bytes), 0) FROM entries"
+            ).fetchone()[0]
+            if total > max_bytes:
+                # One pass over entries by recency: accumulate the excess
+                # and delete the least-recently-used prefix in one go,
+                # always keeping the most recent entry.
+                victims: list[int] = []
+                rows = self._conn.execute(
+                    "SELECT rowid, size_bytes FROM entries "
+                    "ORDER BY used_seq ASC"
+                ).fetchall()
+                for rowid, size in rows[:-1]:
+                    if total <= max_bytes:
+                        break
+                    victims.append(rowid)
+                    total -= size
+                if victims:
+                    marks = ",".join("?" for _ in victims)
+                    cursor = self._conn.execute(
+                        f"DELETE FROM entries WHERE rowid IN ({marks})",
+                        victims,
+                    )
+                    removed += cursor.rowcount
+        return removed
 
     def __len__(self) -> int:
         return int(

@@ -107,20 +107,36 @@ def evaluate_designs_shared(
     case_study: EnterpriseCaseStudy,
     policy: PatchPolicy,
     database: VulnerabilityDatabase | None = None,
+    structure_sharing: bool = True,
+    security_evaluator: SecurityEvaluator | None = None,
+    availability_evaluator: AvailabilityEvaluator | None = None,
 ) -> list[DesignEvaluation]:
     """Serial evaluation of *designs* with one shared evaluator pair.
 
     This is the chunk primitive of the sweep engine: the shared
     :class:`AvailabilityEvaluator` amortises the per-role (and
-    per-variant) lower-layer SRN solves across every design in the
-    chunk, whatever mix of spec kinds the chunk holds.
+    per-variant) lower-layer SRN solves — and, with *structure_sharing*
+    on, the per-pattern upper-layer explorations — across every design
+    in the chunk, whatever mix of spec kinds the chunk holds.  Pass
+    evaluator instances (e.g. primed from shared memory) to reuse their
+    caches.
+
+    A failing design raises :class:`~repro.errors.EvaluationError`
+    carrying the design label and the original traceback — the error is
+    always picklable, so process-pool sweeps surface the real failure
+    instead of a bare ``BrokenProcessPool``.
     """
-    security_evaluator = SecurityEvaluator(case_study, database=database)
-    availability_evaluator = AvailabilityEvaluator(
-        case_study, policy, database=database
-    )
+    if security_evaluator is None:
+        security_evaluator = SecurityEvaluator(case_study, database=database)
+    if availability_evaluator is None:
+        availability_evaluator = AvailabilityEvaluator(
+            case_study,
+            policy,
+            database=database,
+            structure_sharing=structure_sharing,
+        )
     return [
-        evaluate_design(
+        _evaluate_labelled(
             design,
             case_study=case_study,
             policy=policy,
@@ -129,6 +145,34 @@ def evaluate_designs_shared(
         )
         for design in designs
     ]
+
+
+def _evaluate_labelled(design: DesignSpec, **kwargs) -> DesignEvaluation:
+    """Evaluate one design, labelling any failure with the design.
+
+    Domain errors (:class:`~repro.errors.ReproError`) re-raise with the
+    design label prefixed — their messages are already self-explanatory.
+    Unexpected exceptions additionally embed the formatted traceback in
+    the message (and drop the exception chain), so they survive the
+    process-pool pickle boundary no matter what the original exception
+    type carried.
+    """
+    import traceback
+
+    from repro.errors import EvaluationError, ReproError
+
+    try:
+        return evaluate_design(design, **kwargs)
+    except ReproError as exc:
+        raise EvaluationError(
+            f"evaluating design {design.label!r} failed: "
+            f"{type(exc).__name__}: {exc}"
+        ) from None
+    except Exception as exc:
+        raise EvaluationError(
+            f"evaluating design {design.label!r} failed: "
+            f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+        ) from None
 
 
 def evaluate_designs(

@@ -18,21 +18,26 @@ Caching / batching contract
   objects).  Re-sweeping an overlapping space only pays for the designs
   not seen before; ``clear_cache()`` resets it.
 * **Chunked dispatch.**  Uncached designs are split into contiguous
-  chunks and each chunk is evaluated by one executor call through the
-  module-level :func:`_evaluate_chunk`.  Within a chunk the shared
-  ``SecurityEvaluator``/``AvailabilityEvaluator`` pair amortises the
-  per-role and per-variant lower-layer SRN solves (Table V aggregates)
-  across designs, so chunking is what keeps the process pool from
-  re-solving the lower layer once per design.
+  chunks and each chunk is evaluated by one executor call.
+* **Structure sharing (default).**  With ``structure_sharing=True`` the
+  serial and thread executors run every chunk over one long-lived
+  ``SecurityEvaluator``/``AvailabilityEvaluator`` pair (one lower-layer
+  SRN solve per role, one canonical exploration per transition
+  pattern), and the process executor precomputes both in the parent and
+  publishes the numeric arrays to pool workers through
+  ``multiprocessing.shared_memory`` with a pool initializer — the case
+  study is pickled once per worker and chunks carry only designs.
+  ``structure_sharing=False`` restores the per-chunk re-solving
+  baseline; results are byte-identical either way.
 * **Deterministic ordering.**  Results are always returned in input
   order, regardless of executor: chunks are indexed at submission and
-  reassembled positionally.  The serial, thread and process executors
-  run the *same* chunk function, so a parallel sweep is byte-identical
-  to a serial one.
-* **Pickling boundary.**  Only the case study, the policy, the variant
-  database and the designs cross the process boundary (all plain value
-  objects).  SRN internals (closures, marking-dependent rates) never
-  leave the worker that builds them.
+  reassembled positionally.  Every executor and sharing mode produces
+  byte-identical results.
+* **Failure reporting.**  A design that fails inside any executor
+  raises :class:`~repro.errors.EvaluationError` carrying the design
+  label and the original traceback (always picklable); a worker that
+  dies outright surfaces the failing batch's design labels instead of
+  a bare ``BrokenProcessPool``.
 
 Executors
 ---------
@@ -52,7 +57,12 @@ from __future__ import annotations
 
 import os
 from collections.abc import Callable, Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from functools import partial
 from typing import Any
 
 from repro._validation import check_positive_int
@@ -115,8 +125,46 @@ class _PoolExecutor(Executor):
             # A single batch gains nothing from a pool; skip the spawn.
             return [fn(*batches[0])]
         with self._pool_factory(max_workers=self.max_workers) as pool:
-            futures = [pool.submit(fn, *batch) for batch in batches]
-            return [future.result() for future in futures]
+            return self._collect(pool, fn, batches)
+
+    def run_with_initializer(
+        self,
+        fn: Callable[..., Any],
+        batches: Sequence[tuple],
+        initializer: Callable[..., None],
+        initargs: tuple,
+    ) -> list:
+        """Like :meth:`run`, but every pool worker runs *initializer*
+        first (the shared-memory attach of the structure-sharing
+        pipeline) — so the pool is spawned even for a single batch."""
+        if not batches:
+            return []
+        with self._pool_factory(
+            max_workers=self.max_workers,
+            initializer=initializer,
+            initargs=initargs,
+        ) as pool:
+            return self._collect(pool, fn, batches)
+
+    def _collect(self, pool, fn, batches: Sequence[tuple]) -> list:
+        futures = [pool.submit(fn, *batch) for batch in batches]
+        results = []
+        for position, future in enumerate(futures):
+            try:
+                results.append(future.result())
+            except BrokenExecutor as exc:
+                # Every unfinished future raises once the pool breaks;
+                # this batch is only the first to surface it — the dead
+                # worker may have been running any unfinished batch.
+                raise EvaluationError(
+                    f"{self.name} pool broke while batch "
+                    f"{position + 1}/{len(batches)}"
+                    f"{_batch_labels(batches[position])} was pending; a "
+                    "worker died before reporting a result (crash, "
+                    "out-of-memory or failed initializer) and may have "
+                    f"been running any unfinished batch: {exc!r}"
+                ) from exc
+        return results
 
 
 class ThreadExecutor(_PoolExecutor):
@@ -174,14 +222,34 @@ def _resolve_executor(
     return factory(max_workers)
 
 
+def _batch_labels(batch: tuple) -> str:
+    """Human-readable design labels hidden inside an argument batch."""
+    for element in reversed(batch):
+        if isinstance(element, (list, tuple)) and element:
+            labels = [
+                getattr(item, "label", None) for item in list(element)[:3]
+            ]
+            if all(label is not None for label in labels):
+                more = "" if len(element) <= 3 else ", ..."
+                return f" (designs: {', '.join(labels)}{more})"
+    return ""
+
+
 def _evaluate_chunk(
     case_study: EnterpriseCaseStudy,
     policy: PatchPolicy,
     database: VulnerabilityDatabase | None,
     designs: Sequence[DesignSpec],
+    structure_sharing: bool = True,
 ) -> list[DesignEvaluation]:
     """Worker entry point: evaluate one chunk with shared evaluators."""
-    return evaluate_designs_shared(designs, case_study, policy, database=database)
+    return evaluate_designs_shared(
+        designs,
+        case_study,
+        policy,
+        database=database,
+        structure_sharing=structure_sharing,
+    )
 
 
 def _timeline_chunk(
@@ -191,12 +259,59 @@ def _timeline_chunk(
     times: tuple[float, ...],
     tolerance: float,
     designs: Sequence[DesignSpec],
+    structure_sharing: bool = True,
 ):
     """Worker entry point: patch timelines of one chunk, shared evaluators."""
     from repro.evaluation.timeline import evaluate_timelines_shared
 
     return evaluate_timelines_shared(
-        designs, times, case_study, policy, database=database, tolerance=tolerance
+        designs,
+        times,
+        case_study,
+        policy,
+        database=database,
+        tolerance=tolerance,
+        structure_sharing=structure_sharing,
+    )
+
+
+def _evaluate_chunk_primed(
+    security_evaluator,
+    availability_evaluator,
+    case_study: EnterpriseCaseStudy,
+    policy: PatchPolicy,
+    designs: Sequence[DesignSpec],
+) -> list[DesignEvaluation]:
+    """In-process chunk over the engine's long-lived evaluator pair."""
+    return evaluate_designs_shared(
+        designs,
+        case_study,
+        policy,
+        security_evaluator=security_evaluator,
+        availability_evaluator=availability_evaluator,
+    )
+
+
+def _timeline_chunk_primed(
+    security_evaluator,
+    availability_evaluator,
+    case_study: EnterpriseCaseStudy,
+    policy: PatchPolicy,
+    times: tuple[float, ...],
+    tolerance: float,
+    designs: Sequence[DesignSpec],
+):
+    """In-process timeline chunk over the engine's evaluator pair."""
+    from repro.evaluation.timeline import evaluate_timelines_shared
+
+    return evaluate_timelines_shared(
+        designs,
+        times,
+        case_study,
+        policy,
+        tolerance=tolerance,
+        security_evaluator=security_evaluator,
+        availability_evaluator=availability_evaluator,
     )
 
 
@@ -226,6 +341,16 @@ class SweepEngine:
     database:
         Vulnerability database for variant lookups of heterogeneous
         designs (default: the case study's own database).
+    structure_sharing:
+        The structure-sharing pipeline (default on).  Serial and thread
+        executors share one long-lived evaluator pair across the whole
+        sweep (one lower-layer solve per role, one canonical exploration
+        per transition pattern); the process executor precomputes both
+        in the parent and publishes the numeric arrays to pool workers
+        over ``multiprocessing.shared_memory``, so chunks carry only
+        designs — no case-study re-pickling, no per-chunk lower-layer
+        re-solves.  Results are byte-identical with sharing on or off,
+        across every executor.
     cache_path:
         Optional sqlite file for a
         :class:`~repro.evaluation.cache.PersistentEvaluationCache`
@@ -252,6 +377,7 @@ class SweepEngine:
         max_workers: int | None = None,
         chunk_size: int | None = None,
         database: VulnerabilityDatabase | None = None,
+        structure_sharing: bool = True,
         cache_path=None,
     ) -> None:
         self.case_study = case_study if case_study is not None else paper_case_study()
@@ -261,6 +387,9 @@ class SweepEngine:
             check_positive_int(chunk_size, "chunk_size")
         self.chunk_size = chunk_size
         self.database = database
+        self.structure_sharing = bool(structure_sharing)
+        self._security_evaluator = None
+        self._availability_evaluator = None
         if cache_path is not None:
             from repro.evaluation.cache import PersistentEvaluationCache
 
@@ -298,11 +427,7 @@ class SweepEngine:
                 seen_pending.add(design)
                 pending.append(design)
         if pending:
-            batches = [
-                (self.case_study, self.policy, self.database, chunk)
-                for chunk in self._chunks(pending)
-            ]
-            for chunk_result in self.executor.run(_evaluate_chunk, batches):
+            for chunk_result in self._run_evaluate_chunks(self._chunks(pending)):
                 for evaluation in chunk_result:
                     self._cache[evaluation.design] = evaluation
                     if self.persistent_cache is not None:
@@ -350,18 +475,9 @@ class SweepEngine:
                 seen_pending.add(design)
                 pending.append(design)
         if pending:
-            batches = [
-                (
-                    self.case_study,
-                    self.policy,
-                    self.database,
-                    times_key,
-                    tolerance,
-                    chunk,
-                )
-                for chunk in self._chunks(pending)
-            ]
-            for chunk_result in self.executor.run(_timeline_chunk, batches):
+            for chunk_result in self._run_timeline_chunks(
+                self._chunks(pending), times_key, tolerance
+            ):
                 for result in chunk_result:
                     key = (result.design, times_key, tolerance)
                     self._timelines[key] = result
@@ -453,6 +569,127 @@ class SweepEngine:
         return info
 
     # -- internal -------------------------------------------------------------
+
+    def _shared_evaluators(self):
+        """The engine's long-lived evaluator pair (lazily created).
+
+        Shared across every serial/thread sweep this engine runs, and
+        used as the precompute cache feeding the shared-memory context
+        of process sweeps — repeated sweeps only solve structures and
+        aggregates they have not seen before.
+        """
+        if self._availability_evaluator is None:
+            from repro.evaluation.availability import AvailabilityEvaluator
+            from repro.evaluation.security import SecurityEvaluator
+
+            self._security_evaluator = SecurityEvaluator(
+                self.case_study, database=self.database
+            )
+            self._availability_evaluator = AvailabilityEvaluator(
+                self.case_study, self.policy, database=self.database
+            )
+        return self._security_evaluator, self._availability_evaluator
+
+    def _use_shared_memory(self, chunks: Sequence[Sequence[Any]]) -> bool:
+        """Whether this dispatch goes through the shared-memory pool."""
+        return (
+            self.structure_sharing
+            and isinstance(self.executor, ProcessExecutor)
+            and len(chunks) > 1
+        )
+
+    def _shared_context(self, chunks: Sequence[Sequence[Any]]):
+        from repro.evaluation.shared_memory import SharedSweepContext
+
+        _, availability = self._shared_evaluators()
+        return SharedSweepContext.build(
+            self.case_study,
+            self.policy,
+            self.database,
+            [design for chunk in chunks for design in chunk],
+            evaluator=availability,
+        )
+
+    def _run_evaluate_chunks(self, chunks: Sequence[Sequence[Any]]) -> list:
+        if not self.structure_sharing:
+            batches = [
+                (self.case_study, self.policy, self.database, chunk, False)
+                for chunk in chunks
+            ]
+            return self.executor.run(_evaluate_chunk, batches)
+        if self._use_shared_memory(chunks):
+            from repro.evaluation.shared_memory import (
+                initialize_worker,
+                shared_evaluate_chunk,
+            )
+
+            context = self._shared_context(chunks)
+            try:
+                return self.executor.run_with_initializer(
+                    shared_evaluate_chunk,
+                    [(chunk,) for chunk in chunks],
+                    initializer=initialize_worker,
+                    initargs=(context.worker_payload(),),
+                )
+            finally:
+                context.unlink()
+        security, availability = self._shared_evaluators()
+        fn = partial(
+            _evaluate_chunk_primed,
+            security,
+            availability,
+            self.case_study,
+            self.policy,
+        )
+        return self.executor.run(fn, [(chunk,) for chunk in chunks])
+
+    def _run_timeline_chunks(
+        self,
+        chunks: Sequence[Sequence[Any]],
+        times_key: tuple[float, ...],
+        tolerance: float,
+    ) -> list:
+        if not self.structure_sharing:
+            batches = [
+                (
+                    self.case_study,
+                    self.policy,
+                    self.database,
+                    times_key,
+                    tolerance,
+                    chunk,
+                    False,
+                )
+                for chunk in chunks
+            ]
+            return self.executor.run(_timeline_chunk, batches)
+        if self._use_shared_memory(chunks):
+            from repro.evaluation.shared_memory import (
+                initialize_worker,
+                shared_timeline_chunk,
+            )
+
+            context = self._shared_context(chunks)
+            try:
+                return self.executor.run_with_initializer(
+                    shared_timeline_chunk,
+                    [(times_key, tolerance, chunk) for chunk in chunks],
+                    initializer=initialize_worker,
+                    initargs=(context.worker_payload(),),
+                )
+            finally:
+                context.unlink()
+        security, availability = self._shared_evaluators()
+        fn = partial(
+            _timeline_chunk_primed,
+            security,
+            availability,
+            self.case_study,
+            self.policy,
+            times_key,
+            tolerance,
+        )
+        return self.executor.run(fn, [(chunk,) for chunk in chunks])
 
     def _disk_key(self, design: DesignSpec, *parts) -> str:
         """Persistent-cache key: context fingerprint + design identity."""

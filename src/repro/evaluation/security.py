@@ -82,3 +82,25 @@ class SecurityEvaluator:
             semantics=self.semantics,
             aggregation=self.aggregation,
         )
+
+    def mean_time_to_compromise(
+        self,
+        design: DesignSpec,
+        policy: PatchPolicy | None = None,
+        exploit_rate: float = 1.0,
+    ) -> float:
+        """MTTC of *design*'s attack surface, for any design kind.
+
+        The attacker-progression extension
+        (:func:`repro.harm.mean_time_to_compromise`) dispatched through
+        :meth:`build_harm`, so heterogeneous designs race the attacker
+        over their per-variant surfaces.  With a *policy*, the surface
+        is the after-patch one.
+        """
+        from repro.harm import mean_time_to_compromise
+
+        return mean_time_to_compromise(
+            self.build_harm(design, policy),
+            exploit_rate=exploit_rate,
+            semantics=self.semantics,
+        )

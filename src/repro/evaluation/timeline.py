@@ -46,7 +46,7 @@ from repro.enterprise.heterogeneous import (
     HeterogeneousDesign,
     check_design_kind as _check_spec_kind,
 )
-from repro.errors import CtmcError, EvaluationError, SolverError
+from repro.errors import CtmcError, EvaluationError, ReproError, SolverError
 from repro.evaluation.availability import AvailabilityEvaluator
 from repro.evaluation.security import SecurityEvaluator
 from repro.harm import SecurityMetrics
@@ -230,9 +230,10 @@ def evaluate_timeline(
             case_study, policy, database=database
         )
 
-    model = availability_evaluator.network_model(design)
-    coa_curve = model.transient_coa(times)
-    steady_coa = model.capacity_oriented_availability()
+    coa_curve = availability_evaluator.transient_coa(
+        design, times, tolerance=tolerance
+    )
+    steady_coa = availability_evaluator.coa(design)
 
     groups = _patch_groups(availability_evaluator, design)
     chain, full, zero = _completion_chain(groups)
@@ -272,30 +273,57 @@ def evaluate_timelines_shared(
     policy: PatchPolicy,
     database: VulnerabilityDatabase | None = None,
     tolerance: float = 1e-10,
+    structure_sharing: bool = True,
+    security_evaluator: SecurityEvaluator | None = None,
+    availability_evaluator: AvailabilityEvaluator | None = None,
 ) -> list[DesignTimeline]:
     """Serial timelines of *designs* with one shared evaluator pair.
 
     The chunk primitive of :meth:`SweepEngine.timeline`: the shared
     :class:`AvailabilityEvaluator` amortises the per-role and
-    per-variant lower-layer SRN solves across every design in the
-    chunk, whatever mix of spec kinds the chunk holds.
+    per-variant lower-layer SRN solves — and, with *structure_sharing*
+    on, the per-pattern canonical explorations — across every design in
+    the chunk, whatever mix of spec kinds the chunk holds.  Pass
+    evaluator instances (e.g. primed from shared memory) to reuse their
+    caches.  Failures carry the design label and original traceback in
+    a picklable :class:`~repro.errors.EvaluationError`.
     """
-    security_evaluator = SecurityEvaluator(case_study, database=database)
-    availability_evaluator = AvailabilityEvaluator(
-        case_study, policy, database=database
-    )
-    return [
-        evaluate_timeline(
-            design,
-            times,
-            case_study=case_study,
-            policy=policy,
-            security_evaluator=security_evaluator,
-            availability_evaluator=availability_evaluator,
-            tolerance=tolerance,
+    import traceback
+
+    if security_evaluator is None:
+        security_evaluator = SecurityEvaluator(case_study, database=database)
+    if availability_evaluator is None:
+        availability_evaluator = AvailabilityEvaluator(
+            case_study,
+            policy,
+            database=database,
+            structure_sharing=structure_sharing,
         )
-        for design in designs
-    ]
+    results: list[DesignTimeline] = []
+    for design in designs:
+        try:
+            results.append(
+                evaluate_timeline(
+                    design,
+                    times,
+                    case_study=case_study,
+                    policy=policy,
+                    security_evaluator=security_evaluator,
+                    availability_evaluator=availability_evaluator,
+                    tolerance=tolerance,
+                )
+            )
+        except ReproError as exc:
+            raise EvaluationError(
+                f"timeline of design {design.label!r} failed: "
+                f"{type(exc).__name__}: {exc}"
+            ) from None
+        except Exception as exc:
+            raise EvaluationError(
+                f"timeline of design {design.label!r} failed: "
+                f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+            ) from None
+    return results
 
 
 def evaluate_timelines(

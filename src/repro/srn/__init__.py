@@ -18,7 +18,15 @@ independent estimate used to cross-validate the analytic pipeline.
 from repro.srn.marking import Marking
 from repro.srn.net import Place, StochasticRewardNet, Transition
 from repro.srn.reachability import ReachabilityGraph, explore
-from repro.srn.solver import SrnSolution, solve, solve_family, transient_family
+from repro.srn.solver import (
+    SrnSolution,
+    family_signature,
+    solve,
+    solve_families,
+    solve_family,
+    transient_families,
+    transient_family,
+)
 from repro.srn.simulate import SimulationResult, simulate
 
 __all__ = [
@@ -31,7 +39,10 @@ __all__ = [
     "SrnSolution",
     "solve",
     "solve_family",
+    "solve_families",
     "transient_family",
+    "transient_families",
+    "family_signature",
     "SimulationResult",
     "simulate",
 ]

@@ -29,9 +29,19 @@ from repro.errors import SrnError, StateSpaceError
 from repro.srn.marking import Marking
 from repro.srn.net import StochasticRewardNet, TransitionKind
 
-__all__ = ["ReachabilityGraph", "explore"]
+__all__ = ["ReachabilityGraph", "explore", "exploration_count"]
 
 DEFAULT_MAX_MARKINGS = 200_000
+
+#: Process-wide count of reachability explorations, incremented by
+#: :func:`explore`.  Benchmarks diff it around a sweep to measure how
+#: many state-space generations the structure-sharing pipeline saved.
+_EXPLORATIONS = 0
+
+
+def exploration_count() -> int:
+    """Number of :func:`explore` calls made by this process so far."""
+    return _EXPLORATIONS
 
 
 @dataclass(frozen=True)
@@ -96,6 +106,8 @@ def explore(
     SrnError
         On timeless traps or dead (no enabled transition) vanishing nets.
     """
+    global _EXPLORATIONS
+    _EXPLORATIONS += 1
     net.validate()
     start = initial if initial is not None else net.initial_marking()
     place_count = len(net.places)

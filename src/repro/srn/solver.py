@@ -35,7 +35,15 @@ from repro.srn.marking import Marking
 from repro.srn.net import StochasticRewardNet, TransitionKind
 from repro.srn.reachability import DEFAULT_MAX_MARKINGS, ReachabilityGraph, explore
 
-__all__ = ["SrnSolution", "solve", "solve_family", "transient_family"]
+__all__ = [
+    "SrnSolution",
+    "solve",
+    "solve_family",
+    "solve_families",
+    "transient_family",
+    "transient_families",
+    "family_signature",
+]
 
 #: A reward function over markings (SPNP-style reward definition).
 RewardFn = Callable[[Marking], float]
@@ -381,20 +389,97 @@ def transient_family(
     return results
 
 
+def family_signature(net: StochasticRewardNet):
+    """The transition-pattern signature grouping structurally equal nets.
+
+    Two nets with equal signatures differ at most in their rate/weight
+    *values*: places (names and initial tokens), transitions (names,
+    kinds, arcs, inhibitors) all match, so they share one reachability
+    graph and can be solved through :func:`solve_family` /
+    :func:`transient_family`.  This is the key :func:`solve_families`
+    and the sweep engine's structure-sharing pipeline group designs by.
+    """
+    places = tuple((p.name, p.initial_tokens) for p in net.places)
+    transitions = tuple(
+        (t.name, t.kind, tuple(t.inputs), tuple(t.outputs), tuple(t.inhibitors))
+        for t in net.transitions
+    )
+    return places, transitions
+
+
+def solve_families(
+    nets: Sequence[StochasticRewardNet],
+    initial: Marking | None = None,
+    max_markings: int = DEFAULT_MAX_MARKINGS,
+    method: str = "auto",
+) -> list[SrnSolution]:
+    """Solve *nets*, sharing one exploration per structural family.
+
+    The generalisation of :func:`solve_family` to a heterogeneous
+    population: nets are grouped by :func:`family_signature` and each
+    group is solved through one :func:`solve_family` call (one
+    reachability exploration, one batched steady-state pattern), so a
+    design sweep with ``d`` designs but only ``p`` distinct transition
+    patterns pays for ``p`` explorations.  Results are returned in input
+    order and are bit-identical to calling :func:`solve` per net.
+    """
+    return _per_family(
+        nets,
+        lambda members: solve_family(
+            members, initial=initial, max_markings=max_markings, method=method
+        ),
+    )
+
+
+def transient_families(
+    nets: Sequence[StochasticRewardNet],
+    rewards: RewardFn | Sequence[RewardFn],
+    times: Sequence[float],
+    initial: Marking | None = None,
+    max_markings: int = DEFAULT_MAX_MARKINGS,
+    tolerance: float = 1e-10,
+) -> list[np.ndarray]:
+    """Transient curves for *nets*, one exploration per structural family.
+
+    The transient counterpart of :func:`solve_families`: nets are
+    grouped by :func:`family_signature` and each group runs through one
+    :func:`transient_family` call (shared exploration, shared reward
+    evaluation, one uniformisation per net).  Results align with the
+    input order.
+    """
+    return _per_family(
+        nets,
+        lambda members: transient_family(
+            members,
+            rewards,
+            times,
+            initial=initial,
+            max_markings=max_markings,
+            tolerance=tolerance,
+        ),
+    )
+
+
+def _per_family(nets: Sequence[StochasticRewardNet], solve_group) -> list:
+    """Group *nets* by signature, apply *solve_group* per group, and
+    scatter the per-group results back into input order."""
+    nets = list(nets)
+    groups: dict[object, list[int]] = {}
+    for position, net in enumerate(nets):
+        groups.setdefault(family_signature(net), []).append(position)
+    results: list = [None] * len(nets)
+    for members in groups.values():
+        for position, result in zip(members, solve_group([nets[i] for i in members])):
+            results[position] = result
+    return results
+
+
 def _check_family_signature(
     base: StochasticRewardNet, nets: Sequence[StochasticRewardNet]
 ) -> None:
-    def signature(net: StochasticRewardNet):
-        places = tuple((p.name, p.initial_tokens) for p in net.places)
-        transitions = tuple(
-            (t.name, t.kind, tuple(t.inputs), tuple(t.outputs), tuple(t.inhibitors))
-            for t in net.transitions
-        )
-        return places, transitions
-
-    expected = signature(base)
+    expected = family_signature(base)
     for net in nets[1:]:
-        if signature(net) != expected:
+        if family_signature(net) != expected:
             raise SrnError(
                 f"net {net.name!r} does not share structure with {base.name!r}; "
                 "solve_family needs identical places, transitions and arcs"

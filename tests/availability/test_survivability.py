@@ -64,3 +64,80 @@ class TestTransientCoa:
     def test_negative_time_rejected(self, example_model):
         with pytest.raises(EvaluationError):
             transient_coa(example_model, [-1.0])
+
+
+class TestHeterogeneousDispatch:
+    """The extensions dispatch per model/spec kind (PR 4 satellite)."""
+
+    COUNTS = {"dns": 1, "web": 2, "app": 2, "db": 1}
+
+    def _mirrored(self, case_study):
+        from repro.enterprise import HeterogeneousDesign
+
+        return HeterogeneousDesign(
+            {
+                role: {case_study.roles[role]: count}
+                for role, count in self.COUNTS.items()
+            }
+        )
+
+    def test_single_variant_outage_parity(
+        self, availability_evaluator, case_study
+    ):
+        from repro.enterprise import RedundancyDesign
+
+        homog = mean_time_to_outage(
+            availability_evaluator.network_model(RedundancyDesign(self.COUNTS))
+        )
+        hetero = mean_time_to_outage(
+            availability_evaluator.network_model(self._mirrored(case_study))
+        )
+        assert hetero == homog  # bit-for-bit, identical chains
+
+    def test_evaluator_level_dispatch(self, availability_evaluator, case_study):
+        from repro.enterprise import RedundancyDesign
+
+        assert availability_evaluator.mean_time_to_outage(
+            self._mirrored(case_study)
+        ) == availability_evaluator.mean_time_to_outage(
+            RedundancyDesign(self.COUNTS)
+        )
+
+    def test_diverse_tier_survives_single_variant_outage(
+        self, case_study, critical_policy
+    ):
+        """A two-variant web tier is only down when both variant groups
+        are down; the diverse design must survive longer than the same
+        design with the whole web tier on one variant pair."""
+        from repro.enterprise import HeterogeneousDesign, paper_variant_space
+        from repro.evaluation import AvailabilityEvaluator
+        from repro.vulnerability.diversity import diversity_database
+
+        space = paper_variant_space()
+        evaluator = AvailabilityEvaluator(
+            case_study, critical_policy, database=diversity_database()
+        )
+        diverse = HeterogeneousDesign(
+            {"web": {space["web"][0]: 1, space["web"][1]: 1}}
+        )
+        mtto = mean_time_to_outage(evaluator.network_model(diverse))
+        single = HeterogeneousDesign({"web": {space["web"][0]: 1}})
+        assert mtto > mean_time_to_outage(evaluator.network_model(single))
+
+    def test_mttc_dispatches_per_spec_kind(self, case_study, critical_policy):
+        from repro.enterprise import RedundancyDesign
+        from repro.evaluation import SecurityEvaluator
+
+        evaluator = SecurityEvaluator(case_study)
+        homog = RedundancyDesign(self.COUNTS)
+        hetero = self._mirrored(case_study)
+        assert evaluator.mean_time_to_compromise(
+            hetero
+        ) == evaluator.mean_time_to_compromise(homog)
+        assert evaluator.mean_time_to_compromise(
+            hetero, critical_policy
+        ) == evaluator.mean_time_to_compromise(homog, critical_policy)
+        # patching slows the attacker down
+        assert evaluator.mean_time_to_compromise(
+            hetero, critical_policy
+        ) > evaluator.mean_time_to_compromise(hetero)

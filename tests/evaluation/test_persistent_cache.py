@@ -111,3 +111,145 @@ class TestEngineDiskCache:
     def test_no_cache_path_keeps_legacy_cache_info(self):
         engine = SweepEngine()
         assert engine.cache_info == {"hits": 0, "misses": 0, "size": 0}
+
+
+class TestCacheBoundsAndMaintenance:
+    def test_max_entries_evicts_lru(self, tmp_path):
+        cache = PersistentEvaluationCache(
+            tmp_path / "cache.sqlite", max_entries=3
+        )
+        for i in range(3):
+            cache.put("evaluation", f"k{i}", i)
+        cache.get("evaluation", "k0")  # refresh k0: k1 becomes LRU
+        cache.put("evaluation", "k3", 3)
+        assert len(cache) == 3
+        assert cache.get("evaluation", "k1") is None
+        assert cache.get("evaluation", "k0") == 0
+        assert cache.get("evaluation", "k3") == 3
+
+    def test_max_bytes_evicts_until_fit(self, tmp_path):
+        cache = PersistentEvaluationCache(
+            tmp_path / "cache.sqlite", max_bytes=2_000
+        )
+        for i in range(10):
+            cache.put("evaluation", f"k{i}", "x" * 500)
+        assert cache.stats()["bytes"] <= 2_000
+        assert len(cache) < 10
+        # the most recent entry always survives
+        assert cache.get("evaluation", "k9") is not None
+
+    def test_invalid_bounds_rejected(self, tmp_path):
+        with pytest.raises(EvaluationError):
+            PersistentEvaluationCache(tmp_path / "c.sqlite", max_entries=0)
+        with pytest.raises(EvaluationError):
+            PersistentEvaluationCache(tmp_path / "c.sqlite", max_bytes=0)
+
+    def test_stats_counts_scopes(self, tmp_path):
+        cache = PersistentEvaluationCache(tmp_path / "cache.sqlite")
+        cache.put("evaluation", "a", 1)
+        cache.put("evaluation", "b", 2)
+        cache.put("timeline", "c", 3)
+        stats = cache.stats()
+        assert stats["entries"] == 3
+        assert stats["scopes"]["evaluation"]["entries"] == 2
+        assert stats["scopes"]["timeline"]["entries"] == 1
+        assert stats["bytes"] > 0
+
+    def test_purge_all_and_by_scope(self, tmp_path):
+        cache = PersistentEvaluationCache(tmp_path / "cache.sqlite")
+        cache.put("evaluation", "a", 1)
+        cache.put("timeline", "b", 2)
+        assert cache.purge(scope="timeline") == 1
+        assert cache.get("evaluation", "a") == 1
+        assert cache.purge() == 1
+        assert len(cache) == 0
+
+    def test_purge_by_fingerprint(self, tmp_path):
+        cache = PersistentEvaluationCache(tmp_path / "cache.sqlite")
+        fp_a = context_fingerprint("context-a")
+        fp_b = context_fingerprint("context-b")
+        cache.put("evaluation", cache.entry_key(fp_a, "design1"), 1)
+        cache.put("evaluation", cache.entry_key(fp_a, "design2"), 2)
+        cache.put("evaluation", cache.entry_key(fp_b, "design1"), 3)
+        assert cache.purge(fingerprint=fp_a) == 2
+        assert cache.get("evaluation", cache.entry_key(fp_b, "design1")) == 3
+
+    def test_trim_explicit_bounds(self, tmp_path):
+        cache = PersistentEvaluationCache(tmp_path / "cache.sqlite")
+        for i in range(6):
+            cache.put("evaluation", f"k{i}", i)
+        assert cache.trim(max_entries=2) == 4
+        assert len(cache) == 2
+        assert cache.get("evaluation", "k5") == 5
+
+    def test_trim_without_bounds_is_noop(self, tmp_path):
+        cache = PersistentEvaluationCache(tmp_path / "cache.sqlite")
+        cache.put("evaluation", "k", 1)
+        assert cache.trim() == 0
+        assert len(cache) == 1
+
+    def test_pre_lru_file_migrates_in_place(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "old.sqlite"
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "CREATE TABLE entries ("
+            "  scope TEXT NOT NULL, key TEXT NOT NULL,"
+            "  payload BLOB NOT NULL, PRIMARY KEY (scope, key))"
+        )
+        import pickle
+
+        conn.execute(
+            "INSERT INTO entries (scope, key, payload) VALUES (?, ?, ?)",
+            ("evaluation", "legacy", sqlite3.Binary(pickle.dumps(41))),
+        )
+        conn.commit()
+        conn.close()
+        cache = PersistentEvaluationCache(path, max_entries=5)
+        assert cache.get("evaluation", "legacy") == 41
+        assert cache.stats()["bytes"] > 0
+        cache.put("evaluation", "new", 42)
+        assert len(cache) == 2
+
+    def test_engine_sweep_respects_existing_behavior(self, tmp_path):
+        engine = SweepEngine(cache_path=tmp_path / "cache.sqlite")
+        designs = paper_designs()[:2]
+        engine.evaluate(designs)
+        rerun = SweepEngine(cache_path=tmp_path / "cache.sqlite")
+        rerun.evaluate(designs)
+        assert rerun.cache_info["disk_hits"] == len(designs)
+
+    def test_read_only_file_still_serves_hits(self, tmp_path):
+        import os
+
+        path = tmp_path / "cache.sqlite"
+        cache = PersistentEvaluationCache(path)
+        cache.put("evaluation", "k", 7)
+        cache.close()
+        os.chmod(path, 0o444)
+        try:
+            reader = PersistentEvaluationCache(path)
+            assert reader.get("evaluation", "k") == 7
+        finally:
+            os.chmod(path, 0o644)
+
+    def test_trim_rejects_non_positive_bounds(self, tmp_path):
+        cache = PersistentEvaluationCache(tmp_path / "cache.sqlite")
+        cache.put("evaluation", "k", 1)
+        with pytest.raises(EvaluationError):
+            cache.trim(max_entries=-1)
+        with pytest.raises(EvaluationError):
+            cache.trim(max_bytes=0)
+        assert len(cache) == 1
+
+    def test_fingerprint_salted_by_pipeline_version(self, monkeypatch):
+        from repro.evaluation import cache as cache_module
+
+        baseline = context_fingerprint("ctx")
+        assert context_fingerprint("ctx") == baseline  # stable
+        monkeypatch.setattr(
+            cache_module, "_PIPELINE_VERSION", b"some-future-pipeline"
+        )
+        # a numerically different pipeline must miss old entries
+        assert context_fingerprint("ctx") != baseline

@@ -1,0 +1,135 @@
+"""Tests for signature-keyed family solving (solve_families et al.)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SrnError
+from repro.srn import (
+    StochasticRewardNet,
+    family_signature,
+    solve,
+    solve_families,
+    transient_families,
+)
+from repro.srn.reachability import exploration_count
+
+
+def _birth_death_net(name: str, tokens: int, up_rate: float, down_rate: float):
+    net = StochasticRewardNet(name)
+    net.add_place("Pup", tokens=tokens)
+    net.add_place("Pdown")
+
+    def down(m, _r=down_rate):
+        return _r * m["Pup"]
+
+    def up(m, _r=up_rate):
+        return _r * m["Pdown"]
+
+    net.add_timed_transition("Td", rate=down)
+    net.add_arc("Pup", "Td")
+    net.add_arc("Td", "Pdown")
+    net.add_timed_transition("Tu", rate=up)
+    net.add_arc("Pdown", "Tu")
+    net.add_arc("Tu", "Pup")
+    return net
+
+
+class TestFamilySignature:
+    def test_rate_values_do_not_affect_signature(self):
+        a = _birth_death_net("a", 2, 1.0, 3.0)
+        b = _birth_death_net("b", 2, 9.0, 0.5)
+        assert family_signature(a) == family_signature(b)
+
+    def test_token_counts_affect_signature(self):
+        a = _birth_death_net("a", 2, 1.0, 3.0)
+        b = _birth_death_net("b", 3, 1.0, 3.0)
+        assert family_signature(a) != family_signature(b)
+
+
+class TestSolveFamilies:
+    def test_bitwise_equal_to_per_net_solve(self):
+        nets = [
+            _birth_death_net("a", 2, 1.0, 3.0),
+            _birth_death_net("b", 3, 2.0, 5.0),
+            _birth_death_net("c", 2, 7.0, 0.25),
+            _birth_death_net("d", 3, 0.1, 11.0),
+        ]
+        grouped = solve_families(nets)
+        for net, solution in zip(nets, grouped):
+            reference = solve(net)
+            assert (
+                solution.probabilities.tobytes()
+                == reference.probabilities.tobytes()
+            )
+            assert solution.markings == reference.markings
+
+    def test_one_exploration_per_family(self):
+        nets = [
+            _birth_death_net(f"n{i}", tokens, 1.0 + i, 2.0 + i)
+            for i, tokens in enumerate([2, 3, 2, 3, 2])
+        ]
+        before = exploration_count()
+        solve_families(nets)
+        assert exploration_count() - before == 2  # two distinct signatures
+
+    def test_results_in_input_order(self):
+        nets = [
+            _birth_death_net("a", 3, 1.0, 1.0),
+            _birth_death_net("b", 2, 1.0, 1.0),
+            _birth_death_net("c", 3, 2.0, 2.0),
+        ]
+        solutions = solve_families(nets)
+        assert [len(s.markings) for s in solutions] == [4, 3, 4]
+
+    def test_empty_population(self):
+        assert solve_families([]) == []
+
+    def test_absorbing_member_rejected(self):
+        # A zero up-rate makes the all-down marking absorbing.
+        nets = [
+            _birth_death_net("ok", 2, 1.0, 1.0),
+            _birth_death_net("absorbing", 2, 0.0, 1.0),
+        ]
+        with pytest.raises(SrnError):
+            solve_families(nets)
+
+
+class TestTransientFamilies:
+    def test_bitwise_equal_to_per_net_transient(self):
+        times = [0.0, 0.5, 2.0, 10.0]
+        nets = [
+            _birth_death_net("a", 2, 1.0, 3.0),
+            _birth_death_net("b", 3, 2.0, 5.0),
+            _birth_death_net("c", 2, 7.0, 0.25),
+        ]
+
+        def reward(marking):
+            return float(marking["Pup"])
+
+        grouped = transient_families(nets, reward, times)
+        for net, curve in zip(nets, grouped):
+            solution = solve(net)
+            reference = solution.transient_reward(reward, times)
+            assert curve.tobytes() == reference.tobytes()
+
+    def test_exploration_shared_across_members(self):
+        times = [0.0, 1.0]
+        nets = [
+            _birth_death_net(f"n{i}", 2, 1.0 + i, 2.0) for i in range(4)
+        ]
+        before = exploration_count()
+        transient_families(nets, lambda m: 1.0, times)
+        assert exploration_count() - before == 1
+
+    def test_results_align_with_inputs(self):
+        times = [0.0]
+        nets = [
+            _birth_death_net("a", 2, 1.0, 1.0),
+            _birth_death_net("b", 4, 1.0, 1.0),
+        ]
+        curves = transient_families(nets, lambda m: float(m["Pup"]), times)
+        assert curves[0][0] == pytest.approx(2.0)
+        assert curves[1][0] == pytest.approx(4.0)
+        assert all(isinstance(c, np.ndarray) for c in curves)

@@ -328,3 +328,131 @@ class TestCacheCli:
             main(["sweep", "--roles", "dns", "--cache", missing]) == 2
         )
         assert "sweep failed" in capsys.readouterr().err
+
+
+class TestSharedMemoryFlag:
+    def test_no_shared_memory_matches_default(self, capsys):
+        args = ["sweep", "--roles", "dns,web", "--max-replicas", "2", "--json"]
+        assert main(args) == 0
+        default = json.loads(capsys.readouterr().out)
+        assert main(args + ["--no-shared-memory"]) == 0
+        baseline = json.loads(capsys.readouterr().out)
+        assert default["designs"] == baseline["designs"]
+
+    def test_process_executor_with_sharing(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--roles",
+                    "dns,web",
+                    "--max-replicas",
+                    "2",
+                    "--json",
+                    "--executor",
+                    "process",
+                    "--jobs",
+                    "2",
+                    "--shared-memory",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["executor"] == "process"
+        assert payload["design_count"] == 4
+
+    def test_timeline_no_shared_memory_matches_default(self, capsys):
+        args = [
+            "timeline",
+            "--roles",
+            "dns,web",
+            "--max-replicas",
+            "2",
+            "--points",
+            "4",
+            "--json",
+        ]
+        assert main(args) == 0
+        default = json.loads(capsys.readouterr().out)
+        assert main(args + ["--no-shared-memory"]) == 0
+        baseline = json.loads(capsys.readouterr().out)
+        assert default["designs"] == baseline["designs"]
+
+    def test_help_epilog_documents_sharing(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "structure sharing" in out
+        assert "multiprocessing.shared_memory" in out
+
+
+class TestCacheSubcommand:
+    def _seed_cache(self, tmp_path):
+        path = str(tmp_path / "cache.sqlite")
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--roles",
+                    "dns,web",
+                    "--max-replicas",
+                    "2",
+                    "--cache",
+                    path,
+                ]
+            )
+            == 0
+        )
+        return path
+
+    def test_stats_reports_entries(self, tmp_path, capsys):
+        path = self._seed_cache(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache", path]) == 0
+        out = capsys.readouterr().out
+        assert "4 entries" in out
+        assert "evaluation" in out
+
+    def test_stats_json(self, tmp_path, capsys):
+        path = self._seed_cache(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache", path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 4
+        assert payload["scopes"]["evaluation"]["entries"] == 4
+
+    def test_trim_evicts(self, tmp_path, capsys):
+        path = self._seed_cache(tmp_path)
+        capsys.readouterr()
+        assert (
+            main(["cache", "trim", "--cache", path, "--max-entries", "1"]) == 0
+        )
+        assert "evicted 3" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache", path, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 1
+
+    def test_trim_without_bounds_exits_2(self, tmp_path, capsys):
+        path = self._seed_cache(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "trim", "--cache", path]) == 2
+
+    def test_purge_all(self, tmp_path, capsys):
+        path = self._seed_cache(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "purge", "--cache", path]) == 0
+        assert "purged 4" in capsys.readouterr().out
+
+    def test_purge_by_scope(self, tmp_path, capsys):
+        path = self._seed_cache(tmp_path)
+        capsys.readouterr()
+        assert (
+            main(["cache", "purge", "--cache", path, "--scope", "timeline"])
+            == 0
+        )
+        assert "purged 0" in capsys.readouterr().out
+
+    def test_bad_cache_path_exits_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "no-dir" / "cache.sqlite")
+        assert main(["cache", "stats", "--cache", missing]) == 2
+        assert "cache failed" in capsys.readouterr().err
