@@ -20,7 +20,12 @@ Commands
     completion probability and security-exposure curves on a shared
     time grid, one batched uniformisation pass per design.  Takes the
     same space/executor options as ``sweep`` plus the time grid
-    (``--horizon``/``--points`` or an explicit ``--times`` list).
+    (``--horizon``/``--points`` or an explicit ``--times`` list) and an
+    optional staged rollout: ``--campaign FILE`` (JSON spec) or
+    ``--phases name:mult[:trigger[:canary]],...`` shorthand.  A staged
+    campaign uniformises once per phase and carries the state vector
+    across phase boundaries; a single-phase multiplier-1 campaign is
+    byte-identical to the stationary timeline.
 ``cache``
     Maintain a ``--cache`` sqlite file: ``stats``, ``purge``
     (everything, one scope or one context fingerprint) and ``trim``
@@ -219,6 +224,13 @@ def _sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Version of the ``timeline --json`` output schema.  Version 2 added
+#: ``schema_version`` itself plus the campaign metadata (top-level
+#: ``campaign``, per-design ``phase_starts``); consumers should treat a
+#: payload without the field as version 1.
+TIMELINE_SCHEMA_VERSION = 2
+
+
 def _timeline_payload(timeline) -> dict:
     import math
 
@@ -239,9 +251,32 @@ def _timeline_payload(timeline) -> dict:
             name: list(curve) for name, curve in timeline.security_curves().items()
         },
     }
+    if timeline.campaign is not None:
+        # JSON has no inf: unreachable phases serialise as null starts.
+        payload["phase_starts"] = [
+            start if math.isfinite(start) else None
+            for start in timeline.phase_starts
+        ]
     if isinstance(timeline.design, HeterogeneousDesign):
         payload["variants"] = timeline.design.tiers()
     return payload
+
+
+def _campaign_from_args(args: argparse.Namespace):
+    """The PatchCampaign selected by --campaign/--phases, or ``None``."""
+    from repro.patching import PatchCampaign
+
+    if args.campaign and args.phases:
+        from repro.errors import ValidationError
+
+        raise ValidationError(
+            "--campaign and --phases are mutually exclusive"
+        )
+    if args.campaign:
+        return PatchCampaign.from_json_file(args.campaign)
+    if args.phases:
+        return PatchCampaign.parse(args.phases)
+    return None
 
 
 def _timeline(args: argparse.Namespace) -> int:
@@ -265,18 +300,21 @@ def _timeline(args: argparse.Namespace) -> int:
     try:
         if not args.times:
             times = default_time_grid(args.horizon, args.points)
+        campaign = _campaign_from_args(args)
         engine, designs = _space_engine_and_designs(args, roles)
-        timelines = engine.timeline(designs, times)
+        timelines = engine.timeline(designs, times, campaign=campaign)
     except ReproError as exc:
         print(f"timeline failed: {exc}", file=sys.stderr)
         return 2
     if args.json:
         payload = {
+            "schema_version": TIMELINE_SCHEMA_VERSION,
             "roles": roles,
             "max_replicas": args.max_replicas,
             "max_total": args.max_total,
             "variants": bool(args.variants),
             "executor": engine.executor.name,
+            "campaign": campaign.to_dict() if campaign is not None else None,
             "times": list(times),
             "design_count": len(timelines),
             "designs": [_timeline_payload(timeline) for timeline in timelines],
@@ -284,6 +322,8 @@ def _timeline(args: argparse.Namespace) -> int:
         print(json.dumps(payload, indent=2))
     else:
         end = times[-1]
+        if campaign is not None:
+            print(f"campaign {campaign}")
         print(
             f"{'design':<42} {'srv':>3} {'MTTPC (h)':>10} {'min COA':>9} "
             f"{'COA(end)':>9} {'P(done)':>8}"
@@ -377,7 +417,21 @@ def main(argv: Sequence[str] | None = None) -> int:
             "  only designs.  --no-shared-memory re-solves everything per\n"
             "  chunk (the benchmark baseline); results are byte-identical\n"
             "  either way.  Persistent result caches (--cache PATH) are\n"
-            "  maintained with 'python -m repro cache stats|purge|trim'."
+            "  maintained with 'python -m repro cache stats|purge|trim'.\n"
+            "\n"
+            "staged rollouts:\n"
+            "  'timeline' models staged patch campaigns (canary -> ramp ->\n"
+            "  fleet) with --campaign FILE (JSON spec) or --phases\n"
+            "  name:mult[:trigger[:canary]],...: each phase scales every\n"
+            "  patch rate by its multiplier and ends after a fixed duration\n"
+            "  (trigger '48' = 48 h) or once the expected patched fraction\n"
+            "  reaches a threshold (trigger '25%' ); the final phase must\n"
+            "  omit its trigger (it runs forever).\n"
+            "  A canary host count caps concurrent patching fleet-wide.  The\n"
+            "  solver uniformises once per phase and carries the state\n"
+            "  vector across boundaries, so a staged curve costs one batch\n"
+            "  pass per phase; '--phases fleet:1.0' is byte-identical to the\n"
+            "  stationary timeline."
         ),
     )
     commands = parser.add_subparsers(dest="command", required=True)
@@ -488,6 +542,26 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--times",
         default=None,
         help="explicit comma-separated times in hours (overrides the grid)",
+    )
+    timeline.add_argument(
+        "--campaign",
+        default=None,
+        metavar="FILE",
+        help=(
+            "staged-rollout JSON spec: {'name': ..., 'phases': [{'name', "
+            "'rate_multiplier', 'duration_hours' | 'completion_fraction', "
+            "'canary_hosts'}, ...]}"
+        ),
+    )
+    timeline.add_argument(
+        "--phases",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "inline campaign shorthand name:mult[:trigger[:canary]],... — "
+            "a plain trigger is a duration in hours, a %%-suffixed one a "
+            "completion fraction (e.g. canary:0.1:48,fleet:1.0)"
+        ),
     )
     timeline.set_defaults(handler=_timeline)
 

@@ -19,6 +19,16 @@ Two evaluation paths are provided:
     call is **bit-identical** to evaluating them one call at a time:
     the per-time loop in :func:`transient_rewards` is the parity oracle
     the batch solver is tested against.
+:func:`transient_piecewise`
+    The non-stationary path: a piecewise-constant chain described by
+    ``(solver, duration)`` segments (one uniformised solver per
+    segment, e.g. one per patch-campaign phase).  The state vector is
+    carried across segment boundaries and each segment serves every
+    time point falling inside it (plus the boundary itself) from one
+    batch pass — so an n-segment evaluation costs n passes, and the
+    anchored-iterate contract makes it bit-identical to the brute-force
+    oracle that re-propagates phase by phase for every single time
+    point.
 """
 
 from __future__ import annotations
@@ -37,6 +47,7 @@ __all__ = [
     "transient_rewards",
     "BatchTransientSolver",
     "transient_batch",
+    "transient_piecewise",
 ]
 
 #: Below this state count the uniformisation matrix is densified: numpy
@@ -311,6 +322,21 @@ class BatchTransientSolver:
                 out[i] = result / total
         return out
 
+    def propagate(
+        self,
+        initial: Mapping[State, float] | np.ndarray,
+        duration: float,
+    ) -> np.ndarray:
+        """The state distribution after *duration*, as a plain vector.
+
+        The segment primitive of :func:`transient_piecewise`: carrying a
+        vector across a phase boundary is one single-time
+        :meth:`distributions` call, so a chained sequence of
+        ``propagate`` calls is the brute-force oracle the piecewise
+        batch path is bit-identical to.
+        """
+        return self.distributions(initial, [duration])[0]
+
     def rewards(
         self,
         initial: Mapping[State, float] | np.ndarray,
@@ -473,6 +499,101 @@ def transient_batch(
         reward = rewards if shared_rewards else rewards[position]
         results.append(solver.rewards(initial, reward, times))
     return results
+
+
+def transient_piecewise(
+    segments: Sequence[tuple["BatchTransientSolver", float]],
+    initial: Mapping[State, float] | np.ndarray,
+    times: Sequence[float],
+    return_carries: bool = False,
+) -> np.ndarray | tuple[np.ndarray, list[np.ndarray]]:
+    """Distributions of a piecewise-constant chain at each time.
+
+    *segments* is an ordered sequence of ``(solver, duration)`` pairs —
+    one uniformised :class:`BatchTransientSolver` per constant-rate
+    regime (e.g. one per patch-campaign phase) over the **same** state
+    space, active for *duration* hours.  The final segment is
+    open-ended: its duration (``math.inf`` by convention) only matters
+    in that no segment follows it.  A non-final ``math.inf`` duration
+    marks a phase that never ends (a trigger that never fires): every
+    later segment is unreachable and all remaining times are served by
+    it.
+
+    Each segment evaluates the time points falling in its half-open
+    window ``[start, start + duration)`` *and* the boundary itself in a
+    single batch pass, carrying the boundary distribution into the next
+    segment.  Because batch iterates are anchored at absolute Poisson
+    indices, every returned row is bit-identical to the brute-force
+    oracle that, for each time separately, chains one
+    :meth:`BatchTransientSolver.propagate` call per earlier segment and
+    a final single-time :meth:`~BatchTransientSolver.distributions`
+    call.  A time landing exactly on a phase boundary belongs to the
+    *next* segment at offset zero, which returns the carried vector
+    unchanged — the same bits either way.
+
+    With *return_carries* the entry distribution of every segment is
+    returned alongside (``carries[0]`` is the validated initial
+    vector); unreachable segments get no entry.
+    """
+    segments = list(segments)
+    if not segments:
+        raise SolverError("transient_piecewise needs at least one segment")
+    n = None
+    for solver, duration in segments:
+        if not isinstance(solver, BatchTransientSolver):
+            raise SolverError(
+                f"segments must pair BatchTransientSolver with a duration, "
+                f"got {solver!r}"
+            )
+        if n is None:
+            n = solver.n
+        elif solver.n != n:
+            raise SolverError(
+                f"piecewise segments must share one state space; got sizes "
+                f"{n} and {solver.n}"
+            )
+        if duration != duration or duration < 0:
+            raise SolverError(f"segment duration must be >= 0, got {duration}")
+    times = [float(t) for t in times]
+    for time in times:
+        # NaN fails every window test, which would leave its np.empty
+        # output row unassigned — reject non-finite times outright.
+        if not math.isfinite(time) or time < 0:
+            raise SolverError(f"time must be finite and >= 0, got {time}")
+
+    out = np.empty((len(times), n))
+    carry: Mapping[State, float] | np.ndarray = initial
+    carries: list[np.ndarray] = []
+    start = 0.0
+    for position, (solver, duration) in enumerate(segments):
+        last = position == len(segments) - 1
+        end = math.inf if last else start + duration
+        indices = [i for i, t in enumerate(times) if start <= t < end]
+        offsets = [times[i] - start for i in indices]
+        carry_needed = not last and math.isfinite(duration)
+        if return_carries:
+            # Record the densified entry vector for occupancy algebra,
+            # but keep propagating the raw carry: re-normalising it here
+            # could shift the downstream rows by an ulp.
+            carries.append(solver._initial(carry))
+        if carry_needed and duration > 0.0:
+            # One batch pass serves the in-window times and the boundary;
+            # anchored iterates make each row equal its solo evaluation.
+            batch = solver.distributions(carry, offsets + [duration])
+            if indices:
+                out[indices] = batch[:-1]
+            carry = batch[-1]
+        else:
+            if indices:
+                out[indices] = solver.distributions(carry, offsets)
+            if not carry_needed:
+                # Open-ended (or never-ending) segment: nothing follows.
+                break
+            # duration == 0: the segment owns no window; carry unchanged.
+        start = end
+    if return_carries:
+        return out, carries
+    return out
 
 
 def _initial_vector(

@@ -30,7 +30,23 @@ from repro.errors import EvaluationError
 from repro.patching.policy import PatchPolicy
 from repro.vulnerability.database import VulnerabilityDatabase
 
-__all__ = ["AvailabilityEvaluator"]
+__all__ = ["AvailabilityEvaluator", "scale_patch_rates"]
+
+
+def scale_patch_rates(rates: np.ndarray, multiplier: float) -> np.ndarray:
+    """Flat slot-rate vector with every *patch* entry scaled.
+
+    Rate vectors interleave ``(patch, recovery)`` pairs per slot (see
+    :meth:`AvailabilityEvaluator.slot_rates`); a campaign phase scales
+    the even (patch) entries and leaves recovery untouched.  A
+    multiplier of exactly 1.0 returns the input unchanged, keeping the
+    stationary path bit-identical.
+    """
+    if multiplier == 1.0:
+        return rates
+    scaled = np.array(rates, dtype=float, copy=True)
+    scaled[0::2] *= multiplier
+    return scaled
 
 
 class AvailabilityEvaluator:
@@ -225,6 +241,54 @@ class AvailabilityEvaluator:
         """
         structure, rates = self.coa_structure_for(design)
         return structure.transient_coa(rates, times, tolerance=tolerance)
+
+    def transient_coa_piecewise(
+        self,
+        design: DesignSpec,
+        times: Sequence[float],
+        multipliers: Sequence[float],
+        durations: Sequence[float],
+        tolerance: float = 1e-10,
+    ) -> np.ndarray:
+        """Expected COA under piecewise-constant patch-rate scaling.
+
+        *multipliers* and *durations* describe one rollout phase each
+        (the last duration is open-ended): during phase *p* every patch
+        rate is scaled by ``multipliers[p]`` while recovery rates stay
+        fixed.  Each phase is uniformised once over the design's
+        (shared) canonical structure and the state vector is carried
+        across phase boundaries, so the whole curve costs one batch
+        pass per phase (:func:`repro.ctmc.transient.transient_piecewise`).
+        A single phase at multiplier 1.0 is bit-identical to
+        :meth:`transient_coa`.
+        """
+        from repro.ctmc.transient import transient_piecewise
+
+        if len(multipliers) != len(durations) or not multipliers:
+            raise EvaluationError(
+                f"piecewise COA needs one duration per multiplier, got "
+                f"{len(multipliers)} multipliers and {len(durations)} durations"
+            )
+        structure, rates = self.coa_structure_for(design)
+        solvers: dict[float, object] = {}
+        segments = []
+        for multiplier, duration in zip(multipliers, durations):
+            solver = solvers.get(multiplier)
+            if solver is None:
+                solver = structure.transient_solver(
+                    scale_patch_rates(rates, multiplier), tolerance=tolerance
+                )
+                solvers[multiplier] = solver
+            segments.append((solver, duration))
+        dists = transient_piecewise(segments, structure.initial, times)
+        # Per-row dots, NOT `dists @ reward`: this mirrors the exact op
+        # order of BatchTransientSolver.rewards (a gemv may sum in a
+        # different order), which is what makes the single-phase
+        # campaign bit-identical to transient_coa.
+        out = np.empty(len(dists))
+        for i in range(len(dists)):
+            out[i] = float(dists[i] @ structure.reward)
+        return out
 
     def coa_closed_form(self, design: DesignSpec) -> float:
         """Product-form COA (validation path, no SRN solve)."""

@@ -32,10 +32,13 @@ from repro.errors import EvaluationError
 __all__ = ["PersistentEvaluationCache", "context_fingerprint"]
 
 #: Salted into every context fingerprint.  Bump when the evaluation
-#: pipeline's numerics change (even at the last-ulp level), so stale
-#: cache files miss instead of mixing results from two pipelines:
-#: version 2 = the PR 4 canonical-structure COA path.
-_PIPELINE_VERSION = b"repro-evaluation-pipeline-v2"
+#: pipeline's numerics change (even at the last-ulp level) or when a
+#: cached payload class grows fields, so stale cache files miss instead
+#: of mixing results from two pipelines: version 2 = the PR 4
+#: canonical-structure COA path; version 3 = the campaign-aware
+#: ``DesignTimeline`` (new ``campaign``/``phase_starts`` fields — old
+#: pickles lack them, so they must not be served).
+_PIPELINE_VERSION = b"repro-evaluation-pipeline-v3"
 
 
 def context_fingerprint(*parts: object) -> str:

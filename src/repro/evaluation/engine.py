@@ -260,6 +260,7 @@ def _timeline_chunk(
     tolerance: float,
     designs: Sequence[DesignSpec],
     structure_sharing: bool = True,
+    campaign=None,
 ):
     """Worker entry point: patch timelines of one chunk, shared evaluators."""
     from repro.evaluation.timeline import evaluate_timelines_shared
@@ -272,6 +273,7 @@ def _timeline_chunk(
         database=database,
         tolerance=tolerance,
         structure_sharing=structure_sharing,
+        campaign=campaign,
     )
 
 
@@ -299,6 +301,7 @@ def _timeline_chunk_primed(
     policy: PatchPolicy,
     times: tuple[float, ...],
     tolerance: float,
+    campaign,
     designs: Sequence[DesignSpec],
 ):
     """In-process timeline chunk over the engine's evaluator pair."""
@@ -312,6 +315,7 @@ def _timeline_chunk_primed(
         tolerance=tolerance,
         security_evaluator=security_evaluator,
         availability_evaluator=availability_evaluator,
+        campaign=campaign,
     )
 
 
@@ -443,28 +447,34 @@ class SweepEngine:
         designs: Iterable[DesignSpec],
         times: Sequence[float],
         tolerance: float = 1e-10,
+        campaign=None,
     ) -> list:
         """Patch timelines of *designs* over *times*, in input order.
 
         The transient companion of :meth:`evaluate`: same chunked
         dispatch (one shared evaluator pair per chunk), same
         deterministic ordering across executors, same two-level
-        memoisation — in-memory per ``(design, time grid, tolerance)``
-        and, when a ``cache_path`` is configured, persisted on disk.
-        See :func:`repro.evaluation.timeline.evaluate_timeline`.
+        memoisation — in-memory per ``(design, time grid, tolerance,
+        campaign)`` and, when a ``cache_path`` is configured, persisted
+        on disk.  *campaign* optionally stages the rollout
+        (:class:`~repro.patching.campaign.PatchCampaign`); see
+        :func:`repro.evaluation.timeline.evaluate_timeline`.
         """
         designs = list(designs)
         times_key = tuple(float(t) for t in times)
         pending: list[DesignSpec] = []
         seen_pending: set[DesignSpec] = set()
         for design in designs:
-            key = (design, times_key, tolerance)
+            key = (design, times_key, tolerance, campaign)
             if key in self._timelines:
                 self._hits += 1
                 continue
             if self.persistent_cache is not None:
                 stored = self.persistent_cache.get(
-                    "timeline", self._disk_key(design, times_key, tolerance)
+                    "timeline",
+                    self._timeline_disk_key(
+                        design, times_key, tolerance, campaign
+                    ),
                 )
                 if stored is not None:
                     self._timelines[key] = stored
@@ -476,20 +486,37 @@ class SweepEngine:
                 pending.append(design)
         if pending:
             for chunk_result in self._run_timeline_chunks(
-                self._chunks(pending), times_key, tolerance
+                self._chunks(pending), times_key, tolerance, campaign
             ):
                 for result in chunk_result:
-                    key = (result.design, times_key, tolerance)
+                    key = (result.design, times_key, tolerance, campaign)
                     self._timelines[key] = result
                     if self.persistent_cache is not None:
                         self.persistent_cache.put(
                             "timeline",
-                            self._disk_key(result.design, times_key, tolerance),
+                            self._timeline_disk_key(
+                                result.design, times_key, tolerance, campaign
+                            ),
                             result,
                         )
         return [
-            self._timelines[(design, times_key, tolerance)] for design in designs
+            self._timelines[(design, times_key, tolerance, campaign)]
+            for design in designs
         ]
+
+    def _timeline_disk_key(
+        self,
+        design: DesignSpec,
+        times_key: tuple[float, ...],
+        tolerance: float,
+        campaign,
+    ) -> str:
+        """Timeline cache key; campaign-less keys keep their old shape."""
+        if campaign is None:
+            return self._disk_key(design, times_key, tolerance)
+        return self._disk_key(
+            design, times_key, tolerance, campaign.cache_key()
+        )
 
     def sweep(
         self,
@@ -648,6 +675,7 @@ class SweepEngine:
         chunks: Sequence[Sequence[Any]],
         times_key: tuple[float, ...],
         tolerance: float,
+        campaign=None,
     ) -> list:
         if not self.structure_sharing:
             batches = [
@@ -659,6 +687,7 @@ class SweepEngine:
                     tolerance,
                     chunk,
                     False,
+                    campaign,
                 )
                 for chunk in chunks
             ]
@@ -673,7 +702,10 @@ class SweepEngine:
             try:
                 return self.executor.run_with_initializer(
                     shared_timeline_chunk,
-                    [(times_key, tolerance, chunk) for chunk in chunks],
+                    [
+                        (times_key, tolerance, chunk, campaign)
+                        for chunk in chunks
+                    ],
                     initializer=initialize_worker,
                     initargs=(context.worker_payload(),),
                 )
@@ -688,6 +720,7 @@ class SweepEngine:
             self.policy,
             times_key,
             tolerance,
+            campaign,
         )
         return self.executor.run(fn, [(chunk,) for chunk in chunks])
 

@@ -383,7 +383,7 @@ def shared_evaluate_chunk(designs):
     )
 
 
-def shared_timeline_chunk(times, tolerance, designs):
+def shared_timeline_chunk(times, tolerance, designs, campaign=None):
     """Worker entry point: patch timelines with the primed evaluators."""
     from repro.evaluation.timeline import evaluate_timelines_shared
 
@@ -396,4 +396,5 @@ def shared_timeline_chunk(times, tolerance, designs):
         tolerance=tolerance,
         security_evaluator=state["security"],
         availability_evaluator=state["availability"],
+        campaign=campaign,
     )

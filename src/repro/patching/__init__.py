@@ -21,6 +21,12 @@ from repro.patching.schedule import (
     BIWEEKLY,
     PatchSchedule,
 )
+from repro.patching.campaign import (
+    BIG_BANG,
+    CANARY_THEN_FLEET,
+    CampaignPhase,
+    PatchCampaign,
+)
 from repro.patching.lifecycle import (
     CycleOutcome,
     SyntheticDisclosureFeed,
@@ -34,6 +40,10 @@ __all__ = [
     "PatchAllPolicy",
     "NoPatchPolicy",
     "ExplicitPolicy",
+    "PatchCampaign",
+    "CampaignPhase",
+    "BIG_BANG",
+    "CANARY_THEN_FLEET",
     "PatchSchedule",
     "WEEKLY",
     "BIWEEKLY",

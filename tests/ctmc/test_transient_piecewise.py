@@ -1,0 +1,161 @@
+"""Tests for piecewise-constant uniformisation (transient_piecewise)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ctmc import Ctmc
+from repro.ctmc.transient import BatchTransientSolver, transient_piecewise
+from repro.errors import SolverError
+
+
+@pytest.fixture(scope="module")
+def solvers():
+    fast = Ctmc.from_rates({("a", "b"): 2.0, ("b", "a"): 1.0})
+    slow = Ctmc.from_rates({("a", "b"): 0.25, ("b", "a"): 3.0}, states=["a", "b"])
+    return BatchTransientSolver(fast), BatchTransientSolver(slow)
+
+
+def oracle(segments, initial, time):
+    """Brute-force: re-propagate phase by phase for one single time."""
+    carry = initial
+    start = 0.0
+    for position, (solver, duration) in enumerate(segments):
+        last = position == len(segments) - 1
+        end = math.inf if last else start + duration
+        if start <= time < end:
+            return solver.distributions(carry, [time - start])[0]
+        if not math.isfinite(duration):
+            return solver.distributions(carry, [time - start])[0]
+        if duration > 0.0:
+            carry = solver.propagate(carry, duration)
+        start = end
+    raise AssertionError("time not covered")
+
+
+class TestPropagate:
+    def test_propagate_is_single_time_distribution(self, solvers):
+        fast, _ = solvers
+        assert (
+            fast.propagate({"a": 1.0}, 0.7).tobytes()
+            == fast.distributions({"a": 1.0}, [0.7])[0].tobytes()
+        )
+
+    def test_propagate_zero_duration_is_identity(self, solvers):
+        fast, _ = solvers
+        out = fast.propagate(np.array([0.25, 0.75]), 0.0)
+        assert out.tolist() == [0.25, 0.75]
+
+
+class TestPiecewise:
+    def test_bit_identical_to_per_time_oracle(self, solvers):
+        fast, slow = solvers
+        segments = [(fast, 0.8), (slow, 1.2), (fast, math.inf)]
+        times = [0.0, 0.3, 0.8, 1.5, 2.0, 2.75, 10.0]
+        out = transient_piecewise(segments, {"a": 1.0}, times)
+        for i, t in enumerate(times):
+            assert out[i].tobytes() == oracle(segments, {"a": 1.0}, t).tobytes()
+
+    def test_single_open_segment_equals_plain_batch(self, solvers):
+        fast, _ = solvers
+        times = [0.0, 0.5, 1.0, 4.0]
+        out = transient_piecewise([(fast, math.inf)], {"a": 1.0}, times)
+        assert out.tobytes() == fast.distributions({"a": 1.0}, times).tobytes()
+
+    def test_boundary_time_belongs_to_next_segment(self, solvers):
+        fast, slow = solvers
+        segments = [(fast, 1.0), (slow, math.inf)]
+        # t = 1.0 lands exactly on the boundary: it must equal the carried
+        # vector (offset 0 in the next segment) and the oracle's value.
+        out = transient_piecewise(segments, {"a": 1.0}, [1.0])
+        carried = fast.propagate({"a": 1.0}, 1.0)
+        assert out[0].tobytes() == carried.tobytes()
+        assert out[0].tobytes() == oracle(segments, {"a": 1.0}, 1.0).tobytes()
+
+    def test_zero_duration_segment_is_a_no_op(self, solvers):
+        fast, slow = solvers
+        times = [0.0, 0.4, 1.7]
+        with_zero = transient_piecewise(
+            [(slow, 0.0), (fast, 1.0), (slow, 0.0), (slow, math.inf)],
+            {"a": 1.0},
+            times,
+        )
+        without = transient_piecewise(
+            [(fast, 1.0), (slow, math.inf)], {"a": 1.0}, times
+        )
+        assert with_zero.tobytes() == without.tobytes()
+
+    def test_non_final_inf_duration_is_terminal(self, solvers):
+        fast, slow = solvers
+        out = transient_piecewise(
+            [(fast, math.inf), (slow, 1.0), (slow, math.inf)],
+            {"a": 1.0},
+            [0.0, 2.0, 9.0],
+        )
+        plain = fast.distributions({"a": 1.0}, [0.0, 2.0, 9.0])
+        assert out.tobytes() == plain.tobytes()
+
+    def test_unsorted_times_align_with_input_order(self, solvers):
+        fast, slow = solvers
+        segments = [(fast, 1.0), (slow, math.inf)]
+        shuffled = [2.0, 0.3, 1.0, 0.0]
+        out = transient_piecewise(segments, {"a": 1.0}, shuffled)
+        for i, t in enumerate(shuffled):
+            assert out[i].tobytes() == oracle(segments, {"a": 1.0}, t).tobytes()
+
+    def test_return_carries(self, solvers):
+        fast, slow = solvers
+        out, carries = transient_piecewise(
+            [(fast, 0.8), (slow, math.inf)],
+            {"a": 1.0},
+            [0.0, 2.0],
+            return_carries=True,
+        )
+        assert len(carries) == 2
+        assert carries[0].tolist() == [1.0, 0.0]
+        assert carries[1].tobytes() == fast.propagate({"a": 1.0}, 0.8).tobytes()
+
+    def test_validation(self, solvers):
+        fast, _ = solvers
+        three = BatchTransientSolver(
+            Ctmc.from_rates({("x", "y"): 1.0, ("y", "z"): 1.0, ("z", "x"): 1.0})
+        )
+        with pytest.raises(SolverError):
+            transient_piecewise([], {"a": 1.0}, [0.0])
+        with pytest.raises(SolverError):
+            transient_piecewise([(fast, -1.0), (fast, math.inf)], {"a": 1.0}, [0.0])
+        with pytest.raises(SolverError):
+            transient_piecewise([(fast, 1.0), (three, math.inf)], {"a": 1.0}, [0.0])
+        with pytest.raises(SolverError):
+            transient_piecewise([(fast, math.inf)], {"a": 1.0}, [-1.0])
+        with pytest.raises(SolverError):
+            # NaN matches no segment window: must fail loudly, not
+            # return an unassigned output row
+            transient_piecewise([(fast, math.inf)], {"a": 1.0}, [math.nan])
+        with pytest.raises(SolverError):
+            transient_piecewise([(fast, math.inf)], {"a": 1.0}, [math.inf])
+        with pytest.raises(SolverError):
+            transient_piecewise([("nope", math.inf)], {"a": 1.0}, [0.0])
+
+
+class TestPiecewiseLargeChain:
+    def test_sparse_path_matches_oracle(self):
+        # A chain above the densification cutoff exercises the sequential
+        # iterate recurrence instead of the block-power path.
+        size = 450
+        rates = {}
+        for i in range(size - 1):
+            rates[(i, i + 1)] = 1.0 + (i % 3)
+            rates[(i + 1, i)] = 0.5
+        chain = Ctmc.from_rates(rates, states=list(range(size)))
+        a = BatchTransientSolver(chain)
+        b = BatchTransientSolver(chain)
+        segments = [(a, 0.5), (b, math.inf)]
+        initial = {0: 1.0}
+        times = [0.0, 0.25, 0.5, 1.5]
+        out = transient_piecewise(segments, initial, times)
+        for i, t in enumerate(times):
+            assert out[i].tobytes() == oracle(segments, initial, t).tobytes()

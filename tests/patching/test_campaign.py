@@ -1,0 +1,194 @@
+"""Tests for the staged patch-rollout campaign model."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.patching import BIG_BANG, CANARY_THEN_FLEET, CampaignPhase, PatchCampaign
+
+
+class TestCampaignPhase:
+    def test_duration_phase(self):
+        phase = CampaignPhase(name="canary", rate_multiplier=0.1, duration_hours=48)
+        assert phase.duration_hours == 48.0
+        assert not phase.is_open_ended
+
+    def test_zero_duration_allowed(self):
+        phase = CampaignPhase(name="skip", rate_multiplier=1.0, duration_hours=0)
+        assert phase.duration_hours == 0.0
+
+    def test_open_ended(self):
+        assert CampaignPhase(name="fleet", rate_multiplier=1.0).is_open_ended
+
+    def test_rejects_both_triggers(self):
+        with pytest.raises(ValidationError):
+            CampaignPhase(
+                name="x",
+                rate_multiplier=1.0,
+                duration_hours=1.0,
+                completion_fraction=0.5,
+            )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rate_multiplier": -0.1},
+            {"rate_multiplier": float("inf")},
+            {"rate_multiplier": float("nan")},
+            {"rate_multiplier": "fast"},
+            {"rate_multiplier": 1.0, "duration_hours": -1.0},
+            {"rate_multiplier": 1.0, "duration_hours": float("inf")},
+            {"rate_multiplier": 1.0, "duration_hours": "abc"},
+            {"rate_multiplier": 1.0, "duration_hours": "48"},
+            {"rate_multiplier": 1.0, "duration_hours": True},
+            {"rate_multiplier": 1.0, "completion_fraction": 0.0},
+            {"rate_multiplier": 1.0, "completion_fraction": 1.5},
+            {"rate_multiplier": 1.0, "completion_fraction": "half"},
+            {"rate_multiplier": 1.0, "canary_hosts": 0},
+            {"rate_multiplier": 1.0, "canary_hosts": 1.5},
+        ],
+    )
+    def test_rejects_bad_fields(self, kwargs):
+        with pytest.raises(ValidationError):
+            CampaignPhase(name="x", **kwargs)
+
+    def test_effective_multiplier_canary_throttle(self):
+        phase = CampaignPhase(name="c", rate_multiplier=0.5, canary_hosts=2)
+        assert phase.effective_multiplier(8) == pytest.approx(0.5 * 2 / 8)
+        # a cap at or above the fleet size leaves the multiplier exact
+        assert phase.effective_multiplier(2) == 0.5
+        assert phase.effective_multiplier(1) == 0.5
+
+    def test_round_trip_dict(self):
+        phase = CampaignPhase(
+            name="canary",
+            rate_multiplier=0.25,
+            completion_fraction=0.3,
+            canary_hosts=2,
+        )
+        assert CampaignPhase.from_dict(phase.to_dict()) == phase
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValidationError):
+            CampaignPhase.from_dict(
+                {"name": "x", "rate_multiplier": 1.0, "speed": 9}
+            )
+        with pytest.raises(ValidationError):
+            CampaignPhase.from_dict({"name": "x"})
+        with pytest.raises(ValidationError):
+            CampaignPhase.from_dict("canary")
+
+
+class TestPatchCampaign:
+    def test_needs_phases(self):
+        with pytest.raises(ValidationError):
+            PatchCampaign(name="empty", phases=())
+
+    def test_open_ended_must_be_last(self):
+        with pytest.raises(ValidationError) as excinfo:
+            PatchCampaign(
+                name="bad",
+                phases=(
+                    CampaignPhase(name="forever", rate_multiplier=1.0),
+                    CampaignPhase(name="never", rate_multiplier=2.0),
+                ),
+            )
+        assert "unreachable" in str(excinfo.value)
+
+    def test_final_phase_must_be_open_ended(self):
+        # a trailing trigger has nothing to hand over to; rejecting it
+        # catches truncated specs like --phases canary:0.1:48
+        with pytest.raises(ValidationError) as excinfo:
+            PatchCampaign(
+                name="truncated",
+                phases=(
+                    CampaignPhase(
+                        name="canary", rate_multiplier=0.1, duration_hours=48
+                    ),
+                ),
+            )
+        assert "open-ended" in str(excinfo.value)
+        with pytest.raises(ValidationError):
+            PatchCampaign.parse("canary:0.1:48")
+        with pytest.raises(ValidationError):
+            PatchCampaign.parse("canary:0.1:48,ramp:0.5:25%")
+
+    def test_stationary_detection(self):
+        assert BIG_BANG.is_stationary
+        assert not CANARY_THEN_FLEET.is_stationary
+        assert not PatchCampaign(
+            name="slow", phases=(CampaignPhase(name="f", rate_multiplier=0.5),)
+        ).is_stationary
+        assert not PatchCampaign(
+            name="capped",
+            phases=(CampaignPhase(name="f", rate_multiplier=1.0, canary_hosts=1),),
+        ).is_stationary
+
+    def test_hashable_and_cache_key(self):
+        twin = PatchCampaign(
+            name=CANARY_THEN_FLEET.name, phases=CANARY_THEN_FLEET.phases
+        )
+        assert hash(twin) == hash(CANARY_THEN_FLEET)
+        assert twin.cache_key() == CANARY_THEN_FLEET.cache_key()
+        assert BIG_BANG.cache_key() != CANARY_THEN_FLEET.cache_key()
+        # cached DesignTimeline records embed the campaign, so a renamed
+        # campaign must not alias a stored entry
+        renamed = PatchCampaign(name="other", phases=CANARY_THEN_FLEET.phases)
+        assert renamed.cache_key() != CANARY_THEN_FLEET.cache_key()
+
+    def test_round_trip_dict_and_json(self, tmp_path):
+        payload = CANARY_THEN_FLEET.to_dict()
+        assert PatchCampaign.from_dict(payload) == CANARY_THEN_FLEET
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(payload))
+        assert PatchCampaign.from_json_file(path) == CANARY_THEN_FLEET
+
+    def test_from_json_file_errors(self, tmp_path):
+        with pytest.raises(ValidationError):
+            PatchCampaign.from_json_file(tmp_path / "missing.json")
+        broken = tmp_path / "broken.json"
+        broken.write_text("{not json")
+        with pytest.raises(ValidationError):
+            PatchCampaign.from_json_file(broken)
+
+    def test_str_mentions_phases(self):
+        text = str(CANARY_THEN_FLEET)
+        assert "canary" in text and "open-ended" in text
+
+
+class TestShorthandParsing:
+    def test_duration_phases(self):
+        campaign = PatchCampaign.parse("canary:0.1:48,fleet:1.0")
+        assert len(campaign.phases) == 2
+        canary, fleet = campaign.phases
+        assert canary.rate_multiplier == 0.1
+        assert canary.duration_hours == 48.0
+        assert fleet.is_open_ended
+
+    def test_percent_trigger_and_canary_count(self):
+        campaign = PatchCampaign.parse("canary:1:25%:2,fleet:1.0")
+        canary = campaign.phases[0]
+        assert canary.completion_fraction == pytest.approx(0.25)
+        assert canary.canary_hosts == 2
+
+    def test_single_phase(self):
+        campaign = PatchCampaign.parse("fleet:1.0")
+        assert campaign.is_stationary
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "",
+            "fleet",
+            "fleet:fast",
+            "canary:0.1:soon",
+            "canary:0.1:48:many",
+            "a:1:2:3:4",
+        ],
+    )
+    def test_rejects_bad_specs(self, spec):
+        with pytest.raises(ValidationError):
+            PatchCampaign.parse(spec)

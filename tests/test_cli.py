@@ -294,6 +294,98 @@ class TestTimelineCli:
         assert "variant pool" in capsys.readouterr().err
 
 
+class TestCampaignCli:
+    BASE = ["timeline", "--roles", "dns,web", "--max-replicas", "1", "--points", "4"]
+
+    def test_schema_version_and_campaign_metadata(self, capsys):
+        assert main(self.BASE + ["--phases", "canary:0.1:48,fleet:1.0", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 2
+        assert payload["campaign"]["phases"][0] == {
+            "name": "canary",
+            "rate_multiplier": 0.1,
+            "duration_hours": 48.0,
+        }
+        for design in payload["designs"]:
+            assert design["phase_starts"] == [0.0, 48.0]
+
+    def test_plain_timeline_has_null_campaign(self, capsys):
+        assert main(self.BASE + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 2
+        assert payload["campaign"] is None
+        assert all("phase_starts" not in design for design in payload["designs"])
+
+    def test_single_phase_campaign_matches_plain_curves(self, capsys):
+        assert main(self.BASE + ["--json"]) == 0
+        plain = json.loads(capsys.readouterr().out)
+        assert main(self.BASE + ["--phases", "fleet:1.0", "--json"]) == 0
+        staged = json.loads(capsys.readouterr().out)
+        for a, b in zip(plain["designs"], staged["designs"]):
+            b = dict(b)
+            assert b.pop("phase_starts") == [0.0]
+            assert a == b
+
+    def test_campaign_json_file(self, tmp_path, capsys):
+        spec = tmp_path / "campaign.json"
+        spec.write_text(
+            json.dumps(
+                {
+                    "name": "staged",
+                    "phases": [
+                        {
+                            "name": "canary",
+                            "rate_multiplier": 1.0,
+                            "completion_fraction": 0.25,
+                            "canary_hosts": 1,
+                        },
+                        {"name": "fleet", "rate_multiplier": 1.0},
+                    ],
+                }
+            )
+        )
+        assert main(self.BASE + ["--campaign", str(spec), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["campaign"]["name"] == "staged"
+        for design in payload["designs"]:
+            starts = design["phase_starts"]
+            assert starts[0] == 0.0 and starts[1] > 0.0
+
+    def test_never_firing_trigger_serialises_null_start(self, capsys):
+        assert main(
+            self.BASE + ["--phases", "pause:0:50%,fleet:1.0", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        for design in payload["designs"]:
+            assert design["phase_starts"] == [0.0, None]
+            assert design["mean_time_to_completion"] is None
+
+    def test_table_output_mentions_campaign(self, capsys):
+        assert main(self.BASE + ["--phases", "canary:0.1:48,fleet:1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign" in out and "canary" in out
+
+    def test_campaign_and_phases_mutually_exclusive(self, tmp_path, capsys):
+        spec = tmp_path / "c.json"
+        spec.write_text('{"name": "x", "phases": [{"name": "f", "rate_multiplier": 1}]}')
+        assert (
+            main(
+                self.BASE
+                + ["--campaign", str(spec), "--phases", "fleet:1.0"]
+            )
+            == 2
+        )
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_bad_phase_spec_exits_2(self, capsys):
+        assert main(self.BASE + ["--phases", "fleet:fast"]) == 2
+        assert "timeline failed" in capsys.readouterr().err
+
+    def test_missing_campaign_file_exits_2(self, capsys):
+        assert main(self.BASE + ["--campaign", "/nonexistent/spec.json"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
 class TestCacheCli:
     def test_sweep_cache_reuse_is_identical(self, tmp_path, capsys):
         cache = str(tmp_path / "cache.sqlite")
