@@ -26,6 +26,13 @@ Commands
     campaign uniformises once per phase and carries the state vector
     across phase boundaries; a single-phase multiplier-1 campaign is
     byte-identical to the stationary timeline.
+``serve``
+    Resident evaluation service: one warm sweep engine (persistent
+    worker pool, retained shared-memory aggregates, result caches)
+    behind an HTTP/JSON API.  ``POST /sweep`` and ``POST /timeline``
+    take the CLI options as JSON fields and answer with exactly the
+    corresponding ``--json`` payload; ``GET /healthz`` reports
+    liveness, pool state and request counters.
 ``cache``
     Maintain a ``--cache`` sqlite file: ``stats``, ``purge``
     (everything, one scope or one context fingerprint) and ``trim``
@@ -106,28 +113,6 @@ def _designs(_: argparse.Namespace) -> int:
     return 0
 
 
-def _snapshot_payload(snapshot) -> dict:
-    payload = snapshot.security.as_dict()
-    payload["COA"] = snapshot.coa
-    return payload
-
-
-def _design_payload(evaluation, on_front: bool) -> dict:
-    from repro.enterprise import HeterogeneousDesign
-
-    payload = {
-        "label": evaluation.label,
-        "counts": evaluation.design.counts,
-        "total_servers": evaluation.design.total_servers,
-        "before": _snapshot_payload(evaluation.before),
-        "after": _snapshot_payload(evaluation.after),
-        "pareto": on_front,
-    }
-    if isinstance(evaluation.design, HeterogeneousDesign):
-        payload["variants"] = evaluation.design.tiers()
-    return payload
-
-
 def _parse_roles(spec: str) -> list[str]:
     return list(
         dict.fromkeys(role.strip() for role in spec.split(",") if role.strip())
@@ -202,64 +187,26 @@ def _sweep(args: argparse.Namespace) -> int:
     except ReproError as exc:
         print(f"sweep failed: {exc}", file=sys.stderr)
         return 2
-    front = {id(e) for e in engine.pareto(evaluations)}
     if args.json:
-        payload = {
-            "roles": roles,
-            "max_replicas": args.max_replicas,
-            "max_total": args.max_total,
-            "variants": bool(args.variants),
-            "executor": engine.executor.name,
-            "design_count": len(evaluations),
-            "designs": [
-                _design_payload(evaluation, id(evaluation) in front)
-                for evaluation in evaluations
-            ],
-        }
+        # The service envelope builder, so `repro sweep --json` and a
+        # `repro serve` response agree by construction.
+        from repro.evaluation.service import sweep_response
+
+        payload = sweep_response(
+            roles,
+            args.max_replicas,
+            args.max_total,
+            bool(args.variants),
+            engine.executor.name,
+            evaluations,
+        )
         print(json.dumps(payload, indent=2))
     else:
+        front = {id(e) for e in engine.pareto(evaluations)}
         print(design_comparison_table(evaluations))
         labels = [e.label for e in evaluations if id(e) in front]
         print(f"\nPareto front (after patch): {', '.join(labels)}")
     return 0
-
-
-#: Version of the ``timeline --json`` output schema.  Version 2 added
-#: ``schema_version`` itself plus the campaign metadata (top-level
-#: ``campaign``, per-design ``phase_starts``); consumers should treat a
-#: payload without the field as version 1.
-TIMELINE_SCHEMA_VERSION = 2
-
-
-def _timeline_payload(timeline) -> dict:
-    import math
-
-    from repro.enterprise import HeterogeneousDesign
-
-    mttc = timeline.mean_time_to_completion
-    payload = {
-        "label": timeline.label,
-        "counts": timeline.design.counts,
-        "total_servers": timeline.design.total_servers,
-        "mean_time_to_completion": mttc if math.isfinite(mttc) else None,
-        "steady_coa": timeline.steady_coa,
-        "min_coa": timeline.min_coa,
-        "coa": list(timeline.coa),
-        "completion_probability": list(timeline.completion_probability),
-        "unpatched_fraction": list(timeline.unpatched_fraction),
-        "security": {
-            name: list(curve) for name, curve in timeline.security_curves().items()
-        },
-    }
-    if timeline.campaign is not None:
-        # JSON has no inf: unreachable phases serialise as null starts.
-        payload["phase_starts"] = [
-            start if math.isfinite(start) else None
-            for start in timeline.phase_starts
-        ]
-    if isinstance(timeline.design, HeterogeneousDesign):
-        payload["variants"] = timeline.design.tiers()
-    return payload
 
 
 def _campaign_from_args(args: argparse.Namespace):
@@ -307,18 +254,18 @@ def _timeline(args: argparse.Namespace) -> int:
         print(f"timeline failed: {exc}", file=sys.stderr)
         return 2
     if args.json:
-        payload = {
-            "schema_version": TIMELINE_SCHEMA_VERSION,
-            "roles": roles,
-            "max_replicas": args.max_replicas,
-            "max_total": args.max_total,
-            "variants": bool(args.variants),
-            "executor": engine.executor.name,
-            "campaign": campaign.to_dict() if campaign is not None else None,
-            "times": list(times),
-            "design_count": len(timelines),
-            "designs": [_timeline_payload(timeline) for timeline in timelines],
-        }
+        from repro.evaluation.service import timeline_response
+
+        payload = timeline_response(
+            roles,
+            args.max_replicas,
+            args.max_total,
+            bool(args.variants),
+            engine.executor.name,
+            campaign,
+            times,
+            timelines,
+        )
         print(json.dumps(payload, indent=2))
     else:
         end = times[-1]
@@ -384,6 +331,32 @@ def _cache(args: argparse.Namespace) -> int:
                 print(f"evicted {removed} least-recently-used entries")
     except ReproError as exc:
         print(f"cache failed: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _serve(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.evaluation.service import EvaluationService
+
+    try:
+        service = EvaluationService(
+            executor=args.executor,
+            max_workers=args.jobs,
+            structure_sharing=args.shared_memory,
+            cache_path=args.cache,
+            max_designs=args.max_designs,
+        )
+    except ReproError as exc:
+        print(f"serve failed: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with service:
+            service.run(host=args.host, port=args.port)
+    except KeyboardInterrupt:
+        pass
+    except (ReproError, OSError) as exc:
+        print(f"serve failed: {exc}", file=sys.stderr)
         return 2
     return 0
 
@@ -564,6 +537,65 @@ def main(argv: Sequence[str] | None = None) -> int:
         ),
     )
     timeline.set_defaults(handler=_timeline)
+
+    serve = commands.add_parser(
+        "serve",
+        help=(
+            "resident evaluation service: a warm sweep engine (persistent "
+            "worker pool + shared-memory aggregates + result caches) "
+            "behind an HTTP/JSON API"
+        ),
+        description=(
+            "Serve POST /sweep, POST /timeline, GET /healthz and GET "
+            "/metrics over HTTP/1.1.  Request bodies mirror the sweep/"
+            "timeline CLI options as JSON fields (roles, max_replicas, "
+            "max_total, variants; timeline adds horizon/points or times, "
+            "and campaign or phases); responses are byte-identical to the "
+            "corresponding --json output.  Identical in-flight requests "
+            "share one computation, repeats are answered from a response "
+            "memory, and the engine's pool and shared-memory state stay "
+            "warm across requests."
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8351,
+        help="TCP port (default: 8351; 0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default="process",
+        help="engine executor; thread/process pools are persistent "
+        "(default: process)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker count for the thread/process pool executors",
+    )
+    serve.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help="sqlite file persisting results across restarts",
+    )
+    serve.add_argument(
+        "--shared-memory",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="structure-sharing pipeline (see sweep --help; default: on)",
+    )
+    serve.add_argument(
+        "--max-designs",
+        type=int,
+        default=512,
+        help="per-request design-count budget (default: 512)",
+    )
+    serve.set_defaults(handler=_serve)
 
     cache = commands.add_parser(
         "cache",

@@ -11,7 +11,9 @@ design spaces — homogeneous replica counts and heterogeneous variant
 assignments alike, unified behind the
 :class:`~repro.enterprise.design.DesignSpec` protocol;
 :mod:`repro.evaluation.engine` scales those sweeps with caching and
-pluggable (serial/thread/process-pool) executors;
+pluggable (serial/thread/process-pool) executors — including warm
+persistent pools; :mod:`repro.evaluation.service` keeps one warm engine
+resident behind an HTTP/JSON API (``repro serve``);
 :mod:`repro.evaluation.cost` adds the operational-cost
 extension sketched in Section V.
 """
@@ -39,6 +41,7 @@ from repro.evaluation.requirements import (
     satisfying_designs,
 )
 from repro.evaluation.security import SecurityEvaluator
+from repro.evaluation.service import EvaluationService, ServiceClient
 from repro.evaluation.sensitivity import SensitivityEntry, coa_sensitivity
 from repro.evaluation.sweep import (
     enumerate_designs,
@@ -85,4 +88,6 @@ __all__ = [
     "evaluate_timelines",
     "evaluate_timelines_shared",
     "PersistentEvaluationCache",
+    "EvaluationService",
+    "ServiceClient",
 ]

@@ -18,6 +18,22 @@ every write evicts least-recently-used entries (reads refresh recency)
 until the store fits.  ``repro cache`` exposes the maintenance surface
 from the command line: ``stats``, ``purge`` (everything, one scope, or
 one context fingerprint) and ``trim`` to given bounds.
+
+Concurrency guarantees
+----------------------
+One :class:`PersistentEvaluationCache` instance may be shared freely
+across threads: the connection is opened with
+``check_same_thread=False`` and an internal lock serialises every
+statement-and-commit pair, so interleaved ``get``/``put``/maintenance
+calls from a multi-threaded service (``repro serve``) never observe a
+half-committed write or a cross-thread sqlite error.  Multiple
+*processes* may also share one cache file — each opens its own
+instance: the database runs in WAL journal mode (readers never block
+the writer) with a busy timeout, so a contended write retries for up to
+:data:`_BUSY_TIMEOUT_S` seconds instead of surfacing ``database is
+locked``.  Using a cache after :meth:`~PersistentEvaluationCache.close`
+(which is idempotent) raises :class:`~repro.errors.EvaluationError`
+with a clear message rather than a raw ``sqlite3.ProgrammingError``.
 """
 
 from __future__ import annotations
@@ -25,7 +41,9 @@ from __future__ import annotations
 import hashlib
 import pickle
 import sqlite3
+import threading
 from collections.abc import Hashable
+from contextlib import contextmanager
 
 from repro.errors import EvaluationError
 
@@ -39,6 +57,11 @@ __all__ = ["PersistentEvaluationCache", "context_fingerprint"]
 #: ``DesignTimeline`` (new ``campaign``/``phase_starts`` fields — old
 #: pickles lack them, so they must not be served).
 _PIPELINE_VERSION = b"repro-evaluation-pipeline-v3"
+
+#: How long a contended statement retries before sqlite gives up with
+#: ``database is locked`` — generous, because a competing writer only
+#: holds the lock for one small INSERT/UPDATE plus commit.
+_BUSY_TIMEOUT_S = 10.0
 
 
 def context_fingerprint(*parts: object) -> str:
@@ -106,8 +129,28 @@ class PersistentEvaluationCache:
         self.max_entries = max_entries
         self.max_bytes = max_bytes
         self._seq: int | None = None
+        # One instance may be shared across service threads: the lock
+        # serialises every statement+commit pair, and the connection is
+        # opened thread-agnostic (sqlite objects are only ever touched
+        # under the lock).  `timeout` is sqlite's busy timeout: writes
+        # contending with another *process* on the same file retry
+        # instead of raising `database is locked`.
+        self._lock = threading.Lock()
+        self._closed = False
         try:
-            self._conn = sqlite3.connect(self.path)
+            self._conn = sqlite3.connect(
+                self.path, check_same_thread=False, timeout=_BUSY_TIMEOUT_S
+            )
+            # WAL lets concurrent readers proceed while one process
+            # writes; best-effort because some filesystems (network
+            # mounts) refuse it — the busy timeout still applies then.
+            try:
+                self._conn.execute("PRAGMA journal_mode=WAL")
+            except sqlite3.Error:
+                pass
+            self._conn.execute(
+                f"PRAGMA busy_timeout={int(_BUSY_TIMEOUT_S * 1000)}"
+            )
             self._conn.execute(
                 "CREATE TABLE IF NOT EXISTS entries ("
                 "  scope TEXT NOT NULL,"
@@ -129,17 +172,36 @@ class PersistentEvaluationCache:
             row[1]
             for row in self._conn.execute("PRAGMA table_info(entries)")
         }
-        if "used_seq" not in columns:
-            self._conn.execute(
-                "ALTER TABLE entries ADD COLUMN used_seq INTEGER NOT NULL DEFAULT 0"
-            )
-        if "size_bytes" not in columns:
-            self._conn.execute(
-                "ALTER TABLE entries ADD COLUMN size_bytes INTEGER NOT NULL DEFAULT 0"
-            )
-            self._conn.execute(
-                "UPDATE entries SET size_bytes = LENGTH(payload)"
-            )
+        try:
+            if "used_seq" not in columns:
+                self._conn.execute(
+                    "ALTER TABLE entries ADD COLUMN used_seq INTEGER NOT NULL DEFAULT 0"
+                )
+            if "size_bytes" not in columns:
+                self._conn.execute(
+                    "ALTER TABLE entries ADD COLUMN size_bytes INTEGER NOT NULL DEFAULT 0"
+                )
+                self._conn.execute(
+                    "UPDATE entries SET size_bytes = LENGTH(payload)"
+                )
+        except sqlite3.OperationalError as exc:
+            # Two processes opening one pre-LRU file race the ALTERs;
+            # the loser's "duplicate column name" means the winner
+            # already migrated — not an error.
+            if "duplicate column name" not in str(exc):
+                raise
+
+    @contextmanager
+    def _locked(self, operation: str):
+        """Serialise one statement+commit; reject use after close."""
+        with self._lock:
+            if self._closed:
+                raise EvaluationError(
+                    f"evaluation cache at {self.path!r} is closed; "
+                    f"cannot {operation} (create a new "
+                    "PersistentEvaluationCache to reopen it)"
+                )
+            yield
 
     @staticmethod
     def entry_key(fingerprint: str, *parts: Hashable) -> str:
@@ -164,26 +226,27 @@ class PersistentEvaluationCache:
         A hit refreshes the entry's recency (best effort), so hot
         entries survive LRU trimming.
         """
-        try:
-            row = self._conn.execute(
-                "SELECT payload FROM entries WHERE scope = ? AND key = ?",
-                (scope, key),
-            ).fetchone()
-        except sqlite3.Error as exc:
-            raise EvaluationError(
-                f"evaluation cache read failed ({self.path!r}): {exc}"
-            ) from exc
-        if row is not None:
-            # Recency tracking must not turn reads into hard writes: a
-            # read-only or contended cache file still serves hits.
+        with self._locked("get"):
             try:
-                self._conn.execute(
-                    "UPDATE entries SET used_seq = ? WHERE scope = ? AND key = ?",
-                    (self._next_seq(), scope, key),
-                )
-                self._conn.commit()
-            except sqlite3.Error:
-                pass
+                row = self._conn.execute(
+                    "SELECT payload FROM entries WHERE scope = ? AND key = ?",
+                    (scope, key),
+                ).fetchone()
+            except sqlite3.Error as exc:
+                raise EvaluationError(
+                    f"evaluation cache read failed ({self.path!r}): {exc}"
+                ) from exc
+            if row is not None:
+                # Recency tracking must not turn reads into hard writes: a
+                # read-only or contended cache file still serves hits.
+                try:
+                    self._conn.execute(
+                        "UPDATE entries SET used_seq = ? WHERE scope = ? AND key = ?",
+                        (self._next_seq(), scope, key),
+                    )
+                    self._conn.commit()
+                except sqlite3.Error:
+                    pass
         if row is None:
             return None
         try:
@@ -200,39 +263,41 @@ class PersistentEvaluationCache:
         evicted until the store fits again.
         """
         payload = pickle.dumps(value, protocol=4)
-        try:
-            self._conn.execute(
-                "INSERT OR REPLACE INTO entries "
-                "(scope, key, payload, used_seq, size_bytes) "
-                "VALUES (?, ?, ?, ?, ?)",
-                (scope, key, sqlite3.Binary(payload), self._next_seq(), len(payload)),
-            )
-            self._trim_locked(self.max_entries, self.max_bytes)
-            self._conn.commit()
-        except sqlite3.Error as exc:
-            raise EvaluationError(
-                f"evaluation cache write failed ({self.path!r}): {exc}"
-            ) from exc
+        with self._locked("put"):
+            try:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO entries "
+                    "(scope, key, payload, used_seq, size_bytes) "
+                    "VALUES (?, ?, ?, ?, ?)",
+                    (scope, key, sqlite3.Binary(payload), self._next_seq(), len(payload)),
+                )
+                self._trim_locked(self.max_entries, self.max_bytes)
+                self._conn.commit()
+            except sqlite3.Error as exc:
+                raise EvaluationError(
+                    f"evaluation cache write failed ({self.path!r}): {exc}"
+                ) from exc
 
     # -- maintenance ----------------------------------------------------------
 
     def stats(self) -> dict:
         """Entry/byte counts, total and per scope (plus the bounds)."""
-        try:
-            total, total_bytes = self._conn.execute(
-                "SELECT COUNT(*), IFNULL(SUM(size_bytes), 0) FROM entries"
-            ).fetchone()
-            scopes = {
-                scope: {"entries": count, "bytes": size}
-                for scope, count, size in self._conn.execute(
-                    "SELECT scope, COUNT(*), IFNULL(SUM(size_bytes), 0) "
-                    "FROM entries GROUP BY scope ORDER BY scope"
-                )
-            }
-        except sqlite3.Error as exc:
-            raise EvaluationError(
-                f"evaluation cache stats failed ({self.path!r}): {exc}"
-            ) from exc
+        with self._locked("stats"):
+            try:
+                total, total_bytes = self._conn.execute(
+                    "SELECT COUNT(*), IFNULL(SUM(size_bytes), 0) FROM entries"
+                ).fetchone()
+                scopes = {
+                    scope: {"entries": count, "bytes": size}
+                    for scope, count, size in self._conn.execute(
+                        "SELECT scope, COUNT(*), IFNULL(SUM(size_bytes), 0) "
+                        "FROM entries GROUP BY scope ORDER BY scope"
+                    )
+                }
+            except sqlite3.Error as exc:
+                raise EvaluationError(
+                    f"evaluation cache stats failed ({self.path!r}): {exc}"
+                ) from exc
         return {
             "path": self.path,
             "entries": int(total),
@@ -259,13 +324,14 @@ class PersistentEvaluationCache:
             clauses.append("key LIKE ?")
             params.append(f"({fingerprint!r},%")
         where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
-        try:
-            cursor = self._conn.execute(f"DELETE FROM entries{where}", params)
-            self._conn.commit()
-        except sqlite3.Error as exc:
-            raise EvaluationError(
-                f"evaluation cache purge failed ({self.path!r}): {exc}"
-            ) from exc
+        with self._locked("purge"):
+            try:
+                cursor = self._conn.execute(f"DELETE FROM entries{where}", params)
+                self._conn.commit()
+            except sqlite3.Error as exc:
+                raise EvaluationError(
+                    f"evaluation cache purge failed ({self.path!r}): {exc}"
+                ) from exc
         return cursor.rowcount
 
     def trim(
@@ -284,13 +350,14 @@ class PersistentEvaluationCache:
                 raise EvaluationError(f"{name} must be >= 1, got {bound}")
         if max_entries is None and max_bytes is None:
             return 0
-        try:
-            removed = self._trim_locked(max_entries, max_bytes)
-            self._conn.commit()
-        except sqlite3.Error as exc:
-            raise EvaluationError(
-                f"evaluation cache trim failed ({self.path!r}): {exc}"
-            ) from exc
+        with self._locked("trim"):
+            try:
+                removed = self._trim_locked(max_entries, max_bytes)
+                self._conn.commit()
+            except sqlite3.Error as exc:
+                raise EvaluationError(
+                    f"evaluation cache trim failed ({self.path!r}): {exc}"
+                ) from exc
         return removed
 
     def _trim_locked(
@@ -338,13 +405,28 @@ class PersistentEvaluationCache:
         return removed
 
     def __len__(self) -> int:
-        return int(
-            self._conn.execute("SELECT COUNT(*) FROM entries").fetchone()[0]
-        )
+        with self._locked("count"):
+            return int(
+                self._conn.execute("SELECT COUNT(*) FROM entries").fetchone()[0]
+            )
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
 
     def close(self) -> None:
-        """Close the underlying connection (idempotent)."""
-        self._conn.close()
+        """Close the underlying connection (idempotent).
+
+        Any later ``get``/``put``/``stats``/``trim``/``purge`` raises
+        :class:`~repro.errors.EvaluationError` instead of a raw
+        ``sqlite3.ProgrammingError``.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._conn.close()
 
     def __enter__(self) -> "PersistentEvaluationCache":
         return self

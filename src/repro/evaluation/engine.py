@@ -51,6 +51,22 @@ Executors
     ``concurrent.futures.ProcessPoolExecutor``; one chunk per task.
 Custom executors implement :class:`Executor` (a ``run(fn, batches)``
 method returning results in batch order) and can be passed directly.
+
+Warm pools
+----------
+The pool executors accept ``persistent=True``: instead of spawning a
+fresh pool per ``run`` call, one pool is created lazily and reused
+until :meth:`Executor.close` — the substrate of the resident evaluation
+service (``repro serve``), where pool spawn and worker re-priming would
+otherwise dominate every request.  A persistent
+:class:`ProcessExecutor` keeps its workers primed: the engine retains
+the shared-memory segment for the pool's lifetime (so late-spawned
+workers can still attach) and re-primes through the same initializer
+when the pool is recycled.  A worker death (``BrokenExecutor``) in
+persistent mode recycles the pool — shutdown, respawn, re-run the
+initializer — and retries the dispatch once; chunk evaluation is pure
+and deterministic, so the retry is byte-identical to an undisturbed
+run.  Results with a warm pool are byte-identical to per-call pools.
 """
 
 from __future__ import annotations
@@ -109,18 +125,41 @@ class SerialExecutor(Executor):
 
 
 class _PoolExecutor(Executor):
-    """Shared pool plumbing: ordered submit/collect over a futures pool."""
+    """Shared pool plumbing: ordered submit/collect over a futures pool.
+
+    With ``persistent=False`` (the default) every :meth:`run` spawns a
+    fresh pool and tears it down afterwards.  With ``persistent=True``
+    one pool is created lazily, kept warm across calls, recycled (with
+    one automatic retry of the interrupted dispatch) when a worker dies,
+    and torn down by :meth:`close` — see the module docstring.
+    """
 
     _pool_factory: Callable[..., Any]
 
-    def __init__(self, max_workers: int | None = None) -> None:
+    def __init__(
+        self, max_workers: int | None = None, persistent: bool = False
+    ) -> None:
         if max_workers is not None:
             check_positive_int(max_workers, "max_workers")
         self.max_workers = max_workers or os.cpu_count() or 1
+        self.persistent = bool(persistent)
+        self._pool = None
+        #: Identity of the priming the current pool was built with; a
+        #: differing key on the next primed dispatch recycles the pool.
+        self._pool_key: object = None
+        self._initializer: Callable[..., None] | None = None
+        self._initargs: tuple = ()
+        #: Pools recycled after a worker death (observability counter).
+        self.recycle_count = 0
 
     def run(self, fn: Callable[..., Any], batches: Sequence[tuple]) -> list:
         if not batches:
             return []
+        if self.persistent:
+            # Reuse the warm pool (whatever it is primed with — the
+            # initializer only populates worker globals); even a single
+            # batch goes through it, that is the point of keeping it.
+            return self._run_persistent(fn, batches)
         if len(batches) == 1:
             # A single batch gains nothing from a pool; skip the spawn.
             return [fn(*batches[0])]
@@ -133,12 +172,22 @@ class _PoolExecutor(Executor):
         batches: Sequence[tuple],
         initializer: Callable[..., None],
         initargs: tuple,
+        key: object = None,
     ) -> list:
         """Like :meth:`run`, but every pool worker runs *initializer*
         first (the shared-memory attach of the structure-sharing
-        pipeline) — so the pool is spawned even for a single batch."""
+        pipeline) — so the pool is spawned even for a single batch.
+
+        In persistent mode *key* identifies the priming: the warm pool
+        is reused while the key matches and recycled (respawn +
+        re-initialize) when it changes.  A ``None`` key never matches,
+        so keyless primed dispatches conservatively recycle.
+        """
         if not batches:
             return []
+        if self.persistent:
+            self._prime(initializer, initargs, key)
+            return self._run_persistent(fn, batches)
         with self._pool_factory(
             max_workers=self.max_workers,
             initializer=initializer,
@@ -146,8 +195,78 @@ class _PoolExecutor(Executor):
         ) as pool:
             return self._collect(pool, fn, batches)
 
+    # -- persistent-pool lifecycle -------------------------------------------
+
+    def _prime(
+        self, initializer: Callable[..., None], initargs: tuple, key: object
+    ) -> None:
+        """Adopt a worker priming; a changed key recycles the pool."""
+        if self._pool is not None and (key is None or key != self._pool_key):
+            self._shutdown_pool()
+        self._initializer = initializer
+        self._initargs = initargs
+        self._pool_key = key
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            kwargs: dict[str, Any] = {"max_workers": self.max_workers}
+            if self._initializer is not None:
+                kwargs["initializer"] = self._initializer
+                kwargs["initargs"] = self._initargs
+            self._pool = self._pool_factory(**kwargs)
+        return self._pool
+
+    def _run_persistent(self, fn, batches: Sequence[tuple]) -> list:
+        try:
+            return self._collect(self._ensure_pool(), fn, batches)
+        except EvaluationError as exc:
+            if not isinstance(exc.__cause__, BrokenExecutor):
+                raise
+            # A worker died.  Recycle: respawn the pool (fresh workers
+            # re-run the stored initializer, re-priming from the
+            # still-alive shared segment) and retry the whole dispatch
+            # once — chunk evaluation is pure and deterministic, so
+            # re-running already-finished batches cannot change results.
+            self._shutdown_pool()
+            self.recycle_count += 1
+            try:
+                return self._collect(self._ensure_pool(), fn, batches)
+            except EvaluationError as retry_exc:
+                if isinstance(retry_exc.__cause__, BrokenExecutor):
+                    # Broke twice in a row: something systematic (a
+                    # failing initializer, OOM); leave no zombie pool.
+                    self._shutdown_pool()
+                raise
+
+    def _shutdown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def close(self) -> None:
+        """Tear down the persistent pool (idempotent, safe either mode)."""
+        self._shutdown_pool()
+        self._initializer = None
+        self._initargs = ()
+        self._pool_key = None
+
+    def __enter__(self) -> "_PoolExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def _collect(self, pool, fn, batches: Sequence[tuple]) -> list:
-        futures = [pool.submit(fn, *batch) for batch in batches]
+        try:
+            futures = [pool.submit(fn, *batch) for batch in batches]
+        except BrokenExecutor as exc:
+            # The pool can already be broken at submit time (a worker
+            # died while the pool sat idle between persistent runs).
+            raise EvaluationError(
+                f"{self.name} pool broke before dispatching "
+                f"{len(batches)} batch(es); a worker died while the "
+                f"pool was idle: {exc!r}"
+            ) from exc
         results = []
         for position, future in enumerate(futures):
             try:
@@ -222,15 +341,30 @@ def _resolve_executor(
     return factory(max_workers)
 
 
+#: Design labels quoted in failure messages before eliding the rest; a
+#: large chunk would otherwise inflate the exception with every label.
+_MAX_BATCH_LABELS = 8
+
+
 def _batch_labels(batch: tuple) -> str:
-    """Human-readable design labels hidden inside an argument batch."""
+    """Human-readable design labels hidden inside an argument batch.
+
+    Bounded: at most :data:`_MAX_BATCH_LABELS` labels are spelled out,
+    the rest collapse into an "… and N more" suffix.
+    """
     for element in reversed(batch):
         if isinstance(element, (list, tuple)) and element:
+            items = list(element)
             labels = [
-                getattr(item, "label", None) for item in list(element)[:3]
+                getattr(item, "label", None)
+                for item in items[:_MAX_BATCH_LABELS]
             ]
             if all(label is not None for label in labels):
-                more = "" if len(element) <= 3 else ", ..."
+                more = (
+                    ""
+                    if len(items) <= _MAX_BATCH_LABELS
+                    else f", … and {len(items) - _MAX_BATCH_LABELS} more"
+                )
                 return f" (designs: {', '.join(labels)}{more})"
     return ""
 
@@ -406,6 +540,13 @@ class SweepEngine:
         self._hits = 0
         self._misses = 0
         self._disk_hits = 0
+        # Warm-pool (persistent executor) state: the retained
+        # shared-memory context and the deduped designs folded into it.
+        # The segment must outlive each dispatch so late-spawned or
+        # recycled workers can still attach and re-prime.
+        self._warm_context = None
+        self._warm_designs: list[DesignSpec] = []
+        self._warm_design_set: set[DesignSpec] = set()
 
     # -- sweeping -----------------------------------------------------------
 
@@ -572,6 +713,35 @@ class SweepEngine:
             results.extend(chunk_result)
         return results
 
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release warm-pool resources (idempotent).
+
+        Unlinks the retained shared-memory segment, shuts down the
+        executor's persistent pool (per-call pools have nothing to shut
+        down) and closes the persistent disk cache.  The engine remains
+        usable for serial evaluation afterwards, but warm-pool engines
+        should be treated as spent — use the context-manager form::
+
+            with SweepEngine(executor=ProcessExecutor(persistent=True)) as engine:
+                engine.evaluate(designs)
+        """
+        if self._warm_context is not None:
+            self._warm_context.unlink()
+            self._warm_context = None
+        closer = getattr(self.executor, "close", None)
+        if callable(closer):
+            closer()
+        if self.persistent_cache is not None:
+            self.persistent_cache.close()
+
+    def __enter__(self) -> "SweepEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # -- cache bookkeeping ----------------------------------------------------
 
     def clear_cache(self) -> None:
@@ -617,15 +787,20 @@ class SweepEngine:
             )
         return self._security_evaluator, self._availability_evaluator
 
+    @property
+    def _persistent_pool(self) -> bool:
+        """Whether the executor keeps a warm pool across dispatches."""
+        return bool(getattr(self.executor, "persistent", False))
+
     def _use_shared_memory(self, chunks: Sequence[Sequence[Any]]) -> bool:
         """Whether this dispatch goes through the shared-memory pool."""
         return (
             self.structure_sharing
             and isinstance(self.executor, ProcessExecutor)
-            and len(chunks) > 1
+            and (len(chunks) > 1 or self._persistent_pool)
         )
 
-    def _shared_context(self, chunks: Sequence[Sequence[Any]]):
+    def _shared_context(self, designs: Sequence[Any]):
         from repro.evaluation.shared_memory import SharedSweepContext
 
         _, availability = self._shared_evaluators()
@@ -633,9 +808,35 @@ class SweepEngine:
             self.case_study,
             self.policy,
             self.database,
-            [design for chunk in chunks for design in chunk],
+            designs,
             evaluator=availability,
         )
+
+    def _warm_shared_context(self, designs: Sequence[Any]):
+        """The retained context for warm-pool dispatches.
+
+        Reused as long as it covers every design of this dispatch (the
+        common case: repeated sweeps over one space).  A design bringing
+        a new role, variant or transition pattern rebuilds the context
+        over everything seen so far — the parent-side evaluator caches
+        make that incremental — and the changed segment name recycles
+        the pool, so fresh workers re-prime with the superset.
+        """
+        if self._warm_context is not None and self._warm_context.covers(
+            designs
+        ):
+            return self._warm_context
+        for design in designs:
+            if design not in self._warm_design_set:
+                self._warm_design_set.add(design)
+                self._warm_designs.append(design)
+        previous = self._warm_context
+        self._warm_context = self._shared_context(self._warm_designs)
+        if previous is not None:
+            # Old workers copied the arrays out at initialization; only
+            # *new* workers attach, and they will use the new segment.
+            previous.unlink()
+        return self._warm_context
 
     def _run_evaluate_chunks(self, chunks: Sequence[Sequence[Any]]) -> list:
         if not self.structure_sharing:
@@ -645,21 +846,11 @@ class SweepEngine:
             ]
             return self.executor.run(_evaluate_chunk, batches)
         if self._use_shared_memory(chunks):
-            from repro.evaluation.shared_memory import (
-                initialize_worker,
-                shared_evaluate_chunk,
-            )
+            from repro.evaluation.shared_memory import shared_evaluate_chunk
 
-            context = self._shared_context(chunks)
-            try:
-                return self.executor.run_with_initializer(
-                    shared_evaluate_chunk,
-                    [(chunk,) for chunk in chunks],
-                    initializer=initialize_worker,
-                    initargs=(context.worker_payload(),),
-                )
-            finally:
-                context.unlink()
+            return self._run_shared_memory(
+                shared_evaluate_chunk, [(chunk,) for chunk in chunks], chunks
+            )
         security, availability = self._shared_evaluators()
         fn = partial(
             _evaluate_chunk_primed,
@@ -669,6 +860,44 @@ class SweepEngine:
             self.policy,
         )
         return self.executor.run(fn, [(chunk,) for chunk in chunks])
+
+    def _run_shared_memory(
+        self,
+        fn: Callable[..., Any],
+        batches: Sequence[tuple],
+        chunks: Sequence[Sequence[Any]],
+    ) -> list:
+        """Dispatch *batches* through the shared-memory process pool.
+
+        Per-call pools build a context for exactly this dispatch and
+        unlink it once the pool has drained.  A persistent (warm) pool
+        instead reuses the engine-retained context, keyed by its segment
+        name: an unchanged key keeps the primed workers, a changed one
+        recycles the pool so fresh workers re-prime from the new
+        segment; the retained segment is released by :meth:`close`.
+        """
+        from repro.evaluation.shared_memory import initialize_worker
+
+        designs = [design for chunk in chunks for design in chunk]
+        if self._persistent_pool:
+            context = self._warm_shared_context(designs)
+            return self.executor.run_with_initializer(
+                fn,
+                batches,
+                initializer=initialize_worker,
+                initargs=(context.worker_payload(),),
+                key=context.segment_name,
+            )
+        context = self._shared_context(designs)
+        try:
+            return self.executor.run_with_initializer(
+                fn,
+                batches,
+                initializer=initialize_worker,
+                initargs=(context.worker_payload(),),
+            )
+        finally:
+            context.unlink()
 
     def _run_timeline_chunks(
         self,
@@ -693,24 +922,13 @@ class SweepEngine:
             ]
             return self.executor.run(_timeline_chunk, batches)
         if self._use_shared_memory(chunks):
-            from repro.evaluation.shared_memory import (
-                initialize_worker,
-                shared_timeline_chunk,
-            )
+            from repro.evaluation.shared_memory import shared_timeline_chunk
 
-            context = self._shared_context(chunks)
-            try:
-                return self.executor.run_with_initializer(
-                    shared_timeline_chunk,
-                    [
-                        (times_key, tolerance, chunk, campaign)
-                        for chunk in chunks
-                    ],
-                    initializer=initialize_worker,
-                    initargs=(context.worker_payload(),),
-                )
-            finally:
-                context.unlink()
+            return self._run_shared_memory(
+                shared_timeline_chunk,
+                [(times_key, tolerance, chunk, campaign) for chunk in chunks],
+                chunks,
+            )
         security, availability = self._shared_evaluators()
         fn = partial(
             _timeline_chunk_primed,

@@ -1,4 +1,10 @@
-"""Text renderings of the paper's tables (Tables I, II, V) and summaries."""
+"""Text renderings of the paper's tables (Tables I, II, V) and summaries,
+plus the canonical JSON payload of a design evaluation.
+
+:func:`design_payload` is shared by the ``repro sweep`` CLI and the
+evaluation service (``repro serve``), so their JSON outputs agree by
+construction.
+"""
 
 from __future__ import annotations
 
@@ -15,7 +21,37 @@ __all__ = [
     "security_metrics_table",
     "aggregated_rates_table",
     "design_comparison_table",
+    "snapshot_payload",
+    "design_payload",
 ]
+
+
+def snapshot_payload(snapshot) -> dict:
+    """JSON-ready dict of one before/after security+COA snapshot."""
+    payload = snapshot.security.as_dict()
+    payload["COA"] = snapshot.coa
+    return payload
+
+
+def design_payload(evaluation: DesignEvaluation, on_front: bool) -> dict:
+    """The canonical JSON-ready dict of one design evaluation.
+
+    *on_front* flags membership of the after-patch Pareto front (the
+    caller computes the front over the whole result set).
+    """
+    from repro.enterprise import HeterogeneousDesign
+
+    payload = {
+        "label": evaluation.label,
+        "counts": evaluation.design.counts,
+        "total_servers": evaluation.design.total_servers,
+        "before": snapshot_payload(evaluation.before),
+        "after": snapshot_payload(evaluation.after),
+        "pareto": on_front,
+    }
+    if isinstance(evaluation.design, HeterogeneousDesign):
+        payload["variants"] = evaluation.design.tiers()
+    return payload
 
 
 def format_table(

@@ -1,0 +1,772 @@
+"""Resident evaluation service: a warm :class:`SweepEngine` behind HTTP.
+
+The CLI pays the full start-up bill on every invocation — interpreter,
+case-study solves, process-pool spawn, shared-memory priming.  This
+module keeps all of that resident: one :class:`EvaluationService` owns
+one warm :class:`~repro.evaluation.engine.SweepEngine` (persistent
+worker pool, retained shared-memory segment, in-memory and optional
+sqlite result caches) and fronts it with a small asyncio HTTP/JSON API
+(stdlib only), multiplexing many concurrent sweep/timeline requests
+over the single engine.
+
+Endpoints
+---------
+``POST /sweep``
+    Body ``{"roles": [...], "max_replicas": N, "max_total": N|null,
+    "variants": bool, "max_designs": N}`` (all optional; defaults match
+    the CLI).  Responds with exactly the payload ``repro sweep --json``
+    prints (modulo the ``executor`` field naming the service's
+    executor) — both go through :func:`sweep_response`.
+``POST /timeline``
+    The sweep fields plus ``{"horizon": H, "points": P}`` or an
+    explicit ``"times": [...]``, and optionally a staged rollout as
+    ``"campaign": {...}`` (JSON spec) or ``"phases": "name:mult[:trig
+    [:canary]],..."`` shorthand (mutually exclusive).  Responds with
+    the ``repro timeline --json`` payload (:func:`timeline_response`).
+``GET /healthz``
+    Liveness plus observability: uptime, engine/pool state (executor,
+    structure sharing, pool recycles, cache hit counters) and the
+    per-endpoint request/latency/cache counters.
+``GET /metrics``
+    Just the counters and latency aggregates.
+
+Request semantics
+-----------------
+* **Queueing.**  All engine work runs on one dedicated compute thread
+  (the engine is not thread-safe); requests queue FIFO behind it while
+  the asyncio loop keeps accepting connections and serving
+  ``/healthz``.
+* **Budgets.**  Every request's enumerated design count is checked
+  against the service budget (``max_designs``, default
+  :data:`DEFAULT_MAX_DESIGNS`); a request may lower — never raise — its
+  own budget with a ``max_designs`` field.  Over budget is a 400, not a
+  queue entry.
+* **Dedup.**  Requests are canonicalised (defaults filled, grids
+  resolved) and fingerprinted; identical in-flight requests share one
+  computation — one engine call, many responders.  Completed responses
+  are kept in a small FIFO memory, so repeats are served without
+  touching the compute queue at all; behind both sits the engine's
+  in-memory memo and (when configured) the thread-safe sqlite store of
+  :mod:`repro.evaluation.cache`.
+* **Resilience.**  A killed pool worker surfaces as one recycled pool
+  (respawn + re-prime + one retry) inside the engine, not as a failed
+  request; ``pool_recycles`` in ``/healthz`` counts the occurrences.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from collections.abc import Sequence
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+
+from repro.errors import EvaluationError, ReproError, ValidationError
+
+__all__ = [
+    "DEFAULT_MAX_DESIGNS",
+    "DEFAULT_PORT",
+    "EvaluationService",
+    "ServiceClient",
+    "sweep_response",
+    "timeline_response",
+]
+
+#: Default design-count budget per request.
+DEFAULT_MAX_DESIGNS = 512
+
+#: Default TCP port of ``repro serve``.
+DEFAULT_PORT = 8351
+
+#: Version of the ``timeline`` JSON schema (shared with the CLI).
+#: Version 2 added ``schema_version`` itself plus the campaign metadata
+#: (top-level ``campaign``, per-design ``phase_starts``); consumers
+#: should treat a payload without the field as version 1.
+TIMELINE_SCHEMA_VERSION = 2
+
+#: Completed responses remembered for the fast path (FIFO-bounded; a
+#: fallen-out entry recomputes through the engine memo, still cheap).
+_MAX_REMEMBERED_RESPONSES = 128
+
+#: Hard cap on request body size (a design-space spec is tiny).
+_MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+}
+
+
+# -- response envelopes (shared with the CLI) ---------------------------------
+
+
+def sweep_response(
+    roles: Sequence[str],
+    max_replicas: int,
+    max_total: int | None,
+    variants: bool,
+    executor_name: str,
+    evaluations,
+) -> dict:
+    """The canonical ``sweep`` JSON payload (CLI and service)."""
+    from repro.evaluation.report import design_payload
+    from repro.evaluation.sweep import pareto_front
+
+    front = {id(e) for e in pareto_front(evaluations, after_patch=True)}
+    return {
+        "roles": list(roles),
+        "max_replicas": max_replicas,
+        "max_total": max_total,
+        "variants": bool(variants),
+        "executor": executor_name,
+        "design_count": len(evaluations),
+        "designs": [
+            design_payload(evaluation, id(evaluation) in front)
+            for evaluation in evaluations
+        ],
+    }
+
+
+def timeline_response(
+    roles: Sequence[str],
+    max_replicas: int,
+    max_total: int | None,
+    variants: bool,
+    executor_name: str,
+    campaign,
+    times: Sequence[float],
+    timelines,
+) -> dict:
+    """The canonical ``timeline`` JSON payload (CLI and service)."""
+    from repro.evaluation.timeline import timeline_payload
+
+    return {
+        "schema_version": TIMELINE_SCHEMA_VERSION,
+        "roles": list(roles),
+        "max_replicas": max_replicas,
+        "max_total": max_total,
+        "variants": bool(variants),
+        "executor": executor_name,
+        "campaign": campaign.to_dict() if campaign is not None else None,
+        "times": list(times),
+        "design_count": len(timelines),
+        "designs": [timeline_payload(timeline) for timeline in timelines],
+    }
+
+
+# -- request normalisation ----------------------------------------------------
+
+_SPACE_FIELDS = {"roles", "max_replicas", "max_total", "variants", "max_designs"}
+_TIMELINE_FIELDS = _SPACE_FIELDS | {
+    "horizon",
+    "points",
+    "times",
+    "campaign",
+    "phases",
+}
+
+
+def _require_fields(payload: dict, allowed: set, endpoint: str) -> None:
+    unknown = sorted(set(payload) - allowed)
+    if unknown:
+        raise ValidationError(
+            f"unknown {endpoint} request field(s) {unknown}; "
+            f"allowed: {sorted(allowed)}"
+        )
+
+
+def _parse_roles(value: object) -> list[str]:
+    if value is None:
+        value = ["dns", "web", "app", "db"]
+    if isinstance(value, str):
+        value = [part.strip() for part in value.split(",")]
+    if not isinstance(value, (list, tuple)) or not all(
+        isinstance(role, str) for role in value
+    ):
+        raise ValidationError(
+            "roles must be a list of role names (or one comma-separated string)"
+        )
+    roles = list(dict.fromkeys(role for role in value if role))
+    if not roles:
+        raise ValidationError("no roles given")
+    return roles
+
+
+def _parse_count(value: object, name: str, default: int | None) -> int | None:
+    if value is None:
+        return default
+    if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+        raise ValidationError(f"{name} must be a positive integer, got {value!r}")
+    return value
+
+
+def _normalize_space(payload: dict) -> dict:
+    """Fill defaults and validate the design-space half of a request."""
+    return {
+        "roles": _parse_roles(payload.get("roles")),
+        "max_replicas": _parse_count(payload.get("max_replicas"), "max_replicas", 2),
+        "max_total": _parse_count(payload.get("max_total"), "max_total", None),
+        "variants": bool(payload.get("variants", False)),
+    }
+
+
+def _parse_times(payload: dict) -> tuple[float, ...]:
+    """The resolved time grid of a timeline request."""
+    from repro.evaluation.timeline import default_time_grid
+
+    times = payload.get("times")
+    if times is not None:
+        if not isinstance(times, (list, tuple)) or not times:
+            raise ValidationError("times must be a non-empty list of hours")
+        try:
+            return tuple(float(t) for t in times)
+        except (TypeError, ValueError) as exc:
+            raise ValidationError(f"bad time grid: {exc}") from exc
+    horizon = payload.get("horizon", 720.0)
+    points = payload.get("points", 24)
+    if not isinstance(horizon, (int, float)) or isinstance(horizon, bool):
+        raise ValidationError(f"horizon must be a number, got {horizon!r}")
+    if isinstance(points, bool) or not isinstance(points, int):
+        raise ValidationError(f"points must be an integer, got {points!r}")
+    return default_time_grid(float(horizon), points)
+
+
+def _parse_campaign(payload: dict):
+    """The request's staged rollout (``campaign`` spec or ``phases``)."""
+    from repro.patching.campaign import PatchCampaign
+
+    campaign, phases = payload.get("campaign"), payload.get("phases")
+    if campaign is not None and phases is not None:
+        raise ValidationError("campaign and phases are mutually exclusive")
+    if campaign is not None:
+        return PatchCampaign.from_dict(campaign)
+    if phases is not None:
+        if not isinstance(phases, str):
+            raise ValidationError(
+                "phases must be a shorthand string like 'canary:0.1:48,fleet:1.0'"
+            )
+        return PatchCampaign.parse(phases)
+    return None
+
+
+# -- the service --------------------------------------------------------------
+
+
+class EvaluationService:
+    """One warm sweep engine behind an asyncio HTTP/JSON API.
+
+    Parameters
+    ----------
+    case_study / policy:
+        Evaluation context (defaults: the paper's).
+    executor:
+        ``"process"`` (default) or ``"thread"`` build a *persistent*
+        pool executor — the warm pool the service exists for;
+        ``"serial"`` runs in-process (useful for tests); an
+        :class:`~repro.evaluation.engine.Executor` instance is used
+        as-is.
+    max_workers / chunk_size / structure_sharing / cache_path:
+        Passed through to the engine (``cache_path`` enables the
+        thread-safe sqlite result store shared across restarts).
+    max_designs:
+        Per-request design-count budget (:data:`DEFAULT_MAX_DESIGNS`).
+
+    Use :meth:`run` to serve blocking (the CLI), or
+    :meth:`start_in_thread`/:meth:`stop` for an in-process instance
+    (tests); :meth:`close` releases the engine's warm pool, segment and
+    cache.
+    """
+
+    def __init__(
+        self,
+        case_study=None,
+        policy=None,
+        executor="process",
+        max_workers: int | None = None,
+        chunk_size: int | None = None,
+        structure_sharing: bool = True,
+        cache_path=None,
+        max_designs: int = DEFAULT_MAX_DESIGNS,
+    ) -> None:
+        from repro._validation import check_positive_int
+        from repro.evaluation.engine import (
+            ProcessExecutor,
+            SweepEngine,
+            ThreadExecutor,
+        )
+        from repro.vulnerability.diversity import diversity_database
+
+        check_positive_int(max_designs, "max_designs")
+        self.max_designs = max_designs
+        if executor == "process":
+            executor = ProcessExecutor(max_workers=max_workers, persistent=True)
+            max_workers = None
+        elif executor == "thread":
+            executor = ThreadExecutor(max_workers=max_workers, persistent=True)
+            max_workers = None
+        # The diversity database serves heterogeneous (variants=true)
+        # requests; homogeneous designs never consult it, so results
+        # match a database-less CLI engine byte for byte.
+        self.engine = SweepEngine(
+            case_study=case_study,
+            policy=policy,
+            executor=executor,
+            max_workers=max_workers,
+            chunk_size=chunk_size,
+            database=diversity_database(),
+            structure_sharing=structure_sharing,
+            cache_path=cache_path,
+        )
+        # One compute thread: the engine is single-threaded by design,
+        # and the thread's FIFO work queue is the request queue.
+        self._compute = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-compute"
+        )
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._responses: dict[str, dict] = {}
+        self._counters = {
+            "requests_total": 0,
+            "dedup_hits": 0,
+            "response_cache_hits": 0,
+            "computed": 0,
+            "errors": 0,
+        }
+        self._latency: dict[str, dict] = {}
+        self._started = time.monotonic()
+        self.address: tuple[str, int] | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def run(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        announce: bool = True,
+    ) -> None:
+        """Serve until interrupted (blocking; the ``repro serve`` body)."""
+        asyncio.run(self._serve(host, port, announce))
+
+    async def _serve(self, host: str, port: int, announce: bool) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        server = await asyncio.start_server(self._handle, host, port)
+        self.address = server.sockets[0].getsockname()[:2]
+        if announce:
+            print(
+                f"repro serve: http://{self.address[0]}:{self.address[1]} "
+                f"(endpoints: POST /sweep, POST /timeline, GET /healthz; "
+                f"executor {self.engine.executor.name}, "
+                f"budget {self.max_designs} designs/request)",
+                flush=True,
+            )
+        async with server:
+            await self._stop_event.wait()
+
+    def start_in_thread(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> "ServiceClient":
+        """Serve from a daemon thread; returns a ready client.
+
+        ``port=0`` binds an ephemeral port (see :attr:`address`).  Used
+        by tests and embedding applications; pair with :meth:`stop`.
+        """
+        if self._thread is not None:
+            raise EvaluationError("service already started")
+        started = threading.Event()
+
+        def _target() -> None:
+            async def _main() -> None:
+                started.set()
+                await self._serve(host, port, announce=False)
+
+            asyncio.run(_main())
+
+        self._thread = threading.Thread(
+            target=_target, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not started.wait(timeout=30.0):  # pragma: no cover - defensive
+            raise EvaluationError("service thread failed to start")
+        # The event fires just before the socket binds; poll readiness.
+        deadline = time.monotonic() + 30.0
+        while self.address is None:
+            if time.monotonic() > deadline:  # pragma: no cover - defensive
+                raise EvaluationError("service failed to bind its socket")
+            time.sleep(0.01)
+        client = ServiceClient(self.address[0], self.address[1])
+        client.wait_until_ready(timeout=30.0)
+        return client
+
+    def stop(self) -> None:
+        """Stop a :meth:`start_in_thread` server (idempotent)."""
+        loop, event = self._loop, self._stop_event
+        if loop is not None and event is not None and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(event.set)
+            except RuntimeError:  # loop already closed
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+            self._thread = None
+
+    def close(self) -> None:
+        """Stop serving and release the engine's warm-pool resources."""
+        if self._closed:
+            return
+        self._closed = True
+        self.stop()
+        self._compute.shutdown(wait=True, cancel_futures=True)
+        self.engine.close()
+
+    def __enter__(self) -> "EvaluationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- HTTP plumbing ------------------------------------------------------
+
+    async def _handle(self, reader, writer) -> None:
+        status, payload = 500, {"error": "internal error"}
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                status, payload = 400, {"error": "malformed HTTP request"}
+            else:
+                status, payload = await self._dispatch(*request)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            writer.close()
+            return
+        except Exception as exc:  # never leak a traceback as a hang
+            self._counters["errors"] += 1
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        body = (json.dumps(payload, indent=2) + "\n").encode()
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode()
+        try:
+            writer.write(head + body)
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):  # client went away
+            pass
+
+    @staticmethod
+    async def _read_request(reader):
+        """``(method, path, body)`` of one HTTP/1.1 request, else None."""
+        line = await reader.readline()
+        parts = line.decode("latin1").split()
+        if len(parts) < 2:
+            return None
+        method, target = parts[0].upper(), parts[1]
+        length = 0
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    return None
+        if length < 0 or length > _MAX_BODY_BYTES:
+            return None
+        body = await reader.readexactly(length) if length else b""
+        return method, target.split("?", 1)[0], body
+
+    # -- dispatch -----------------------------------------------------------
+
+    async def _dispatch(self, method: str, path: str, body: bytes):
+        self._counters["requests_total"] += 1
+        if path in ("/healthz", "/metrics"):
+            if method != "GET":
+                return 405, {"error": f"{path} is GET-only"}
+            return 200, (self.healthz() if path == "/healthz" else self.metrics())
+        if path not in ("/sweep", "/timeline"):
+            return 404, {
+                "error": f"unknown path {path!r}; "
+                "endpoints: POST /sweep, POST /timeline, GET /healthz, GET /metrics"
+            }
+        if method != "POST":
+            return 405, {"error": f"{path} is POST-only"}
+        try:
+            request = json.loads(body.decode() or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return 400, {"error": f"invalid JSON body: {exc}"}
+        if not isinstance(request, dict):
+            return 400, {"error": "request body must be a JSON object"}
+        start = time.perf_counter()
+        try:
+            key, job = self._prepare(path, request)
+        except ReproError as exc:
+            self._counters["errors"] += 1
+            return 400, {"error": str(exc)}
+        response = self._responses.get(key)
+        if response is not None:
+            self._counters["response_cache_hits"] += 1
+            self._record_latency(path, time.perf_counter() - start)
+            return 200, response
+        loop = asyncio.get_running_loop()
+        future = self._inflight.get(key)
+        if future is not None:
+            # Identical request already computing: one computation,
+            # many responders.
+            self._counters["dedup_hits"] += 1
+        else:
+            future = loop.create_future()
+            self._inflight[key] = future
+            loop.create_task(self._compute_job(key, job, future))
+        try:
+            response = await future
+        except ReproError as exc:
+            self._counters["errors"] += 1
+            return 500, {"error": str(exc)}
+        self._record_latency(path, time.perf_counter() - start)
+        return 200, response
+
+    async def _compute_job(self, key: str, job, future: asyncio.Future) -> None:
+        """Run *job* on the compute thread; fan the result out."""
+        loop = asyncio.get_running_loop()
+        try:
+            response = await loop.run_in_executor(self._compute, job)
+        except BaseException as exc:
+            self._inflight.pop(key, None)
+            if not future.cancelled():
+                future.set_exception(exc)
+            return
+        self._inflight.pop(key, None)
+        self._counters["computed"] += 1
+        self._remember(key, response)
+        if not future.cancelled():
+            future.set_result(response)
+
+    def _prepare(self, path: str, request: dict):
+        """Canonical dedup key + compute closure of one request.
+
+        Raises :class:`~repro.errors.ReproError` on validation
+        failures, including a blown design-count budget — checked here,
+        before the request can occupy the queue.
+        """
+        allowed = _SPACE_FIELDS if path == "/sweep" else _TIMELINE_FIELDS
+        _require_fields(request, allowed, path.lstrip("/"))
+        space = _normalize_space(request)
+        designs = self._enumerate(space)
+        budget = _parse_count(
+            request.get("max_designs"), "max_designs", self.max_designs
+        )
+        budget = min(budget, self.max_designs)
+        if len(designs) > budget:
+            raise ValidationError(
+                f"request enumerates {len(designs)} designs, over the "
+                f"budget of {budget}; shrink the space or raise the "
+                "service's --max-designs"
+            )
+        canonical = dict(space)
+        if path == "/timeline":
+            times = _parse_times(request)
+            campaign = _parse_campaign(request)
+            canonical["times"] = list(times)
+            canonical["campaign"] = (
+                campaign.to_dict() if campaign is not None else None
+            )
+            job = partial(self._timeline_job, space, designs, times, campaign)
+        else:
+            job = partial(self._sweep_job, space, designs)
+        key = json.dumps(
+            {"endpoint": path, **canonical}, sort_keys=True, default=str
+        )
+        return key, job
+
+    def _enumerate(self, space: dict) -> list:
+        from repro.evaluation.sweep import (
+            enumerate_designs,
+            enumerate_heterogeneous_designs,
+        )
+
+        if space["variants"]:
+            from repro.enterprise import paper_variant_space
+
+            pools = paper_variant_space()
+            unknown = [role for role in space["roles"] if role not in pools]
+            if unknown:
+                raise ValidationError(
+                    f"no variant pool for roles {unknown}; "
+                    f"choose from {sorted(pools)}"
+                )
+            return list(
+                enumerate_heterogeneous_designs(
+                    space["roles"],
+                    {role: pools[role] for role in space["roles"]},
+                    max_replicas=space["max_replicas"],
+                    max_total=space["max_total"],
+                )
+            )
+        return list(
+            enumerate_designs(
+                space["roles"],
+                max_replicas=space["max_replicas"],
+                max_total=space["max_total"],
+            )
+        )
+
+    # The job bodies run on the dedicated compute thread — the only
+    # place the engine is ever touched after construction.
+
+    def _sweep_job(self, space: dict, designs) -> dict:
+        evaluations = self.engine.evaluate(designs)
+        return sweep_response(
+            space["roles"],
+            space["max_replicas"],
+            space["max_total"],
+            space["variants"],
+            self.engine.executor.name,
+            evaluations,
+        )
+
+    def _timeline_job(self, space: dict, designs, times, campaign) -> dict:
+        timelines = self.engine.timeline(designs, times, campaign=campaign)
+        return timeline_response(
+            space["roles"],
+            space["max_replicas"],
+            space["max_total"],
+            space["variants"],
+            self.engine.executor.name,
+            campaign,
+            times,
+            timelines,
+        )
+
+    def _remember(self, key: str, response: dict) -> None:
+        while len(self._responses) >= _MAX_REMEMBERED_RESPONSES:
+            self._responses.pop(next(iter(self._responses)))
+        self._responses[key] = response
+
+    def _record_latency(self, path: str, seconds: float) -> None:
+        stats = self._latency.setdefault(
+            path, {"count": 0, "total_s": 0.0, "max_s": 0.0, "last_s": 0.0}
+        )
+        stats["count"] += 1
+        stats["total_s"] = round(stats["total_s"] + seconds, 6)
+        stats["max_s"] = round(max(stats["max_s"], seconds), 6)
+        stats["last_s"] = round(seconds, 6)
+
+    # -- observability ------------------------------------------------------
+
+    def metrics(self) -> dict:
+        """Request/cache counters and per-endpoint latency aggregates."""
+        return {
+            "counters": dict(self._counters, in_flight=len(self._inflight)),
+            "latency": {path: dict(stats) for path, stats in self._latency.items()},
+        }
+
+    def healthz(self) -> dict:
+        """Liveness plus engine/pool observability."""
+        executor = self.engine.executor
+        return {
+            "status": "ok",
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "engine": {
+                "executor": executor.name,
+                "persistent_pool": bool(getattr(executor, "persistent", False)),
+                "pool_recycles": getattr(executor, "recycle_count", 0),
+                "structure_sharing": self.engine.structure_sharing,
+                "cache_info": self.engine.cache_info,
+            },
+            "max_designs": self.max_designs,
+            **self.metrics(),
+        }
+
+
+# -- client -------------------------------------------------------------------
+
+
+class ServiceClient:
+    """Small synchronous client for :class:`EvaluationService`.
+
+    Used by the test-suite, the CI smoke and scripts; any HTTP client
+    works — the API is plain JSON over HTTP/1.1.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout: float = 300.0,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+
+    def request(self, method: str, path: str, payload: dict | None = None):
+        """``(status, parsed body)`` of one request (no status check)."""
+        import http.client
+
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None if payload is None else json.dumps(payload).encode()
+            headers = {"Content-Type": "application/json"} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+            status = response.status
+        finally:
+            connection.close()
+        try:
+            return status, json.loads(data.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise EvaluationError(
+                f"service returned non-JSON for {path} (HTTP {status}): {exc}"
+            ) from exc
+
+    def _checked(self, method: str, path: str, payload: dict | None = None) -> dict:
+        status, parsed = self.request(method, path, payload)
+        if status != 200:
+            detail = parsed.get("error", parsed) if isinstance(parsed, dict) else parsed
+            raise EvaluationError(
+                f"service {path} request failed (HTTP {status}): {detail}"
+            )
+        return parsed
+
+    def sweep(self, **fields) -> dict:
+        """``POST /sweep`` with *fields* (see the module docstring)."""
+        return self._checked("POST", "/sweep", fields)
+
+    def timeline(self, **fields) -> dict:
+        """``POST /timeline`` with *fields*."""
+        return self._checked("POST", "/timeline", fields)
+
+    def healthz(self) -> dict:
+        return self._checked("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._checked("GET", "/metrics")
+
+    def wait_until_ready(self, timeout: float = 30.0, interval: float = 0.2) -> dict:
+        """Poll ``/healthz`` until the service answers (or *timeout*)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.healthz()
+            except (OSError, EvaluationError) as exc:
+                if time.monotonic() >= deadline:
+                    raise EvaluationError(
+                        f"service at {self.host}:{self.port} not ready "
+                        f"after {timeout:.0f}s: {exc}"
+                    ) from exc
+                time.sleep(interval)

@@ -18,9 +18,14 @@ precompute-and-share half of the structure-sharing pipeline:
 
 Aggregates and structures cross the boundary as bit-exact float64
 arrays, so worker results are byte-identical to the in-process path.
-The parent always unlinks the segment in a ``finally`` block; workers
-copy-and-close during initialization, so segment lifetime never depends
-on worker health.
+Workers copy-and-close during initialization, so segment lifetime never
+depends on worker health.  Per-call pools unlink the segment in a
+``finally`` block as soon as the pool drains; a *persistent* (warm)
+pool instead retains its context for the pool's lifetime — so
+late-spawned or recycled workers can still attach and re-prime — and
+unlinks it (idempotently) when the engine closes or the context is
+superseded by one covering more designs (see
+:meth:`SharedSweepContext.covers`).
 """
 
 from __future__ import annotations
@@ -273,6 +278,35 @@ class SharedSweepContext:
     def worker_payload(self) -> dict:
         """The pool-initializer argument (small, pickled once/worker)."""
         return self.payload
+
+    def covers(self, designs) -> bool:
+        """Whether the published tables serve every design in *designs*.
+
+        True when each design's transition pattern is among the packed
+        canonical structures and every role/variant slot has a row in
+        the aggregate table — the warm-pool engine's cheap test (pure
+        layout computation, no solving) for reusing this context across
+        repeated sweeps instead of rebuilding segment and pool.
+        """
+        from repro.availability.grouped import design_layout
+
+        roles = set(self.payload["role_names"])
+        variants = {
+            (role, variant.name)
+            for role, variant in self.payload["variant_keys"]
+        }
+        tiers = {layout.tiers for layout in self.payload["layouts"]}
+        for design in designs:
+            layout, slots = design_layout(design)
+            if layout.tiers not in tiers:
+                return False
+            for slot in slots:
+                if slot.variant is None:
+                    if slot.role not in roles:
+                        return False
+                elif (slot.role, slot.variant.name) not in variants:
+                    return False
+        return True
 
     @property
     def segment_name(self) -> str:

@@ -74,6 +74,7 @@ __all__ = [
     "evaluate_timeline",
     "evaluate_timelines",
     "evaluate_timelines_shared",
+    "timeline_payload",
 ]
 
 #: Safety bound on the patch-completion state space (product of
@@ -154,6 +155,40 @@ class DesignTimeline:
     def security_curves(self) -> dict[str, tuple[float, ...]]:
         """Every HARM metric's exposure curve, keyed by abbreviation."""
         return {name: self.security_curve(name) for name in self.before.as_dict()}
+
+
+def timeline_payload(timeline: DesignTimeline) -> dict:
+    """The canonical JSON-ready dict of one design timeline.
+
+    Shared by the ``repro timeline`` CLI and the evaluation service
+    (``repro serve``), so their JSON outputs agree by construction.
+    JSON has no ``inf``: an infinite mean time to completion serialises
+    as ``None``, and unreachable campaign phases get ``None`` starts.
+    """
+    mttc = timeline.mean_time_to_completion
+    payload = {
+        "label": timeline.label,
+        "counts": timeline.design.counts,
+        "total_servers": timeline.design.total_servers,
+        "mean_time_to_completion": mttc if math.isfinite(mttc) else None,
+        "steady_coa": timeline.steady_coa,
+        "min_coa": timeline.min_coa,
+        "coa": list(timeline.coa),
+        "completion_probability": list(timeline.completion_probability),
+        "unpatched_fraction": list(timeline.unpatched_fraction),
+        "security": {
+            name: list(curve)
+            for name, curve in timeline.security_curves().items()
+        },
+    }
+    if timeline.campaign is not None:
+        payload["phase_starts"] = [
+            start if math.isfinite(start) else None
+            for start in timeline.phase_starts
+        ]
+    if isinstance(timeline.design, HeterogeneousDesign):
+        payload["variants"] = timeline.design.tiers()
+    return payload
 
 
 # -- patch-completion chain ---------------------------------------------------

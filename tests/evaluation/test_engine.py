@@ -213,3 +213,110 @@ class TestEngineDefaults:
             [RedundancyDesign({"dns": 1, "web": 1, "app": 1, "db": 1})]
         )
         assert evaluations[0].after.coa == pytest.approx(0.995614, abs=5e-4)
+
+
+class TestPersistentExecutors:
+    def test_thread_pool_reused_across_runs(self):
+        executor = ThreadExecutor(max_workers=2, persistent=True)
+        try:
+            assert executor.run(lambda x: x + 1, [(41,)]) == [42]
+            first_pool = executor._pool
+            assert first_pool is not None  # even a single batch warms it
+            assert executor.run(lambda x: x * 2, [(21,)]) == [42]
+            assert executor._pool is first_pool
+        finally:
+            executor.close()
+        assert executor._pool is None
+
+    def test_close_is_idempotent_and_context_manager(self):
+        with ThreadExecutor(max_workers=2, persistent=True) as executor:
+            assert executor.run(lambda: 7, [()]) == [7]
+        executor.close()
+        assert executor._pool is None
+
+    def test_prime_key_change_recycles_pool(self):
+        executor = ThreadExecutor(max_workers=2, persistent=True)
+        try:
+            executor.run_with_initializer(
+                lambda x: x, [(1,)], initializer=str, initargs=("a",), key="a"
+            )
+            first_pool = executor._pool
+            executor.run_with_initializer(
+                lambda x: x, [(2,)], initializer=str, initargs=("a",), key="a"
+            )
+            assert executor._pool is first_pool  # same key: stays warm
+            executor.run_with_initializer(
+                lambda x: x, [(3,)], initializer=str, initargs=("b",), key="b"
+            )
+            assert executor._pool is not first_pool  # new key: recycled
+        finally:
+            executor.close()
+
+    def test_process_pool_recycles_after_killed_worker(self):
+        import os
+        import signal
+
+        executor = ProcessExecutor(max_workers=1, persistent=True)
+        try:
+            designs = [RedundancyDesign({"dns": 1})]
+            assert executor.run(_total_servers, [(d,) for d in designs]) == [1]
+            pid = next(iter(executor._pool._processes))
+            os.kill(pid, signal.SIGKILL)
+            # The broken pool is respawned and the dispatch retried once.
+            assert executor.run(_total_servers, [(d,) for d in designs]) == [1]
+            assert executor.recycle_count == 1
+        finally:
+            executor.close()
+
+
+class TestWarmEngine:
+    def test_warm_sweep_byte_identical_to_cold(self, small_space):
+        cold = SweepEngine(executor="process").evaluate(small_space)
+        with SweepEngine(executor=ProcessExecutor(persistent=True)) as engine:
+            warm_first = engine.evaluate(small_space)
+            engine.clear_cache()
+            warm_second = engine.evaluate(small_space)
+        for a, b, c in zip(cold, warm_first, warm_second):
+            assert a.after.coa.hex() == b.after.coa.hex() == c.after.coa.hex()
+            assert a.before.coa.hex() == b.before.coa.hex() == c.before.coa.hex()
+            assert a.after.security.as_dict() == b.after.security.as_dict()
+
+    def test_warm_context_reused_for_covered_spaces(self, small_space):
+        with SweepEngine(executor=ProcessExecutor(persistent=True)) as engine:
+            engine.evaluate(small_space)
+            context = engine._warm_context
+            assert context is not None
+            segment_name = context.segment_name
+            engine.clear_cache()
+            engine.evaluate(small_space[:2])  # subset: no rebuild
+            assert engine._warm_context is context
+            engine.evaluate(
+                list(enumerate_designs(["dns", "web", "app"], max_replicas=2))
+            )
+            rebuilt = engine._warm_context
+            assert rebuilt is not context  # new role: rebuilt (old unlinked)
+            assert rebuilt.segment_name != segment_name
+            assert context.segment is None  # superseded segment released
+        assert engine._warm_context is None  # close() released the segment
+
+
+class TestBatchLabelTruncation:
+    def test_large_batches_elide_labels(self):
+        from repro.evaluation.engine import _MAX_BATCH_LABELS, _batch_labels
+
+        designs = list(
+            enumerate_designs(["dns", "web", "app", "db"], max_replicas=2)
+        )
+        assert len(designs) > _MAX_BATCH_LABELS
+        text = _batch_labels((designs,))
+        assert f"… and {len(designs) - _MAX_BATCH_LABELS} more" in text
+        listed = text.split(" (designs: ")[1]
+        assert listed.count(" DNS ") == _MAX_BATCH_LABELS
+
+    def test_small_batches_fully_listed(self, small_space):
+        from repro.evaluation.engine import _batch_labels
+
+        text = _batch_labels((small_space,))
+        assert "more" not in text
+        for design in small_space:
+            assert design.label in text

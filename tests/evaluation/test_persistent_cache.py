@@ -253,3 +253,126 @@ class TestCacheBoundsAndMaintenance:
         )
         # a numerically different pipeline must miss old entries
         assert context_fingerprint("ctx") != baseline
+
+
+class TestCacheConcurrency:
+    def test_many_threads_hammering_one_cache(self, tmp_path):
+        import threading
+
+        cache = PersistentEvaluationCache(tmp_path / "cache.sqlite")
+        errors: list[Exception] = []
+
+        def worker(tag: int) -> None:
+            try:
+                for index in range(30):
+                    key = f"{tag}-{index % 7}"
+                    cache.put("evaluation", key, {"tag": tag, "index": index})
+                    cache.get("evaluation", key)
+                    if index % 5 == 0:
+                        cache.stats()
+                        len(cache)
+                    if index % 11 == 0:
+                        cache.trim(max_entries=64)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(tag,)) for tag in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert errors == []
+        stats = cache.stats()
+        assert 0 < stats["entries"] <= 64
+        cache.close()
+
+    def test_two_processes_plus_threads_share_one_file(self, tmp_path):
+        import os
+        import subprocess
+        import sys
+        import threading
+        from pathlib import Path
+
+        import repro
+
+        path = tmp_path / "shared.sqlite"
+        PersistentEvaluationCache(path).close()  # create the schema up front
+        script = (
+            "import sys\n"
+            "from repro.evaluation.cache import PersistentEvaluationCache\n"
+            "tag = sys.argv[2]\n"
+            "cache = PersistentEvaluationCache(sys.argv[1])\n"
+            "for index in range(40):\n"
+            "    cache.put('evaluation', f'{tag}-{index}', {'tag': tag})\n"
+            "    assert cache.get('evaluation', f'{tag}-{index}') == {'tag': tag}\n"
+            "cache.close()\n"
+        )
+        env = dict(
+            os.environ, PYTHONPATH=str(Path(repro.__file__).resolve().parents[1])
+        )
+        workers = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(path), f"proc{number}"],
+                env=env,
+                stderr=subprocess.PIPE,
+            )
+            for number in range(2)
+        ]
+        cache = PersistentEvaluationCache(path)
+        errors: list[Exception] = []
+
+        def thread_worker(tag: str) -> None:
+            try:
+                for index in range(40):
+                    cache.put("evaluation", f"{tag}-{index}", {"tag": tag})
+                    cache.get("evaluation", f"{tag}-{index}")
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=thread_worker, args=(f"thread{number}",))
+            for number in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        for worker in workers:
+            _, stderr = worker.communicate(timeout=120)
+            assert worker.returncode == 0, stderr.decode()
+        assert errors == []
+        # Every writer's entries landed: 2 processes + 3 threads x 40 keys.
+        for tag in ("proc0", "proc1", "thread0", "thread1", "thread2"):
+            assert cache.get("evaluation", f"{tag}-39") == {"tag": tag}
+        assert len(cache) == 5 * 40
+        cache.close()
+
+
+class TestClosedCache:
+    @pytest.mark.parametrize(
+        "operation",
+        [
+            lambda cache: cache.get("evaluation", "k"),
+            lambda cache: cache.put("evaluation", "k", 1),
+            lambda cache: cache.stats(),
+            lambda cache: cache.trim(max_entries=1),
+            lambda cache: cache.purge(),
+            lambda cache: len(cache),
+        ],
+    )
+    def test_closed_cache_raises_evaluation_error(self, tmp_path, operation):
+        cache = PersistentEvaluationCache(tmp_path / "cache.sqlite")
+        cache.put("evaluation", "k", 1)
+        cache.close()
+        with pytest.raises(EvaluationError, match="closed"):
+            operation(cache)
+
+    def test_close_is_idempotent(self, tmp_path):
+        cache = PersistentEvaluationCache(tmp_path / "cache.sqlite")
+        assert not cache.closed
+        cache.close()
+        assert cache.closed
+        cache.close()  # no error
+        assert cache.closed

@@ -13,7 +13,6 @@ from repro.enterprise import (
     RedundancyDesign,
     ServerRole,
     paper_variant_space,
-    paper_variants,
 )
 from repro.errors import EvaluationError, ValidationError
 from repro.evaluation import (

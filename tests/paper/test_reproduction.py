@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.evaluation import evaluate_design
 from repro.evaluation.requirements import (
     PAPER_REGION_1_MULTI_METRIC,
     PAPER_REGION_1_TWO_METRIC,

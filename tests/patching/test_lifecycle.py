@@ -6,7 +6,6 @@ import pytest
 
 from repro.errors import EvaluationError
 from repro.patching import (
-    CriticalVulnerabilityPolicy,
     PatchAllPolicy,
     SyntheticDisclosureFeed,
     simulate_patch_lifecycle,

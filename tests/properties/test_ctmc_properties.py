@@ -90,7 +90,6 @@ class TestAggregationProperties:
     @given(irreducible_chains())
     @settings(max_examples=40, deadline=None)
     def test_aggregate_rates_positive(self, chain):
-        n = chain.number_of_states()
         aggregate = aggregate_two_state(chain, lambda s: s == 0)
         assert aggregate.failure_rate > 0.0
         assert aggregate.repair_rate > 0.0
