@@ -119,13 +119,29 @@ def _parse_roles(spec: str) -> list[str]:
     )
 
 
+def _parse_scaled(spec: str) -> tuple[int, int]:
+    """Parse a --scaled HxT spec into (hosts_per_tier, tiers)."""
+    from repro.errors import ValidationError
+
+    parts = spec.lower().replace("x", ",").split(",")
+    try:
+        hosts, tiers = (int(part) for part in parts)
+    except ValueError:
+        raise ValidationError(
+            f"--scaled expects HOSTSxTIERS (e.g. 9x4), got {spec!r}"
+        ) from None
+    return hosts, tiers
+
+
 def _space_engine_and_designs(args: argparse.Namespace, roles):
     """Build the sweep engine and enumerate the requested design space.
 
     Shared between ``sweep`` and ``timeline``: the homogeneous replica
     space by default, the heterogeneous variant space with
-    ``--variants``.  Raises ``ReproError`` on domain errors (mapped to
-    exit code 2 by the callers).
+    ``--variants``, or a single generated large design with ``--scaled``
+    (which also returns the generated tier names in place of *roles*).
+    Raises ``ReproError`` on domain errors (mapped to exit code 2 by the
+    callers).  Returns ``(engine, designs, roles)``.
     """
     from repro.errors import ValidationError
     from repro.evaluation.engine import SweepEngine
@@ -135,6 +151,23 @@ def _space_engine_and_designs(args: argparse.Namespace, roles):
     )
 
     cache_path = getattr(args, "cache", None)
+    if getattr(args, "scaled", None):
+        if args.variants:
+            raise ValidationError(
+                "--scaled and --variants are mutually exclusive"
+            )
+        from repro.enterprise import scaled_case_study
+
+        hosts, tiers = _parse_scaled(args.scaled)
+        case_study, design = scaled_case_study(hosts, tiers)
+        engine = SweepEngine(
+            case_study=case_study,
+            executor=args.executor,
+            max_workers=args.jobs,
+            structure_sharing=args.shared_memory,
+            cache_path=cache_path,
+        )
+        return engine, [design], design.roles
     if args.variants:
         from repro.enterprise import paper_variant_space
         from repro.vulnerability.diversity import diversity_database
@@ -159,6 +192,7 @@ def _space_engine_and_designs(args: argparse.Namespace, roles):
             max_replicas=args.max_replicas,
             max_total=args.max_total,
         )
+        return engine, designs, roles
     else:
         engine = SweepEngine(
             executor=args.executor,
@@ -169,7 +203,7 @@ def _space_engine_and_designs(args: argparse.Namespace, roles):
         designs = enumerate_designs(
             roles, max_replicas=args.max_replicas, max_total=args.max_total
         )
-    return engine, designs
+    return engine, designs, roles
 
 
 def _sweep(args: argparse.Namespace) -> int:
@@ -178,11 +212,11 @@ def _sweep(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
 
     roles = _parse_roles(args.roles)
-    if not roles:
+    if not roles and not args.scaled:
         print("no roles given", file=sys.stderr)
         return 2
     try:
-        engine, designs = _space_engine_and_designs(args, roles)
+        engine, designs, roles = _space_engine_and_designs(args, roles)
         evaluations = engine.evaluate(designs)
     except ReproError as exc:
         print(f"sweep failed: {exc}", file=sys.stderr)
@@ -231,7 +265,7 @@ def _timeline(args: argparse.Namespace) -> int:
     from repro.evaluation.timeline import default_time_grid
 
     roles = _parse_roles(args.roles)
-    if not roles:
+    if not roles and not args.scaled:
         print("no roles given", file=sys.stderr)
         return 2
     if args.times:
@@ -248,8 +282,10 @@ def _timeline(args: argparse.Namespace) -> int:
         if not args.times:
             times = default_time_grid(args.horizon, args.points)
         campaign = _campaign_from_args(args)
-        engine, designs = _space_engine_and_designs(args, roles)
-        timelines = engine.timeline(designs, times, campaign=campaign)
+        engine, designs, roles = _space_engine_and_designs(args, roles)
+        timelines = engine.timeline(
+            designs, times, campaign=campaign, method=args.method
+        )
     except ReproError as exc:
         print(f"timeline failed: {exc}", file=sys.stderr)
         return 2
@@ -404,7 +440,20 @@ def main(argv: Sequence[str] | None = None) -> int:
             "  solver uniformises once per phase and carries the state\n"
             "  vector across boundaries, so a staged curve costs one batch\n"
             "  pass per phase; '--phases fleet:1.0' is byte-identical to the\n"
-            "  stationary timeline."
+            "  stationary timeline.\n"
+            "\n"
+            "large state spaces:\n"
+            "  --scaled HxT generates a chain enterprise of T tiers with H\n"
+            "  replicas each ((H+1)^T availability states; 9x4 = 10,000) and\n"
+            "  evaluates that single design through the same engine stack.\n"
+            "  'timeline --method' picks the transient backend: exact\n"
+            "  uniformisation (default, bit-identical anchored iterates),\n"
+            "  krylov (scipy expm_multiply propagation), adaptive\n"
+            "  (steady-state-detecting uniformisation, error bounded by the\n"
+            "  solver tolerance) or auto (exact up to 5000 states, adaptive\n"
+            "  above).  REPRO_DENSE_THRESHOLD overrides the dense/sparse\n"
+            "  cutoff; steady solves above 5000 states use a preconditioned\n"
+            "  iterative path automatically."
         ),
     )
     commands = parser.add_subparsers(dest="command", required=True)
@@ -482,6 +531,17 @@ def main(argv: Sequence[str] | None = None) -> int:
             ),
         )
         command.add_argument(
+            "--scaled",
+            default=None,
+            metavar="HxT",
+            help=(
+                "evaluate one generated chain enterprise of TIERS tiers "
+                "with HOSTS replicas each (e.g. 9x4: a 10,000-state "
+                "availability model) instead of enumerating --roles; the "
+                "paper's role stacks are reused cyclically"
+            ),
+        )
+        command.add_argument(
             "--json", action="store_true", help="emit JSON instead of a table"
         )
 
@@ -524,6 +584,17 @@ def main(argv: Sequence[str] | None = None) -> int:
             "staged-rollout JSON spec: {'name': ..., 'phases': [{'name', "
             "'rate_multiplier', 'duration_hours' | 'completion_fraction', "
             "'canary_hosts'}, ...]}"
+        ),
+    )
+    timeline.add_argument(
+        "--method",
+        choices=("auto", "uniformisation", "krylov", "adaptive"),
+        default="uniformisation",
+        help=(
+            "transient propagation backend: exact uniformisation "
+            "(default), Krylov expm_multiply, steady-state-detecting "
+            "adaptive uniformisation, or size-dispatching auto "
+            "(exact up to 5000 states, adaptive above)"
         ),
     )
     timeline.add_argument(

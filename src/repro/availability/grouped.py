@@ -257,21 +257,32 @@ class CoaStructure:
             )
         return self.coefficients * rates[self.rate_index]
 
-    def steady_probabilities(self, slot_rates: Sequence[float]) -> np.ndarray:
+    def steady_probabilities(
+        self, slot_rates: Sequence[float], method: str = "auto"
+    ) -> np.ndarray:
         """Steady-state vector of the member with *slot_rates*."""
-        return self.solver().solve(self.rate_values(slot_rates))
+        return self.solver().solve(self.rate_values(slot_rates), method=method)
 
-    def coa(self, slot_rates: Sequence[float]) -> float:
+    def coa(self, slot_rates: Sequence[float], method: str = "auto") -> float:
         """Steady-state COA of the member with *slot_rates*."""
-        return float(self.steady_probabilities(slot_rates) @ self.reward)
+        return float(
+            self.steady_probabilities(slot_rates, method=method) @ self.reward
+        )
 
     def transient_solver(
-        self, slot_rates: Sequence[float], tolerance: float = 1e-10
+        self,
+        slot_rates: Sequence[float],
+        tolerance: float = 1e-10,
+        method: str = "uniformisation",
     ) -> BatchTransientSolver:
-        """A uniformisation solver for the member with *slot_rates*."""
+        """A transient solver for the member with *slot_rates*.
+
+        *method* selects the propagation backend (see
+        :class:`~repro.ctmc.transient.BatchTransientSolver`).
+        """
         generator = self.solver().generator(self.rate_values(slot_rates))
         return BatchTransientSolver.from_generator(
-            generator, tolerance=tolerance
+            generator, tolerance=tolerance, method=method
         )
 
     def transient_coa(
@@ -279,9 +290,10 @@ class CoaStructure:
         slot_rates: Sequence[float],
         times: Sequence[float],
         tolerance: float = 1e-10,
+        method: str = "uniformisation",
     ) -> np.ndarray:
         """Expected COA at each time from the all-up marking."""
-        return self.transient_solver(slot_rates, tolerance).rewards(
+        return self.transient_solver(slot_rates, tolerance, method).rewards(
             self.initial, self.reward, times
         )
 

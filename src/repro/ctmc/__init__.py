@@ -18,7 +18,12 @@ from repro.ctmc.aggregate import TwoStateAggregate, aggregate_two_state
 from repro.ctmc.birthdeath import birth_death_steady_state
 from repro.ctmc.chain import Ctmc
 from repro.ctmc.rewards import expected_reward_rate, reward_vector
-from repro.ctmc.steady import BatchSteadySolver, steady_state, steady_state_batch
+from repro.ctmc.steady import (
+    BatchSteadySolver,
+    steady_state,
+    steady_state_batch,
+    steady_state_iterative,
+)
 from repro.ctmc.transient import (
     BatchTransientSolver,
     transient_batch,
@@ -30,6 +35,7 @@ __all__ = [
     "Ctmc",
     "steady_state",
     "steady_state_batch",
+    "steady_state_iterative",
     "BatchSteadySolver",
     "BatchTransientSolver",
     "transient_distribution",

@@ -1,7 +1,7 @@
 """Steady-state solvers.
 
 The steady-state distribution satisfies ``pi Q = 0`` with ``sum(pi) = 1``.
-Three methods are provided:
+Four methods are provided:
 
 ``direct``
     Replace one balance equation by the normalisation condition and solve
@@ -10,11 +10,18 @@ Three methods are provided:
     The Grassmann-Taksar-Heyman elimination: division-free of subtractions,
     numerically exact up to rounding even for stiff chains; O(n^3) dense,
     used for small or ill-conditioned models and for cross-checking.
+``iterative``
+    BiCGStab (GMRES fallback) on the same augmented system with a
+    diagonal preconditioner: the large-n path — sparse LU fill-in makes
+    ``direct`` quadratic-ish in practice, while the Krylov solve stays
+    near-linear in the number of non-zeros.
 ``power``
     Uniformised power iteration; a derivative-free fallback.
 
-``steady_state`` picks ``gth`` for small chains and ``direct`` otherwise,
-falling back across methods on numerical failure.
+``steady_state`` picks ``gth`` for small chains, ``iterative`` above
+:data:`_ITERATIVE_CUTOFF` states (env ``REPRO_ITERATIVE_THRESHOLD``)
+and ``direct`` otherwise, falling back across methods on numerical
+failure.
 
 Each method is split into a matrix-level core (operating on the generator
 directly) and a thin :class:`~repro.ctmc.chain.Ctmc` wrapper, so that
@@ -26,6 +33,8 @@ once and only the rate values change between solves.
 
 from __future__ import annotations
 
+import logging
+import os
 from collections.abc import Iterable, Sequence
 
 import numpy as np
@@ -39,12 +48,38 @@ __all__ = [
     "steady_state",
     "steady_state_direct",
     "steady_state_gth",
+    "steady_state_iterative",
     "steady_state_power",
     "steady_state_batch",
     "BatchSteadySolver",
 ]
 
+_logger = logging.getLogger(__name__)
+
 _GTH_CUTOFF = 200
+
+#: Above this state count ``method="auto"`` tries the preconditioned
+#: Krylov solve before the sparse direct factorisation (whose LU
+#: fill-in dominates runtime from a few thousand states up).  Kept
+#: above the 2401-state paper model so paper-scale solves stay on the
+#: exact direct path.  Overridable via ``REPRO_ITERATIVE_THRESHOLD``.
+_ITERATIVE_CUTOFF = 5000
+_ITERATIVE_CUTOFF_ENV = "REPRO_ITERATIVE_THRESHOLD"
+
+
+def _iterative_cutoff() -> int:
+    raw = os.environ.get(_ITERATIVE_CUTOFF_ENV)
+    if raw is None:
+        return _ITERATIVE_CUTOFF
+    try:
+        value = int(raw)
+    except ValueError:
+        raise SolverError(
+            f"{_ITERATIVE_CUTOFF_ENV} must be an integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise SolverError(f"{_ITERATIVE_CUTOFF_ENV} must be >= 1, got {value}")
+    return value
 
 
 def steady_state(chain: Ctmc, method: str = "auto") -> np.ndarray:
@@ -56,19 +91,34 @@ def steady_state(chain: Ctmc, method: str = "auto") -> np.ndarray:
         The CTMC to solve.  It must have a single recurrent class for the
         result to be meaningful.
     method:
-        ``"auto"``, ``"direct"``, ``"gth"`` or ``"power"``.
+        ``"auto"``, ``"direct"``, ``"gth"``, ``"iterative"`` or
+        ``"power"``.
     """
     if method == "auto":
-        if chain.number_of_states() <= _GTH_CUTOFF:
+        n = chain.number_of_states()
+        if n <= _GTH_CUTOFF:
+            _logger.debug("steady state: n=%d auto -> gth", n)
             return steady_state_gth(chain)
+        if n > _iterative_cutoff():
+            try:
+                _logger.debug("steady state: n=%d auto -> iterative", n)
+                return steady_state_iterative(chain)
+            except SolverError:
+                _logger.debug(
+                    "steady state: n=%d iterative failed, trying direct", n
+                )
         try:
+            _logger.debug("steady state: n=%d auto -> direct", n)
             return steady_state_direct(chain)
         except SolverError:
+            _logger.debug("steady state: n=%d direct failed -> power", n)
             return steady_state_power(chain)
     if method == "direct":
         return steady_state_direct(chain)
     if method == "gth":
         return steady_state_gth(chain)
+    if method == "iterative":
+        return steady_state_iterative(chain)
     if method == "power":
         return steady_state_power(chain)
     raise SolverError(f"unknown steady-state method {method!r}")
@@ -88,6 +138,14 @@ def steady_state_gth(chain: Ctmc) -> np.ndarray:
     if n == 1:
         return np.array([1.0])
     return _gth_core(chain.dense_generator())
+
+
+def steady_state_iterative(chain: Ctmc, rtol: float = 1e-10) -> np.ndarray:
+    """Preconditioned Krylov solve of the augmented steady-state system."""
+    n = chain.number_of_states()
+    if n == 1:
+        return np.array([1.0])
+    return _iterative_core(chain.generator().astype(float), rtol=rtol)
 
 
 def steady_state_power(
@@ -126,15 +184,72 @@ def _direct_core(q: sparse.spmatrix) -> np.ndarray:
         pi = sparse_linalg.spsolve(a.tocsr(), b)
     except Exception as exc:  # scipy raises several distinct types
         raise SolverError(f"sparse steady-state solve failed: {exc}") from exc
+    return _finalise_pi(pi, "sparse steady-state solve")
+
+
+def _iterative_core(
+    q: sparse.spmatrix, rtol: float = 1e-10, maxiter: int = 5000
+) -> np.ndarray:
+    """Krylov solve of the augmented system (n >= 2).
+
+    Same system as :func:`_direct_core` — ``Q^T`` with the last balance
+    equation replaced by normalisation — solved by BiCGStab (GMRES on
+    failure) with a diagonal (Jacobi) preconditioner and a uniform
+    starting vector, avoiding the LU fill-in that makes the direct
+    factorisation super-linear at large ``n``.
+    """
+    n = q.shape[0]
+    a = q.transpose().tocsr().astype(float)
+    a = sparse.vstack([a[: n - 1, :], np.ones((1, n))], format="csr")
+    b = np.zeros(n)
+    b[n - 1] = 1.0
+    diagonal = a.diagonal()
+    safe = np.where(diagonal != 0.0, diagonal, 1.0)
+    scale = 1.0 / safe
+    preconditioner = sparse_linalg.LinearOperator(
+        (n, n), matvec=lambda x: x * scale
+    )
+    x0 = np.full(n, 1.0 / n)
+    errors: list[str] = []
+    for name, solve in (
+        ("bicgstab", sparse_linalg.bicgstab),
+        ("gmres", sparse_linalg.gmres),
+    ):
+        try:
+            pi, info = solve(
+                a, b, x0=x0, rtol=rtol, atol=0.0,
+                M=preconditioner, maxiter=maxiter,
+            )
+        except Exception as exc:  # pragma: no cover - scipy internals
+            errors.append(f"{name}: {exc}")
+            continue
+        if info == 0 and np.all(np.isfinite(pi)):
+            residual = float(np.max(np.abs(a @ pi - b)))
+            if residual <= max(rtol * 100.0, 1e-8):
+                _logger.debug(
+                    "iterative steady state: n=%d solver=%s residual=%.3e",
+                    n, name, residual,
+                )
+                return _finalise_pi(pi, "iterative steady-state solve")
+            errors.append(f"{name}: residual {residual:.3e} too large")
+        else:
+            errors.append(f"{name}: info={info}")
+    raise SolverError(
+        "iterative steady-state solve did not converge ("
+        + "; ".join(errors) + ")"
+    )
+
+
+def _finalise_pi(pi: np.ndarray, label: str) -> np.ndarray:
     if not np.all(np.isfinite(pi)):
-        raise SolverError("sparse steady-state solve produced non-finite values")
+        raise SolverError(f"{label} produced non-finite values")
     pi = np.where(np.abs(pi) < 1e-300, 0.0, pi)
     if np.any(pi < -1e-8):
-        raise SolverError("sparse steady-state solve produced negative probabilities")
+        raise SolverError(f"{label} produced negative probabilities")
     pi = np.clip(pi, 0.0, None)
     total = pi.sum()
     if total <= 0:
-        raise SolverError("sparse steady-state solve produced a zero vector")
+        raise SolverError(f"{label} produced a zero vector")
     return pi / total
 
 
@@ -184,6 +299,7 @@ def _power_core(
     lam = max_exit * 1.02
     p = sparse.identity(n, format="csr") + q / lam
     pi = np.full(n, 1.0 / n)
+    delta = float("inf")
     for _ in range(max_iterations):
         nxt = pi @ p
         nxt = np.asarray(nxt).ravel()
@@ -193,7 +309,8 @@ def _power_core(
             total = pi.sum()
             return np.clip(pi, 0.0, None) / total
     raise SolverError(
-        f"power iteration did not converge within {max_iterations} iterations"
+        f"power iteration did not converge within {max_iterations} "
+        f"iterations (achieved residual {delta:.3e}, tolerance {tolerance:.3e})"
     )
 
 
@@ -288,14 +405,26 @@ class BatchSteadySolver:
         if method == "auto":
             if self.n <= _GTH_CUTOFF:
                 return _gth_core(self.dense_generator(rates))
+            q = self.generator(rates)
+            if self.n > _iterative_cutoff():
+                try:
+                    return _iterative_core(q)
+                except SolverError:
+                    _logger.debug(
+                        "batch steady state: n=%d iterative failed, "
+                        "trying direct",
+                        self.n,
+                    )
             try:
-                return _direct_core(self.generator(rates))
+                return _direct_core(q)
             except SolverError:
-                return _power_core(self.generator(rates))
+                return _power_core(q)
         if method == "gth":
             return _gth_core(self.dense_generator(rates))
         if method == "direct":
             return _direct_core(self.generator(rates))
+        if method == "iterative":
+            return _iterative_core(self.generator(rates))
         if method == "power":
             return _power_core(self.generator(rates))
         raise SolverError(f"unknown steady-state method {method!r}")

@@ -24,6 +24,7 @@ from repro.enterprise.heterogeneous import (
     paper_variants,
 )
 from repro.enterprise.roles import ServerRole
+from repro.enterprise.scaled import scaled_case_study, scaled_design
 from repro.enterprise.topology import NetworkTopology
 
 __all__ = [
@@ -36,6 +37,8 @@ __all__ = [
     "example_network_design",
     "EnterpriseCaseStudy",
     "paper_case_study",
+    "scaled_case_study",
+    "scaled_design",
     "HeterogeneousDesign",
     "build_heterogeneous_harm",
     "heterogeneous_availability_model",

@@ -1,0 +1,85 @@
+"""Scaled-up enterprise case studies beyond the paper's three tiers.
+
+:func:`scaled_case_study` generates a chain-topology enterprise with an
+arbitrary number of tiers and replicas per tier, reusing the paper's
+four server-role stacks (DNS / web / application / database products
+and attack trees) cyclically.  It is the workload generator behind the
+large-state-space solver paths: the availability model of the returned
+design is a product of per-tier birth-death pairs, so its state count
+is ``(hosts_per_tier + 1) ** tiers`` — 9 hosts over 4 tiers already
+gives a 10,000-state chain, an order of magnitude past the 2401-state
+paper model, while the security side stays a host-level chain HARM the
+existing evaluators handle unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.enterprise.attacker import AttackerModel
+from repro.enterprise.casestudy import EnterpriseCaseStudy, paper_case_study
+from repro.enterprise.design import RedundancyDesign
+from repro.enterprise.topology import NetworkTopology
+from repro.errors import ValidationError
+from repro.patching.schedule import MONTHLY, PatchSchedule
+from repro.vulnerability.catalog import paper_database
+
+__all__ = ["scaled_case_study", "scaled_design"]
+
+
+def scaled_case_study(
+    hosts_per_tier: int = 6,
+    tiers: int = 4,
+    schedule: PatchSchedule = MONTHLY,
+) -> tuple[EnterpriseCaseStudy, RedundancyDesign]:
+    """A chain enterprise of *tiers* tiers, *hosts_per_tier* servers each.
+
+    Tier ``k`` is named ``tier01``, ``tier02``, ... and reuses the
+    paper's role stacks cyclically (dns, web, app, db, dns, ...): the
+    products, attack trees and Table IV component rates all carry over,
+    only the topology grows.  The first tier is the attacker's entry,
+    the last tier the goal, and each tier reaches the next — the
+    paper's Fig. 2 chain, generalised.
+
+    Returns the case study together with the homogeneous
+    :class:`RedundancyDesign` deploying *hosts_per_tier* replicas of
+    every tier; its availability CTMC has
+    ``(hosts_per_tier + 1) ** tiers`` states.
+    """
+    if not isinstance(tiers, int) or tiers < 1:
+        raise ValidationError(f"tiers must be a positive integer, got {tiers!r}")
+    if not isinstance(hosts_per_tier, int) or hosts_per_tier < 1:
+        raise ValidationError(
+            f"hosts_per_tier must be a positive integer, got {hosts_per_tier!r}"
+        )
+    paper = paper_case_study(schedule=schedule)
+    templates = [paper.roles[name] for name in ("dns", "web", "app", "db")]
+
+    names = [f"tier{k + 1:02d}" for k in range(tiers)]
+    roles = {
+        name: replace(templates[k % len(templates)], name=name)
+        for k, name in enumerate(names)
+    }
+    topology = NetworkTopology(names)
+    topology.add_entry_role(names[0])
+    for src, dst in zip(names, names[1:]):
+        topology.add_role_reachability(src, dst)
+    topology.add_target_role(names[-1])
+
+    case_study = EnterpriseCaseStudy(
+        roles=roles,
+        topology=topology,
+        database=paper_database(),
+        attacker=AttackerModel(goal_roles=(names[-1],)),
+        schedule=schedule,
+    )
+    return case_study, scaled_design(case_study, hosts_per_tier)
+
+
+def scaled_design(
+    case_study: EnterpriseCaseStudy, hosts_per_tier: int
+) -> RedundancyDesign:
+    """The homogeneous design with *hosts_per_tier* replicas per role."""
+    return RedundancyDesign(
+        {name: hosts_per_tier for name in case_study.roles}
+    )

@@ -232,15 +232,19 @@ class AvailabilityEvaluator:
         design: DesignSpec,
         times: Sequence[float],
         tolerance: float = 1e-10,
+        method: str = "uniformisation",
     ) -> np.ndarray:
         """Expected COA of *design* at each time, from the all-up marking.
 
-        One batched uniformisation pass serves the whole time grid; the
+        One batched transient pass serves the whole time grid; the
         exploration and reward vector come from the (shared) canonical
-        structure.
+        structure.  *method* selects the propagation backend (see
+        :class:`~repro.ctmc.transient.BatchTransientSolver`).
         """
         structure, rates = self.coa_structure_for(design)
-        return structure.transient_coa(rates, times, tolerance=tolerance)
+        return structure.transient_coa(
+            rates, times, tolerance=tolerance, method=method
+        )
 
     def transient_coa_piecewise(
         self,
@@ -249,6 +253,7 @@ class AvailabilityEvaluator:
         multipliers: Sequence[float],
         durations: Sequence[float],
         tolerance: float = 1e-10,
+        method: str = "uniformisation",
     ) -> np.ndarray:
         """Expected COA under piecewise-constant patch-rate scaling.
 
@@ -276,7 +281,9 @@ class AvailabilityEvaluator:
             solver = solvers.get(multiplier)
             if solver is None:
                 solver = structure.transient_solver(
-                    scale_patch_rates(rates, multiplier), tolerance=tolerance
+                    scale_patch_rates(rates, multiplier),
+                    tolerance=tolerance,
+                    method=method,
                 )
                 solvers[multiplier] = solver
             segments.append((solver, duration))

@@ -55,8 +55,11 @@ __all__ = ["PersistentEvaluationCache", "context_fingerprint"]
 #: of mixing results from two pipelines: version 2 = the PR 4
 #: canonical-structure COA path; version 3 = the campaign-aware
 #: ``DesignTimeline`` (new ``campaign``/``phase_starts`` fields — old
-#: pickles lack them, so they must not be served).
-_PIPELINE_VERSION = b"repro-evaluation-pipeline-v3"
+#: pickles lack them, so they must not be served); version 4 = the
+#: sparse-first solver dispatch (method-aware timeline keys, iterative
+#: steady-state auto path above the size cutoff — entries keyed before
+#: the dispatch change must miss cleanly).
+_PIPELINE_VERSION = b"repro-evaluation-pipeline-v4"
 
 #: How long a contended statement retries before sqlite gives up with
 #: ``database is locked`` — generous, because a competing writer only

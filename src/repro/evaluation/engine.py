@@ -395,6 +395,7 @@ def _timeline_chunk(
     designs: Sequence[DesignSpec],
     structure_sharing: bool = True,
     campaign=None,
+    method: str = "uniformisation",
 ):
     """Worker entry point: patch timelines of one chunk, shared evaluators."""
     from repro.evaluation.timeline import evaluate_timelines_shared
@@ -408,6 +409,7 @@ def _timeline_chunk(
         tolerance=tolerance,
         structure_sharing=structure_sharing,
         campaign=campaign,
+        method=method,
     )
 
 
@@ -436,6 +438,7 @@ def _timeline_chunk_primed(
     times: tuple[float, ...],
     tolerance: float,
     campaign,
+    method: str,
     designs: Sequence[DesignSpec],
 ):
     """In-process timeline chunk over the engine's evaluator pair."""
@@ -450,6 +453,7 @@ def _timeline_chunk_primed(
         security_evaluator=security_evaluator,
         availability_evaluator=availability_evaluator,
         campaign=campaign,
+        method=method,
     )
 
 
@@ -589,6 +593,7 @@ class SweepEngine:
         times: Sequence[float],
         tolerance: float = 1e-10,
         campaign=None,
+        method: str = "uniformisation",
     ) -> list:
         """Patch timelines of *designs* over *times*, in input order.
 
@@ -598,7 +603,8 @@ class SweepEngine:
         memoisation — in-memory per ``(design, time grid, tolerance,
         campaign)`` and, when a ``cache_path`` is configured, persisted
         on disk.  *campaign* optionally stages the rollout
-        (:class:`~repro.patching.campaign.PatchCampaign`); see
+        (:class:`~repro.patching.campaign.PatchCampaign`); *method*
+        selects the transient backend (part of both cache keys); see
         :func:`repro.evaluation.timeline.evaluate_timeline`.
         """
         designs = list(designs)
@@ -606,7 +612,7 @@ class SweepEngine:
         pending: list[DesignSpec] = []
         seen_pending: set[DesignSpec] = set()
         for design in designs:
-            key = (design, times_key, tolerance, campaign)
+            key = (design, times_key, tolerance, campaign, method)
             if key in self._timelines:
                 self._hits += 1
                 continue
@@ -614,7 +620,7 @@ class SweepEngine:
                 stored = self.persistent_cache.get(
                     "timeline",
                     self._timeline_disk_key(
-                        design, times_key, tolerance, campaign
+                        design, times_key, tolerance, campaign, method
                     ),
                 )
                 if stored is not None:
@@ -627,21 +633,22 @@ class SweepEngine:
                 pending.append(design)
         if pending:
             for chunk_result in self._run_timeline_chunks(
-                self._chunks(pending), times_key, tolerance, campaign
+                self._chunks(pending), times_key, tolerance, campaign, method
             ):
                 for result in chunk_result:
-                    key = (result.design, times_key, tolerance, campaign)
+                    key = (result.design, times_key, tolerance, campaign, method)
                     self._timelines[key] = result
                     if self.persistent_cache is not None:
                         self.persistent_cache.put(
                             "timeline",
                             self._timeline_disk_key(
-                                result.design, times_key, tolerance, campaign
+                                result.design, times_key, tolerance, campaign,
+                                method,
                             ),
                             result,
                         )
         return [
-            self._timelines[(design, times_key, tolerance, campaign)]
+            self._timelines[(design, times_key, tolerance, campaign, method)]
             for design in designs
         ]
 
@@ -651,13 +658,20 @@ class SweepEngine:
         times_key: tuple[float, ...],
         tolerance: float,
         campaign,
+        method: str = "uniformisation",
     ) -> str:
-        """Timeline cache key; campaign-less keys keep their old shape."""
-        if campaign is None:
-            return self._disk_key(design, times_key, tolerance)
-        return self._disk_key(
-            design, times_key, tolerance, campaign.cache_key()
-        )
+        """Timeline cache key; default-shaped keys keep their old form.
+
+        Campaign-less, default-method keys keep the original tuple shape
+        so the fingerprint bump (not the key shape) is what retires
+        pre-dispatch cache entries.
+        """
+        parts: tuple = (design, times_key, tolerance)
+        if campaign is not None:
+            parts = parts + (campaign.cache_key(),)
+        if method != "uniformisation":
+            parts = parts + (("method", method),)
+        return self._disk_key(*parts)
 
     def sweep(
         self,
@@ -905,6 +919,7 @@ class SweepEngine:
         times_key: tuple[float, ...],
         tolerance: float,
         campaign=None,
+        method: str = "uniformisation",
     ) -> list:
         if not self.structure_sharing:
             batches = [
@@ -917,6 +932,7 @@ class SweepEngine:
                     chunk,
                     False,
                     campaign,
+                    method,
                 )
                 for chunk in chunks
             ]
@@ -926,7 +942,10 @@ class SweepEngine:
 
             return self._run_shared_memory(
                 shared_timeline_chunk,
-                [(times_key, tolerance, chunk, campaign) for chunk in chunks],
+                [
+                    (times_key, tolerance, chunk, campaign, method)
+                    for chunk in chunks
+                ],
                 chunks,
             )
         security, availability = self._shared_evaluators()
@@ -939,6 +958,7 @@ class SweepEngine:
             times_key,
             tolerance,
             campaign,
+            method,
         )
         return self.executor.run(fn, [(chunk,) for chunk in chunks])
 

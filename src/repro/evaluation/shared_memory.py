@@ -417,7 +417,9 @@ def shared_evaluate_chunk(designs):
     )
 
 
-def shared_timeline_chunk(times, tolerance, designs, campaign=None):
+def shared_timeline_chunk(
+    times, tolerance, designs, campaign=None, method="uniformisation"
+):
     """Worker entry point: patch timelines with the primed evaluators."""
     from repro.evaluation.timeline import evaluate_timelines_shared
 
@@ -431,4 +433,5 @@ def shared_timeline_chunk(times, tolerance, designs, campaign=None):
         security_evaluator=state["security"],
         availability_evaluator=state["availability"],
         campaign=campaign,
+        method=method,
     )

@@ -261,9 +261,12 @@ class _CompletionSolvers:
     transition, so ``Q_m = m * Q``.
     """
 
-    def __init__(self, chain: Ctmc, tolerance: float) -> None:
+    def __init__(
+        self, chain: Ctmc, tolerance: float, method: str = "uniformisation"
+    ) -> None:
         self._chain = chain
         self._tolerance = tolerance
+        self._method = method
         self._generator = None
         self._solvers: dict[float, BatchTransientSolver] = {}
 
@@ -272,7 +275,9 @@ class _CompletionSolvers:
         if solver is None:
             if multiplier == 1.0:
                 solver = BatchTransientSolver(
-                    self._chain, tolerance=self._tolerance
+                    self._chain,
+                    tolerance=self._tolerance,
+                    method=self._method,
                 )
             else:
                 if self._generator is None:
@@ -283,6 +288,7 @@ class _CompletionSolvers:
                     self._generator * multiplier,
                     states=self._chain.states,
                     tolerance=self._tolerance,
+                    method=self._method,
                 )
             self._solvers[multiplier] = solver
         return solver
@@ -536,8 +542,14 @@ def evaluate_timeline(
     database: VulnerabilityDatabase | None = None,
     tolerance: float = 1e-10,
     campaign: PatchCampaign | None = None,
+    method: str = "uniformisation",
 ) -> DesignTimeline:
     """The patch-timeline curves of one design.
+
+    *method* selects the transient propagation backend for both the
+    COA curve and the completion-chain solves (see
+    :class:`~repro.ctmc.transient.BatchTransientSolver`); the default
+    keeps the exact bit-identical uniformisation path.
 
     With no arguments beyond *design* and *times*, uses the paper's case
     study and critical-vulnerability policy.  Pass shared evaluator
@@ -585,9 +597,9 @@ def evaluate_timeline(
 
     if campaign is None:
         coa_curve = availability_evaluator.transient_coa(
-            design, times, tolerance=tolerance
+            design, times, tolerance=tolerance, method=method
         )
-        solver = BatchTransientSolver(chain, tolerance=tolerance)
+        solver = BatchTransientSolver(chain, tolerance=tolerance, method=method)
         distributions = solver.distributions({full: 1.0}, times)
         try:
             mean_completion = float(mean_time_to_absorption(chain, start=full))
@@ -600,7 +612,7 @@ def evaluate_timeline(
         multipliers = [
             phase.effective_multiplier(total) for phase in campaign.phases
         ]
-        solvers = _CompletionSolvers(chain, tolerance)
+        solvers = _CompletionSolvers(chain, tolerance, method)
         durations, phase_starts = _resolve_campaign(
             campaign, multipliers, groups, solvers, full, unpatched_vector
         )
@@ -616,7 +628,8 @@ def evaluate_timeline(
         )
         multipliers, durations = multipliers[:reach], durations[:reach]
         coa_curve = availability_evaluator.transient_coa_piecewise(
-            design, times, multipliers, durations, tolerance=tolerance
+            design, times, multipliers, durations,
+            tolerance=tolerance, method=method,
         )
         segments = [
             (solvers.for_multiplier(multiplier), duration)
@@ -657,6 +670,7 @@ def evaluate_timelines_shared(
     security_evaluator: SecurityEvaluator | None = None,
     availability_evaluator: AvailabilityEvaluator | None = None,
     campaign: PatchCampaign | None = None,
+    method: str = "uniformisation",
 ) -> list[DesignTimeline]:
     """Serial timelines of *designs* with one shared evaluator pair.
 
@@ -693,6 +707,7 @@ def evaluate_timelines_shared(
                     availability_evaluator=availability_evaluator,
                     tolerance=tolerance,
                     campaign=campaign,
+                    method=method,
                 )
             )
         except ReproError as exc:
@@ -718,6 +733,7 @@ def evaluate_timelines(
     database: VulnerabilityDatabase | None = None,
     tolerance: float = 1e-10,
     campaign: PatchCampaign | None = None,
+    method: str = "uniformisation",
 ) -> list[DesignTimeline]:
     """Timelines of many designs, optionally fanned out in parallel.
 
@@ -742,7 +758,8 @@ def evaluate_timelines(
             database=database,
         )
         return engine.timeline(
-            designs, times, tolerance=tolerance, campaign=campaign
+            designs, times, tolerance=tolerance, campaign=campaign,
+            method=method,
         )
     return evaluate_timelines_shared(
         designs,
@@ -752,4 +769,5 @@ def evaluate_timelines(
         database=database,
         tolerance=tolerance,
         campaign=campaign,
+        method=method,
     )

@@ -17,6 +17,7 @@ and raises :class:`repro.errors.SrnError`.
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from dataclasses import dataclass
 
@@ -75,6 +76,34 @@ class ReachabilityGraph:
             if i != j:
                 chain.add_rate(self.tangible[i], self.tangible[j], rate)
         return chain
+
+    def generator(self) -> sparse.csr_matrix:
+        """The CSR generator assembled straight from the rate dict.
+
+        Equivalent to ``to_ctmc().generator()`` but vectorised and
+        without materialising the labelled chain: index arrays come from
+        the rate dict in insertion order (the same order the chain walk
+        accumulates in, so the floats match), self-loops are dropped and
+        the diagonal is the negated row outflow.
+        """
+        n = len(self.tangible)
+        if not self.rates:
+            return sparse.csr_matrix((n, n))
+        pairs = np.array(list(self.rates.keys()), dtype=np.intp)
+        values = np.fromiter(
+            self.rates.values(), dtype=float, count=len(self.rates)
+        )
+        off = pairs[:, 0] != pairs[:, 1]
+        src, dst, values = pairs[off, 0], pairs[off, 1], values[off]
+        outflow = np.bincount(src, weights=values, minlength=n)
+        diagonal = np.arange(n, dtype=np.intp)
+        return sparse.csr_matrix(
+            (
+                np.concatenate([values, -outflow]),
+                (np.concatenate([src, diagonal]), np.concatenate([dst, diagonal])),
+            ),
+            shape=(n, n),
+        )
 
     @property
     def number_of_states(self) -> int:
@@ -208,38 +237,48 @@ def _eliminate_vanishing(
                 p_vt[row, tangible_pos[dst]] += probability
 
     # Solve (I - P_vv) Y = P_vt  =>  Y[v, t] = P(eventually reach t | start v).
+    # Both sides stay sparse end to end: the factor is applied to the
+    # sparse right-hand side, never to an (n_v, n_t) dense block, so
+    # elimination memory scales with the non-zeros, not with n_v * n_t.
     identity = sparse.identity(n_v, format="csc")
     system = (identity - p_vv.tocsc()).tocsc()
     try:
-        lu = sparse_linalg.splu(system)
-    except RuntimeError as exc:
+        with warnings.catch_warnings():
+            # A singular system surfaces as MatrixRankWarning + inf/nan
+            # on the sparse right-hand-side path; promote it so both
+            # failure shapes funnel into the timeless-trap error below.
+            warnings.simplefilter("error", sparse_linalg.MatrixRankWarning)
+            y = sparse_linalg.spsolve(system, p_vt.tocsc())
+    except (RuntimeError, sparse_linalg.MatrixRankWarning) as exc:
         raise SrnError(
             "timeless trap: a cycle of vanishing markings never reaches a "
             f"tangible marking ({exc})"
         ) from exc
-    y = np.zeros((n_v, n_t))
-    p_vt_dense = p_vt.toarray()
-    for column in range(n_t):
-        y[:, column] = lu.solve(p_vt_dense[:, column])
-    if not np.all(np.isfinite(y)):
+    y = sparse.csr_matrix(y.reshape(n_v, n_t) if isinstance(y, np.ndarray) else y)
+    if not np.all(np.isfinite(y.data)):
         raise SrnError("vanishing elimination produced non-finite probabilities")
-    row_sums = y.sum(axis=1)
+    row_sums = np.asarray(y.sum(axis=1)).ravel()
     if np.any(row_sums < 1.0 - 1e-6):
         raise SrnError(
             "timeless trap: some vanishing marking reaches a tangible "
             "marking with probability < 1"
         )
 
-    # Effective tangible-to-tangible rates.
+    # Effective tangible-to-tangible rates, walking only the stored
+    # non-zeros of each vanishing row.
+    indptr, indices, data = y.indptr, y.indices, y.data
     for orig in tangible_ids:
         i = tangible_pos[orig]
         for dst, rate in edges[orig]:
             if is_vanishing[dst]:
                 v = vanishing_pos[dst]
-                for j in range(n_t):
-                    split = rate * y[v, j]
+                for j, probability in zip(
+                    indices[indptr[v] : indptr[v + 1]],
+                    data[indptr[v] : indptr[v + 1]],
+                ):
+                    split = rate * probability
                     if split > 0.0:
-                        key = (i, j)
+                        key = (i, int(j))
                         rates[key] = rates.get(key, 0.0) + split
             else:
                 key = (i, tangible_pos[dst])
@@ -248,7 +287,7 @@ def _eliminate_vanishing(
     # Initial distribution (handles a vanishing initial marking).
     initial = np.zeros(n_t)
     if is_vanishing[0]:
-        initial[:] = y[vanishing_pos[0], :]
+        initial[:] = y.getrow(vanishing_pos[0]).toarray().ravel()
     else:
         initial[tangible_pos[0]] = 1.0
 

@@ -63,6 +63,35 @@ class TestContextFingerprint:
         assert a == b
         assert a != c
 
+    def test_pipeline_version_is_v4(self):
+        from repro.evaluation import cache as cache_module
+
+        assert cache_module._PIPELINE_VERSION == b"repro-evaluation-pipeline-v4"
+
+    def test_old_pipeline_entries_are_not_served(self, tmp_path, monkeypatch):
+        """Entries fingerprinted under pipeline v3 must miss under v4.
+
+        The v3 -> v4 bump retires timeline entries that predate the
+        method-aware cache keys; this pins the retirement mechanism
+        (fingerprint salting) rather than one specific key shape.
+        """
+        from repro.evaluation import cache as cache_module
+
+        store = PersistentEvaluationCache(tmp_path / "cache.sqlite")
+        context = (CriticalVulnerabilityPolicy(), None)
+        monkeypatch.setattr(
+            cache_module,
+            "_PIPELINE_VERSION",
+            b"repro-evaluation-pipeline-v3",
+        )
+        old_fingerprint = context_fingerprint(*context)
+        store.put(old_fingerprint, "design-key", {"coa": 0.5})
+        monkeypatch.undo()
+        new_fingerprint = context_fingerprint(*context)
+        assert new_fingerprint != old_fingerprint
+        assert store.get(new_fingerprint, "design-key") is None
+        assert store.get(old_fingerprint, "design-key") == {"coa": 0.5}
+
 
 class TestEngineDiskCache:
     def test_second_engine_hits_disk(self, tmp_path):

@@ -177,3 +177,40 @@ class TestVanishingElimination:
         net.add_arc("swap2", "left")
         graph = explore(net)
         assert graph.initial_distribution == pytest.approx([0.25, 0.75])
+
+
+class TestSparseGenerator:
+    """``ReachabilityGraph.generator()`` builds the CSR generator
+    directly from the rate table; it must be exactly the matrix the
+    ``to_ctmc()`` round-trip produces."""
+
+    def _parity(self, net):
+        import numpy as np
+
+        graph = explore(net)
+        direct = graph.generator().toarray()
+        via_chain = graph.to_ctmc().generator().toarray()
+        assert np.array_equal(direct, via_chain)
+
+    def test_updown_parity(self):
+        self._parity(updown_net())
+
+    def test_birth_death_parity(self):
+        net = StochasticRewardNet()
+        net.add_place("up", tokens=4)
+        net.add_place("down")
+        net.add_timed_transition("fail", rate=lambda m: 0.7 * m["up"])
+        net.add_arc("up", "fail")
+        net.add_arc("fail", "down")
+        net.add_timed_transition("repair", rate=lambda m: 1.9 * m["down"])
+        net.add_arc("down", "repair")
+        net.add_arc("repair", "up")
+        self._parity(net)
+
+    def test_generator_rows_sum_to_zero(self):
+        import numpy as np
+
+        graph = explore(updown_net())
+        q = graph.generator()
+        rows = np.asarray(q.sum(axis=1)).ravel()
+        np.testing.assert_allclose(rows, 0.0, atol=0.0)

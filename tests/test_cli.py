@@ -294,6 +294,77 @@ class TestTimelineCli:
         assert "variant pool" in capsys.readouterr().err
 
 
+class TestScaledAndMethodCli:
+    def _timeline_payload(self, capsys, *extra):
+        argv = [
+            "timeline",
+            "--roles",
+            "dns",
+            "--times",
+            "0,24,168",
+            "--json",
+            *extra,
+        ]
+        assert main(argv) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_method_default_is_uniformisation(self, capsys):
+        base = self._timeline_payload(capsys)
+        explicit = self._timeline_payload(capsys, "--method", "uniformisation")
+        assert base["designs"] == explicit["designs"]
+
+    @pytest.mark.parametrize("method", ["krylov", "adaptive", "auto"])
+    def test_method_curves_match_default(self, capsys, method):
+        base = self._timeline_payload(capsys)
+        other = self._timeline_payload(capsys, "--method", method)
+        for a, b in zip(base["designs"], other["designs"]):
+            assert a["coa"] == pytest.approx(b["coa"], abs=1e-8)
+
+    def test_bad_method_exits_2(self, capsys):
+        argv = ["timeline", "--roles", "dns", "--method", "simpson"]
+        with pytest.raises(SystemExit):
+            main(argv)
+
+    def test_scaled_timeline_json(self, capsys):
+        assert (
+            main(
+                [
+                    "timeline",
+                    "--scaled",
+                    "2x3",
+                    "--times",
+                    "0,24,720",
+                    "--method",
+                    "auto",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["roles"] == ["tier01", "tier02", "tier03"]
+        assert payload["design_count"] == 1
+        design = payload["designs"][0]
+        assert design["counts"] == {"tier01": 2, "tier02": 2, "tier03": 2}
+        assert design["coa"][0] == 1.0
+
+    def test_scaled_sweep_table(self, capsys):
+        assert main(["sweep", "--scaled", "2x2"]) == 0
+        out = capsys.readouterr().out
+        assert "TIER01" in out
+
+    def test_scaled_rejects_variants(self, capsys):
+        assert (
+            main(["timeline", "--scaled", "2x2", "--variants", "--points", "3"])
+            == 2
+        )
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_bad_scaled_spec_exits_2(self, capsys):
+        assert main(["timeline", "--scaled", "lots"]) == 2
+        assert "HOSTSxTIERS" in capsys.readouterr().err
+
+
 class TestCampaignCli:
     BASE = ["timeline", "--roles", "dns,web", "--max-replicas", "1", "--points", "4"]
 
