@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.enterprise import scaled_case_study
 from repro.evaluation import AvailabilityEvaluator
+from repro.observability import REGISTRY
 from repro.patching import CriticalVulnerabilityPolicy
 
 #: (hosts_per_tier, tiers) -> states = (hosts + 1) ** tiers
@@ -45,6 +46,17 @@ def _emit(payload):
     print("\nBENCH " + json.dumps(payload))
 
 
+def _counter_delta(delta, name):
+    """Total increment of counter *name* in a registry delta (all labels)."""
+    return round(
+        sum(
+            entry["value"]
+            for (family, _labels), entry in delta.items()
+            if family == name and entry["kind"] == "counter"
+        )
+    )
+
+
 def test_scalability_frontier():
     for hosts, tiers in SIZES:
         build_start = time.perf_counter()
@@ -59,11 +71,13 @@ def test_scalability_frontier():
 
         curves = {}
         for method in METHODS:
+            before = REGISTRY.state()
             start = time.perf_counter()
             curves[method] = structure.transient_coa(
                 rates, TIMES, method=method
             )
             solve_s = time.perf_counter() - start
+            counters = REGISTRY.delta_since(before)
             if states >= 10_000:
                 assert solve_s < FRONTIER_BUDGET_S, (
                     f"{method} took {solve_s:.1f}s on {states} states"
@@ -80,6 +94,22 @@ def test_scalability_frontier():
                     "method": method,
                     "build_s": round(build_s, 4),
                     "solve_s": round(solve_s, 4),
+                    # Solver-path counters from the observability
+                    # registry (non-_s fields: informational, exempt
+                    # from the CI trajectory slowdown gate).
+                    "transient_solves": _counter_delta(
+                        counters, "repro_transient_solves_total"
+                    ),
+                    "uniformisation_iterations": _counter_delta(
+                        counters,
+                        "repro_transient_uniformisation_iterations_total",
+                    ),
+                    "adaptive_exits": _counter_delta(
+                        counters, "repro_transient_adaptive_exits_total"
+                    ),
+                    "krylov_propagations": _counter_delta(
+                        counters, "repro_transient_krylov_propagations_total"
+                    ),
                 }
             )
 

@@ -32,6 +32,7 @@ import time
 from repro.evaluation.engine import SweepEngine
 from repro.evaluation.sweep import enumerate_designs
 from repro.availability.grouped import design_layout
+from repro.observability import REGISTRY
 from repro.srn.reachability import exploration_count
 
 ROLES = ("dns", "web", "app")
@@ -93,19 +94,24 @@ def test_structure_sharing_speedup(case_study, critical_policy):
     _assert_identical(baseline_results, shared_results)
 
     # solve counts, measured in-process on serial engines
-    def explorations(structure_sharing):
+    def solve_counts(structure_sharing):
         serial = SweepEngine(
             case_study=case_study,
             policy=critical_policy,
             structure_sharing=structure_sharing,
         )
+        steady = REGISTRY.counter("repro_steady_solves_total")
+        steady_before = sum(c.value for c in steady.series().values())
         before = exploration_count()
         serial.evaluate(designs)
-        return exploration_count() - before
+        steady_after = sum(c.value for c in steady.series().values())
+        return exploration_count() - before, round(
+            steady_after - steady_before
+        )
 
     lower_layer = len(ROLES)  # one server SRN per role, in both modes
-    shared_explorations = explorations(True)
-    baseline_explorations = explorations(False)
+    shared_explorations, shared_steady = solve_counts(True)
+    baseline_explorations, baseline_steady = solve_counts(False)
     assert shared_explorations == len(patterns) + lower_layer
     assert baseline_explorations == len(designs) + lower_layer
 
@@ -124,6 +130,8 @@ def test_structure_sharing_speedup(case_study, critical_policy):
                 "upper_explorations_baseline": (
                     baseline_explorations - lower_layer
                 ),
+                "steady_solves_shared": shared_steady,
+                "steady_solves_baseline": baseline_steady,
             }
         )
     )

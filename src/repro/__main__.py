@@ -38,6 +38,21 @@ Commands
     (everything, one scope or one context fingerprint) and ``trim``
     (LRU-evict down to entry/size bounds).
 
+Observability
+-------------
+Every command accepts a global ``-v``/``--verbose`` flag (repeat for
+debug level) that turns on the module loggers — context builds, warm
+shared-context reuse, pool recycles, cache writes.  ``sweep`` and
+``timeline`` accept ``--trace FILE``: span tracing is enabled for the
+run and a Chrome trace-event JSON file (open it in Perfetto or
+``chrome://tracing``) is written on success, with worker-side spans
+from process-pool chunks merged into the one timeline.  ``serve``
+exposes the process-wide metrics registry on ``GET /metrics`` — JSON
+by default, Prometheus text exposition when the ``Accept`` header asks
+for ``text/plain`` — and emits a structured JSON access log line per
+request on stderr.  Results are byte-identical with instrumentation on
+or off.
+
 Both space commands accept ``--cache PATH``: a sqlite file that
 persists results across invocations, so re-running a sweep or timeline
 only pays for designs not seen before.  They also accept
@@ -52,6 +67,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from collections.abc import Sequence
 
@@ -206,6 +222,26 @@ def _space_engine_and_designs(args: argparse.Namespace, roles):
     return engine, designs, roles
 
 
+def _start_trace(args: argparse.Namespace) -> bool:
+    """Enable span tracing when ``--trace FILE`` was given."""
+    if not getattr(args, "trace", None):
+        return False
+    from repro.observability import tracing
+
+    tracing.enable()
+    tracing.drain()  # a fresh trace per invocation
+    return True
+
+
+def _finish_trace(args: argparse.Namespace) -> None:
+    """Write the accumulated spans as Chrome trace-event JSON."""
+    from repro.observability import tracing, write_chrome_trace
+
+    count = write_chrome_trace(args.trace)
+    tracing.disable()
+    print(f"trace: wrote {count} span(s) to {args.trace}", file=sys.stderr)
+
+
 def _sweep(args: argparse.Namespace) -> int:
     from repro.evaluation.report import design_comparison_table
 
@@ -215,12 +251,15 @@ def _sweep(args: argparse.Namespace) -> int:
     if not roles and not args.scaled:
         print("no roles given", file=sys.stderr)
         return 2
+    tracing_on = _start_trace(args)
     try:
         engine, designs, roles = _space_engine_and_designs(args, roles)
         evaluations = engine.evaluate(designs)
     except ReproError as exc:
         print(f"sweep failed: {exc}", file=sys.stderr)
         return 2
+    if tracing_on:
+        _finish_trace(args)
     if args.json:
         # The service envelope builder, so `repro sweep --json` and a
         # `repro serve` response agree by construction.
@@ -278,6 +317,7 @@ def _timeline(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(f"timeline failed: bad time grid ({exc})", file=sys.stderr)
             return 2
+    tracing_on = _start_trace(args)
     try:
         if not args.times:
             times = default_time_grid(args.horizon, args.points)
@@ -289,6 +329,8 @@ def _timeline(args: argparse.Namespace) -> int:
     except ReproError as exc:
         print(f"timeline failed: {exc}", file=sys.stderr)
         return 2
+    if tracing_on:
+        _finish_trace(args)
     if args.json:
         from repro.evaluation.service import timeline_response
 
@@ -453,7 +495,28 @@ def main(argv: Sequence[str] | None = None) -> int:
             "  solver tolerance) or auto (exact up to 5000 states, adaptive\n"
             "  above).  REPRO_DENSE_THRESHOLD overrides the dense/sparse\n"
             "  cutoff; steady solves above 5000 states use a preconditioned\n"
-            "  iterative path automatically."
+            "  iterative path automatically.\n"
+            "\n"
+            "observability:\n"
+            "  -v/--verbose logs engine decisions (context builds, warm\n"
+            "  reuse, pool recycles, cache writes) to stderr; repeat for\n"
+            "  debug.  'sweep'/'timeline' --trace FILE writes a Chrome\n"
+            "  trace-event JSON of the run's spans (Perfetto-viewable),\n"
+            "  including worker-side solver spans merged from process\n"
+            "  pools.  'serve' reports the process-wide metrics registry\n"
+            "  on GET /metrics (JSON, or Prometheus text with Accept:\n"
+            "  text/plain) and logs one JSON access line per request.\n"
+            "  Results are byte-identical with instrumentation on or off."
+        ),
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help=(
+            "log engine/cache/pool decisions to stderr "
+            "(-v: info, -vv: debug)"
         ),
     )
     commands = parser.add_subparsers(dest="command", required=True)
@@ -543,6 +606,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         command.add_argument(
             "--json", action="store_true", help="emit JSON instead of a table"
+        )
+        command.add_argument(
+            "--trace",
+            default=None,
+            metavar="FILE",
+            help=(
+                "record span tracing for the run and write a Chrome "
+                "trace-event JSON file (viewable in Perfetto); "
+                "process-pool worker spans are merged in"
+            ),
         )
 
     sweep = commands.add_parser(
@@ -721,6 +794,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     cache.set_defaults(handler=_cache)
 
     args = parser.parse_args(argv)
+    if args.verbose:
+        logging.basicConfig(
+            level=logging.DEBUG if args.verbose > 1 else logging.INFO,
+            format="%(levelname)s %(name)s: %(message)s",
+            stream=sys.stderr,
+        )
     return args.handler(args)
 
 

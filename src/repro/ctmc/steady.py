@@ -43,6 +43,8 @@ from scipy.sparse import linalg as sparse_linalg
 
 from repro.ctmc.chain import Ctmc
 from repro.errors import SolverError
+from repro.observability import metrics as _metrics
+from repro.observability import tracing as _tracing
 
 __all__ = [
     "steady_state",
@@ -55,6 +57,11 @@ __all__ = [
 ]
 
 _logger = logging.getLogger(__name__)
+
+_STEADY_SOLVES = _metrics.counter(
+    "repro_steady_solves_total",
+    "Steady-state solves by elimination path (core invocations).",
+)
 
 _GTH_CUTOFF = 200
 
@@ -94,6 +101,13 @@ def steady_state(chain: Ctmc, method: str = "auto") -> np.ndarray:
         ``"auto"``, ``"direct"``, ``"gth"``, ``"iterative"`` or
         ``"power"``.
     """
+    with _tracing.span(
+        "ctmc:steady", states=chain.number_of_states(), method=method
+    ):
+        return _steady_state(chain, method)
+
+
+def _steady_state(chain: Ctmc, method: str) -> np.ndarray:
     if method == "auto":
         n = chain.number_of_states()
         if n <= _GTH_CUTOFF:
@@ -174,6 +188,7 @@ def steady_state_power(
 
 def _direct_core(q: sparse.spmatrix) -> np.ndarray:
     """Direct solve given the sparse generator ``Q`` (n >= 2)."""
+    _STEADY_SOLVES.inc(path="direct")
     n = q.shape[0]
     a = q.transpose().tolil()
     # Replace the last equation with sum(pi) = 1.
@@ -198,6 +213,7 @@ def _iterative_core(
     starting vector, avoiding the LU fill-in that makes the direct
     factorisation super-linear at large ``n``.
     """
+    _STEADY_SOLVES.inc(path="iterative")
     n = q.shape[0]
     a = q.transpose().tocsr().astype(float)
     a = sparse.vstack([a[: n - 1, :], np.ones((1, n))], format="csr")
@@ -255,6 +271,7 @@ def _finalise_pi(pi: np.ndarray, label: str) -> np.ndarray:
 
 def _gth_core(q: np.ndarray) -> np.ndarray:
     """GTH elimination given the dense generator ``Q`` (n >= 2)."""
+    _STEADY_SOLVES.inc(path="gth")
     n = q.shape[0]
     # Work on the off-diagonal rate matrix.
     a = q.copy()
@@ -291,6 +308,7 @@ def _power_core(
     max_iterations: int = 2_000_000,
 ) -> np.ndarray:
     """Uniformised power iteration given the sparse generator (n >= 2)."""
+    _STEADY_SOLVES.inc(path="power")
     n = q.shape[0]
     max_exit = float(np.max(-q.diagonal())) if n else 0.0
     if max_exit <= 0.0:
@@ -400,6 +418,10 @@ class BatchSteadySolver:
 
     def solve(self, rates: Sequence[float], method: str = "auto") -> np.ndarray:
         """Steady-state vector for the chain with the given rate values."""
+        with _tracing.span("ctmc:steady", states=self.n, method=method):
+            return self._solve(rates, method)
+
+    def _solve(self, rates: Sequence[float], method: str) -> np.ndarray:
         if self.n == 1:
             return np.array([1.0])
         if method == "auto":

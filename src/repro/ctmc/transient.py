@@ -68,8 +68,31 @@ from scipy.sparse.linalg import expm_multiply
 
 from repro.ctmc.chain import Ctmc, State
 from repro.errors import SolverError
+from repro.observability import metrics as _metrics
+from repro.observability import tracing as _tracing
 
 _logger = logging.getLogger(__name__)
+
+_SOLVER_BUILDS = _metrics.counter(
+    "repro_transient_solver_builds_total",
+    "Transient solver constructions by resolved method and backend.",
+)
+_SOLVES = _metrics.counter(
+    "repro_transient_solves_total",
+    "Transient distribution solves (propagation actually performed).",
+)
+_ITERATIONS = _metrics.counter(
+    "repro_transient_uniformisation_iterations_total",
+    "Uniformisation iterates streamed (vector-matrix products).",
+).labels()
+_ADAPTIVE_EXITS = _metrics.counter(
+    "repro_transient_adaptive_exits_total",
+    "Adaptive uniformisation solves that detected steady state early.",
+).labels()
+_KRYLOV = _metrics.counter(
+    "repro_transient_krylov_propagations_total",
+    "Krylov expm_multiply interval propagations.",
+).labels()
 
 __all__ = [
     "transient_distribution",
@@ -423,6 +446,9 @@ class BatchTransientSolver:
             self.dense_threshold,
             self._block,
         )
+        _SOLVER_BUILDS.inc(
+            method=self.resolved_method, backend=self.backend
+        )
 
     # -- Poisson table -------------------------------------------------------
 
@@ -481,14 +507,22 @@ class BatchTransientSolver:
                 weights, left = row
                 active.append((i, left, weights))
         if active:
-            if self.resolved_method == "krylov":
-                self._krylov_propagate(
-                    pi0, [(i, times[i]) for i, _, _ in active], out
-                )
-            elif self.resolved_method == "adaptive":
-                self._accumulate_adaptive(pi0, active, out)
-            else:
-                self._accumulate(pi0, active, out)
+            _SOLVES.inc(method=self.resolved_method)
+            with _tracing.span(
+                "ctmc:transient",
+                states=self.n,
+                method=self.resolved_method,
+                backend=self.backend,
+                times=len(active),
+            ):
+                if self.resolved_method == "krylov":
+                    self._krylov_propagate(
+                        pi0, [(i, times[i]) for i, _, _ in active], out
+                    )
+                elif self.resolved_method == "adaptive":
+                    self._accumulate_adaptive(pi0, active, out)
+                else:
+                    self._accumulate(pi0, active, out)
             for i, _, _ in active:
                 result = np.clip(out[i], 0.0, None)
                 total = result.sum()
@@ -557,6 +591,7 @@ class BatchTransientSolver:
         which windows are requested.
         """
         last = max(left + len(weights) for _, left, weights in active) - 1
+        _ITERATIONS.inc(last + 1)
         if self._powers is not None:
             block, n = self._block, self.n
             lefts = np.array([left for _, left, _ in active])
@@ -606,6 +641,7 @@ class BatchTransientSolver:
         even after the final renormalisation.
         """
         last = max(left + len(weights) for _, left, weights in active) - 1
+        ran = last + 1
         term = pi0.copy()
         self.last_adaptive_exit = None
         for k in range(last + 1):
@@ -624,6 +660,8 @@ class BatchTransientSolver:
                         out[i] += float(weights[lo:].sum()) * nxt
                 self.last_adaptive_exit = k
                 self.adaptive_exits += 1
+                _ADAPTIVE_EXITS.inc()
+                ran = k + 1
                 _logger.debug(
                     "adaptive uniformisation: steady state at iterate "
                     "%d of %d (delta=%.3e)",
@@ -633,6 +671,7 @@ class BatchTransientSolver:
                 )
                 break
             term = nxt
+        _ITERATIONS.inc(ran)
 
     def _krylov_propagate(
         self,
@@ -654,6 +693,7 @@ class BatchTransientSolver:
             if time > previous:
                 vector = expm_multiply(self._qt * (time - previous), vector)
                 previous = time
+                _KRYLOV.inc()
             out[i] = vector
 
     def _initial(

@@ -39,13 +39,29 @@ with a clear message rather than a raw ``sqlite3.ProgrammingError``.
 from __future__ import annotations
 
 import hashlib
+import logging
 import pickle
 import sqlite3
 import threading
 from collections.abc import Hashable
 from contextlib import contextmanager
 
+from repro import observability
 from repro.errors import EvaluationError
+
+_logger = logging.getLogger(__name__)
+
+_DISK_LOOKUPS = observability.counter(
+    "repro_disk_cache_requests_total",
+    "Persistent (sqlite) cache lookups by outcome.",
+)
+_DISK_HITS = _DISK_LOOKUPS.labels(outcome="hit")
+_DISK_MISSES = _DISK_LOOKUPS.labels(outcome="miss")
+_DISK_STALE = _DISK_LOOKUPS.labels(outcome="stale")
+_DISK_WRITES = observability.counter(
+    "repro_disk_cache_writes_total",
+    "Persistent (sqlite) cache entries written.",
+).labels()
 
 __all__ = ["PersistentEvaluationCache", "context_fingerprint"]
 
@@ -251,13 +267,22 @@ class PersistentEvaluationCache:
                 except sqlite3.Error:
                     pass
         if row is None:
+            _DISK_MISSES.inc()
             return None
         try:
-            return pickle.loads(row[0])
+            value = pickle.loads(row[0])
         except Exception:
             # A payload written by an incompatible library version is a
             # miss, not an error: the caller recomputes and overwrites.
+            _DISK_STALE.inc()
+            _logger.debug(
+                "stale cache payload for (%s, %s…): treating as miss",
+                scope,
+                key[:16],
+            )
             return None
+        _DISK_HITS.inc()
+        return value
 
     def put(self, scope: str, key: str, value: object) -> None:
         """Store (or replace) *value* under ``(scope, key)``.
@@ -280,6 +305,13 @@ class PersistentEvaluationCache:
                 raise EvaluationError(
                     f"evaluation cache write failed ({self.path!r}): {exc}"
                 ) from exc
+        _DISK_WRITES.inc()
+        _logger.debug(
+            "cached %d-byte payload under (%s, %s…)",
+            len(payload),
+            scope,
+            key[:16],
+        )
 
     # -- maintenance ----------------------------------------------------------
 

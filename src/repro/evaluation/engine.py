@@ -71,7 +71,9 @@ run.  Results with a warm pool are byte-identical to per-call pools.
 
 from __future__ import annotations
 
+import logging
 import os
+import time
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import (
     BrokenExecutor,
@@ -81,12 +83,14 @@ from concurrent.futures import (
 from functools import partial
 from typing import Any
 
+from repro import observability
 from repro._validation import check_positive_int
 from repro.enterprise.casestudy import EnterpriseCaseStudy, paper_case_study
 from repro.enterprise.design import DesignSpec
 from repro.enterprise.roles import ServerRole
 from repro.errors import EvaluationError
 from repro.evaluation.combined import DesignEvaluation, evaluate_designs_shared
+from repro.observability import tracing
 from repro.patching.policy import CriticalVulnerabilityPolicy, PatchPolicy
 from repro.vulnerability.database import VulnerabilityDatabase
 
@@ -97,6 +101,20 @@ __all__ = [
     "ProcessExecutor",
     "SweepEngine",
 ]
+
+_logger = logging.getLogger(__name__)
+
+_CACHE_LOOKUPS = observability.counter(
+    "repro_engine_cache_requests_total",
+    "Engine result-cache lookups by tier and outcome.",
+)
+_MEMO_HITS = _CACHE_LOOKUPS.labels(tier="memo", outcome="hit")
+_DISK_TIER_HITS = _CACHE_LOOKUPS.labels(tier="disk", outcome="hit")
+_MEMO_MISSES = _CACHE_LOOKUPS.labels(tier="memo", outcome="miss")
+_POOL_RECYCLES = observability.counter(
+    "repro_pool_recycles_total",
+    "Persistent pools recycled after a worker death.",
+)
 
 
 class Executor:
@@ -229,6 +247,15 @@ class _PoolExecutor(Executor):
             # re-running already-finished batches cannot change results.
             self._shutdown_pool()
             self.recycle_count += 1
+            _POOL_RECYCLES.inc(executor=self.name)
+            _logger.debug(
+                "%s pool broke (%r); recycling (recycle #%d) and "
+                "retrying %d batch(es)",
+                self.name,
+                exc.__cause__,
+                self.recycle_count,
+                len(batches),
+            )
             try:
                 return self._collect(self._ensure_pool(), fn, batches)
             except EvaluationError as retry_exc:
@@ -375,14 +402,18 @@ def _evaluate_chunk(
     database: VulnerabilityDatabase | None,
     designs: Sequence[DesignSpec],
     structure_sharing: bool = True,
+    telemetry: dict | None = None,
 ) -> list[DesignEvaluation]:
     """Worker entry point: evaluate one chunk with shared evaluators."""
-    return evaluate_designs_shared(
-        designs,
-        case_study,
-        policy,
-        database=database,
-        structure_sharing=structure_sharing,
+    return observability.capture(
+        telemetry,
+        lambda: evaluate_designs_shared(
+            designs,
+            case_study,
+            policy,
+            database=database,
+            structure_sharing=structure_sharing,
+        ),
     )
 
 
@@ -396,20 +427,24 @@ def _timeline_chunk(
     structure_sharing: bool = True,
     campaign=None,
     method: str = "uniformisation",
+    telemetry: dict | None = None,
 ):
     """Worker entry point: patch timelines of one chunk, shared evaluators."""
     from repro.evaluation.timeline import evaluate_timelines_shared
 
-    return evaluate_timelines_shared(
-        designs,
-        times,
-        case_study,
-        policy,
-        database=database,
-        tolerance=tolerance,
-        structure_sharing=structure_sharing,
-        campaign=campaign,
-        method=method,
+    return observability.capture(
+        telemetry,
+        lambda: evaluate_timelines_shared(
+            designs,
+            times,
+            case_study,
+            policy,
+            database=database,
+            tolerance=tolerance,
+            structure_sharing=structure_sharing,
+            campaign=campaign,
+            method=method,
+        ),
     )
 
 
@@ -457,9 +492,15 @@ def _timeline_chunk_primed(
     )
 
 
-def _map_chunk(fn: Callable[[Any], Any], items: Sequence[Any]) -> list:
+def _map_chunk(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    telemetry: dict | None = None,
+) -> list:
     """Worker entry point for :meth:`SweepEngine.map`."""
-    return [fn(item) for item in items]
+    return observability.capture(
+        telemetry, lambda: [fn(item) for item in items]
+    )
 
 
 class SweepEngine:
@@ -557,35 +598,42 @@ class SweepEngine:
     def evaluate(self, designs: Iterable[DesignSpec]) -> list[DesignEvaluation]:
         """Evaluate *designs* (any mix of spec kinds), in input order."""
         designs = list(designs)
-        pending: list[DesignSpec] = []
-        seen_pending: set[DesignSpec] = set()
-        for design in designs:
-            if design in self._cache:
-                self._hits += 1
-                continue
-            if self.persistent_cache is not None:
-                stored = self.persistent_cache.get(
-                    "evaluation", self._disk_key(design)
-                )
-                if stored is not None:
-                    self._cache[design] = stored
-                    self._disk_hits += 1
+        with tracing.span("engine:evaluate", designs=len(designs)) as sp:
+            pending: list[DesignSpec] = []
+            seen_pending: set[DesignSpec] = set()
+            for design in designs:
+                if design in self._cache:
+                    self._hits += 1
+                    _MEMO_HITS.inc()
                     continue
-            if design not in seen_pending:
-                self._misses += 1
-                seen_pending.add(design)
-                pending.append(design)
-        if pending:
-            for chunk_result in self._run_evaluate_chunks(self._chunks(pending)):
-                for evaluation in chunk_result:
-                    self._cache[evaluation.design] = evaluation
-                    if self.persistent_cache is not None:
-                        self.persistent_cache.put(
-                            "evaluation",
-                            self._disk_key(evaluation.design),
-                            evaluation,
-                        )
-        return [self._cache[design] for design in designs]
+                if self.persistent_cache is not None:
+                    stored = self.persistent_cache.get(
+                        "evaluation", self._disk_key(design)
+                    )
+                    if stored is not None:
+                        self._cache[design] = stored
+                        self._disk_hits += 1
+                        _DISK_TIER_HITS.inc()
+                        continue
+                if design not in seen_pending:
+                    self._misses += 1
+                    _MEMO_MISSES.inc()
+                    seen_pending.add(design)
+                    pending.append(design)
+            sp.add(pending=len(pending))
+            if pending:
+                for chunk_result in self._run_evaluate_chunks(
+                    self._chunks(pending)
+                ):
+                    for evaluation in chunk_result:
+                        self._cache[evaluation.design] = evaluation
+                        if self.persistent_cache is not None:
+                            self.persistent_cache.put(
+                                "evaluation",
+                                self._disk_key(evaluation.design),
+                                evaluation,
+                            )
+            return [self._cache[design] for design in designs]
 
     def timeline(
         self,
@@ -609,48 +657,61 @@ class SweepEngine:
         """
         designs = list(designs)
         times_key = tuple(float(t) for t in times)
-        pending: list[DesignSpec] = []
-        seen_pending: set[DesignSpec] = set()
-        for design in designs:
-            key = (design, times_key, tolerance, campaign, method)
-            if key in self._timelines:
-                self._hits += 1
-                continue
-            if self.persistent_cache is not None:
-                stored = self.persistent_cache.get(
-                    "timeline",
-                    self._timeline_disk_key(
-                        design, times_key, tolerance, campaign, method
-                    ),
-                )
-                if stored is not None:
-                    self._timelines[key] = stored
-                    self._disk_hits += 1
+        with tracing.span(
+            "engine:timeline", designs=len(designs), points=len(times_key)
+        ) as sp:
+            pending: list[DesignSpec] = []
+            seen_pending: set[DesignSpec] = set()
+            for design in designs:
+                key = (design, times_key, tolerance, campaign, method)
+                if key in self._timelines:
+                    self._hits += 1
+                    _MEMO_HITS.inc()
                     continue
-            if design not in seen_pending:
-                self._misses += 1
-                seen_pending.add(design)
-                pending.append(design)
-        if pending:
-            for chunk_result in self._run_timeline_chunks(
-                self._chunks(pending), times_key, tolerance, campaign, method
-            ):
-                for result in chunk_result:
-                    key = (result.design, times_key, tolerance, campaign, method)
-                    self._timelines[key] = result
-                    if self.persistent_cache is not None:
-                        self.persistent_cache.put(
-                            "timeline",
-                            self._timeline_disk_key(
-                                result.design, times_key, tolerance, campaign,
-                                method,
-                            ),
-                            result,
+                if self.persistent_cache is not None:
+                    stored = self.persistent_cache.get(
+                        "timeline",
+                        self._timeline_disk_key(
+                            design, times_key, tolerance, campaign, method
+                        ),
+                    )
+                    if stored is not None:
+                        self._timelines[key] = stored
+                        self._disk_hits += 1
+                        _DISK_TIER_HITS.inc()
+                        continue
+                if design not in seen_pending:
+                    self._misses += 1
+                    _MEMO_MISSES.inc()
+                    seen_pending.add(design)
+                    pending.append(design)
+            sp.add(pending=len(pending))
+            if pending:
+                for chunk_result in self._run_timeline_chunks(
+                    self._chunks(pending), times_key, tolerance, campaign,
+                    method,
+                ):
+                    for result in chunk_result:
+                        key = (
+                            result.design, times_key, tolerance, campaign,
+                            method,
                         )
-        return [
-            self._timelines[(design, times_key, tolerance, campaign, method)]
-            for design in designs
-        ]
+                        self._timelines[key] = result
+                        if self.persistent_cache is not None:
+                            self.persistent_cache.put(
+                                "timeline",
+                                self._timeline_disk_key(
+                                    result.design, times_key, tolerance,
+                                    campaign, method,
+                                ),
+                                result,
+                            )
+            return [
+                self._timelines[
+                    (design, times_key, tolerance, campaign, method)
+                ]
+                for design in designs
+            ]
 
     def _timeline_disk_key(
         self,
@@ -721,9 +782,10 @@ class SweepEngine:
         chunking or ordering.
         """
         items = list(items)
-        batches = [(fn, chunk) for chunk in self._chunks(items)]
+        options = observability.telemetry_options()
+        batches = [(fn, chunk, options) for chunk in self._chunks(items)]
         results: list[Any] = []
-        for chunk_result in self.executor.run(_map_chunk, batches):
+        for chunk_result in self._dispatch(_map_chunk, batches):
             results.extend(chunk_result)
         return results
 
@@ -793,6 +855,10 @@ class SweepEngine:
             from repro.evaluation.availability import AvailabilityEvaluator
             from repro.evaluation.security import SecurityEvaluator
 
+            _logger.debug(
+                "creating the engine's shared evaluator pair (executor=%s)",
+                self.executor.name,
+            )
             self._security_evaluator = SecurityEvaluator(
                 self.case_study, database=self.database
             )
@@ -839,12 +905,23 @@ class SweepEngine:
         if self._warm_context is not None and self._warm_context.covers(
             designs
         ):
+            _logger.debug(
+                "reusing warm shared context %s for %d design(s)",
+                self._warm_context.segment_name,
+                len(designs),
+            )
             return self._warm_context
         for design in designs:
             if design not in self._warm_design_set:
                 self._warm_design_set.add(design)
                 self._warm_designs.append(design)
         previous = self._warm_context
+        _logger.debug(
+            "rebuilding warm shared context over %d design(s) "
+            "(previous %s)",
+            len(self._warm_designs),
+            "covered too little" if previous is not None else "absent",
+        )
         self._warm_context = self._shared_context(self._warm_designs)
         if previous is not None:
             # Old workers copied the arrays out at initialization; only
@@ -852,18 +929,52 @@ class SweepEngine:
             previous.unlink()
         return self._warm_context
 
+    def _dispatch(
+        self,
+        fn: Callable[..., Any],
+        batches: Sequence[tuple],
+        runner: Callable[..., list] | None = None,
+    ) -> list:
+        """Run *batches* through the executor, absorbing chunk telemetry.
+
+        Worker-process chunks come back wrapped in
+        :class:`~repro.observability.ChunkTelemetry`; absorbing merges
+        their metric deltas and spans into this process and unwraps the
+        untouched results, so callers see the same shapes either way.
+        """
+        if runner is None:
+            runner = self.executor.run
+        dispatched = time.time()
+        with tracing.span(
+            "engine:dispatch",
+            executor=self.executor.name,
+            chunks=len(batches),
+        ):
+            results = runner(fn, batches)
+            return [
+                observability.absorb(result, dispatched)
+                for result in results
+            ]
+
     def _run_evaluate_chunks(self, chunks: Sequence[Sequence[Any]]) -> list:
         if not self.structure_sharing:
+            options = observability.telemetry_options()
             batches = [
-                (self.case_study, self.policy, self.database, chunk, False)
+                (
+                    self.case_study, self.policy, self.database, chunk,
+                    False, options,
+                )
                 for chunk in chunks
             ]
-            return self.executor.run(_evaluate_chunk, batches)
+            return self._dispatch(_evaluate_chunk, batches)
         if self._use_shared_memory(chunks):
             from repro.evaluation.shared_memory import shared_evaluate_chunk
 
+            options = observability.telemetry_options()
             return self._run_shared_memory(
-                shared_evaluate_chunk, [(chunk,) for chunk in chunks], chunks
+                shared_evaluate_chunk,
+                [(chunk, options) for chunk in chunks],
+                chunks,
             )
         security, availability = self._shared_evaluators()
         fn = partial(
@@ -873,7 +984,7 @@ class SweepEngine:
             self.case_study,
             self.policy,
         )
-        return self.executor.run(fn, [(chunk,) for chunk in chunks])
+        return self._dispatch(fn, [(chunk,) for chunk in chunks])
 
     def _run_shared_memory(
         self,
@@ -895,20 +1006,26 @@ class SweepEngine:
         designs = [design for chunk in chunks for design in chunk]
         if self._persistent_pool:
             context = self._warm_shared_context(designs)
-            return self.executor.run_with_initializer(
+            return self._dispatch(
                 fn,
                 batches,
-                initializer=initialize_worker,
-                initargs=(context.worker_payload(),),
-                key=context.segment_name,
+                runner=partial(
+                    self.executor.run_with_initializer,
+                    initializer=initialize_worker,
+                    initargs=(context.worker_payload(),),
+                    key=context.segment_name,
+                ),
             )
         context = self._shared_context(designs)
         try:
-            return self.executor.run_with_initializer(
+            return self._dispatch(
                 fn,
                 batches,
-                initializer=initialize_worker,
-                initargs=(context.worker_payload(),),
+                runner=partial(
+                    self.executor.run_with_initializer,
+                    initializer=initialize_worker,
+                    initargs=(context.worker_payload(),),
+                ),
             )
         finally:
             context.unlink()
@@ -922,6 +1039,7 @@ class SweepEngine:
         method: str = "uniformisation",
     ) -> list:
         if not self.structure_sharing:
+            options = observability.telemetry_options()
             batches = [
                 (
                     self.case_study,
@@ -933,17 +1051,19 @@ class SweepEngine:
                     False,
                     campaign,
                     method,
+                    options,
                 )
                 for chunk in chunks
             ]
-            return self.executor.run(_timeline_chunk, batches)
+            return self._dispatch(_timeline_chunk, batches)
         if self._use_shared_memory(chunks):
             from repro.evaluation.shared_memory import shared_timeline_chunk
 
+            options = observability.telemetry_options()
             return self._run_shared_memory(
                 shared_timeline_chunk,
                 [
-                    (times_key, tolerance, chunk, campaign, method)
+                    (times_key, tolerance, chunk, campaign, method, options)
                     for chunk in chunks
                 ],
                 chunks,
@@ -960,7 +1080,7 @@ class SweepEngine:
             campaign,
             method,
         )
-        return self.executor.run(fn, [(chunk,) for chunk in chunks])
+        return self._dispatch(fn, [(chunk,) for chunk in chunks])
 
     def _disk_key(self, design: DesignSpec, *parts) -> str:
         """Persistent-cache key: context fingerprint + design identity."""

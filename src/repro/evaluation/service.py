@@ -57,13 +57,69 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import threading
 import time
 from collections.abc import Sequence
 from concurrent.futures import ThreadPoolExecutor
 from functools import partial
 
+from repro import observability
 from repro.errors import EvaluationError, ReproError, ValidationError
+
+_logger = logging.getLogger(__name__)
+
+#: Structured JSON access log, one line per request.  Silent unless a
+#: handler is attached (``repro serve`` attaches one via
+#: :func:`configure_access_logs`; embedded/test services stay quiet).
+_access_logger = logging.getLogger("repro.serve.access")
+
+_REQUESTS = observability.counter(
+    "repro_service_requests_total",
+    "HTTP requests dispatched, by endpoint.",
+)
+_REQUEST_SECONDS = observability.histogram(
+    "repro_service_request_seconds",
+    "Request handling latency by endpoint and outcome.",
+)
+_SERVICE_CACHE = observability.counter(
+    "repro_service_cache_hits_total",
+    "Requests served from the dedup/response fast paths, by tier.",
+)
+_SERVICE_ERRORS = observability.counter(
+    "repro_service_errors_total",
+    "Requests that failed (validation or compute).",
+).labels()
+_SERVICE_COMPUTED = observability.counter(
+    "repro_service_computed_total",
+    "Requests computed through the engine (not served from caches).",
+).labels()
+_IN_FLIGHT = observability.gauge(
+    "repro_service_in_flight",
+    "Deduplicated computations currently in flight.",
+).labels()
+
+#: Accept-header fragments that select the Prometheus text exposition
+#: for ``GET /metrics`` (JSON stays the default).
+_PROMETHEUS_ACCEPT = ("text/plain", "openmetrics", "prometheus")
+_PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def configure_access_logs() -> None:
+    """Attach a stderr handler to the access log (idempotent).
+
+    Called by ``repro serve``: every request then emits one structured
+    JSON line (time, method, path, status, duration) to stderr, keeping
+    stdout for the announce line.  Embedded services skip this and stay
+    silent unless the application configures the
+    ``repro.serve.access`` logger itself.
+    """
+    if not _access_logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        _access_logger.addHandler(handler)
+        _access_logger.setLevel(logging.INFO)
+        _access_logger.propagate = False
 
 __all__ = [
     "DEFAULT_MAX_DESIGNS",
@@ -353,6 +409,7 @@ class EvaluationService:
         announce: bool = True,
     ) -> None:
         """Serve until interrupted (blocking; the ``repro serve`` body)."""
+        configure_access_logs()
         asyncio.run(self._serve(host, port, announce))
 
     async def _serve(self, host: str, port: int, announce: bool) -> None:
@@ -436,6 +493,8 @@ class EvaluationService:
     # -- HTTP plumbing ------------------------------------------------------
 
     async def _handle(self, reader, writer) -> None:
+        started = time.perf_counter()
+        request = None
         status, payload = 500, {"error": "internal error"}
         try:
             request = await self._read_request(reader)
@@ -448,11 +507,18 @@ class EvaluationService:
             return
         except Exception as exc:  # never leak a traceback as a hang
             self._counters["errors"] += 1
+            _SERVICE_ERRORS.inc()
             status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
-        body = (json.dumps(payload, indent=2) + "\n").encode()
+        if isinstance(payload, str):
+            # Pre-rendered text (the Prometheus exposition).
+            body = payload.encode()
+            content_type = _PROMETHEUS_CONTENT_TYPE
+        else:
+            body = (json.dumps(payload, indent=2) + "\n").encode()
+            content_type = "application/json"
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             "Connection: close\r\n\r\n"
         ).encode()
@@ -463,39 +529,74 @@ class EvaluationService:
             await writer.wait_closed()
         except (ConnectionError, BrokenPipeError):  # client went away
             pass
+        self._log_access(request, status, time.perf_counter() - started)
+
+    @staticmethod
+    def _log_access(request, status: int, seconds: float) -> None:
+        if not _access_logger.isEnabledFor(logging.INFO):
+            return
+        method, path = (request[0], request[1]) if request else ("-", "-")
+        _access_logger.info(
+            json.dumps(
+                {
+                    "time": time.strftime(
+                        "%Y-%m-%dT%H:%M:%S%z", time.localtime()
+                    ),
+                    "method": method,
+                    "path": path,
+                    "status": status,
+                    "duration_ms": round(seconds * 1000.0, 3),
+                },
+                sort_keys=True,
+            )
+        )
 
     @staticmethod
     async def _read_request(reader):
-        """``(method, path, body)`` of one HTTP/1.1 request, else None."""
+        """``(method, path, body, headers)`` of one request, else None.
+
+        *headers* maps lower-cased names to values (last wins) — enough
+        for content-length framing and ``Accept`` negotiation.
+        """
         line = await reader.readline()
         parts = line.decode("latin1").split()
         if len(parts) < 2:
             return None
         method, target = parts[0].upper(), parts[1]
-        length = 0
+        headers: dict[str, str] = {}
         while True:
             header = await reader.readline()
             if header in (b"\r\n", b"\n", b""):
                 break
             name, _, value = header.decode("latin1").partition(":")
-            if name.strip().lower() == "content-length":
-                try:
-                    length = int(value.strip())
-                except ValueError:
-                    return None
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            return None
         if length < 0 or length > _MAX_BODY_BYTES:
             return None
         body = await reader.readexactly(length) if length else b""
-        return method, target.split("?", 1)[0], body
+        return method, target.split("?", 1)[0], body, headers
 
     # -- dispatch -----------------------------------------------------------
 
-    async def _dispatch(self, method: str, path: str, body: bytes):
+    async def _dispatch(
+        self, method: str, path: str, body: bytes, headers=None
+    ):
         self._counters["requests_total"] += 1
+        known = ("/healthz", "/metrics", "/sweep", "/timeline")
+        _REQUESTS.inc(endpoint=path if path in known else "other")
         if path in ("/healthz", "/metrics"):
             if method != "GET":
                 return 405, {"error": f"{path} is GET-only"}
-            return 200, (self.healthz() if path == "/healthz" else self.metrics())
+            if path == "/healthz":
+                return 200, self.healthz()
+            accept = (headers or {}).get("accept", "")
+            if any(token in accept for token in _PROMETHEUS_ACCEPT):
+                self._sync_registry()
+                return 200, observability.REGISTRY.to_prometheus()
+            return 200, self.metrics()
         if path not in ("/sweep", "/timeline"):
             return 404, {
                 "error": f"unknown path {path!r}; "
@@ -514,10 +615,17 @@ class EvaluationService:
             key, job = self._prepare(path, request)
         except ReproError as exc:
             self._counters["errors"] += 1
+            _SERVICE_ERRORS.inc()
+            # Failing requests must stay visible in latency aggregates:
+            # record under the errors class before returning.
+            self._record_latency(
+                path, time.perf_counter() - start, outcome="errors"
+            )
             return 400, {"error": str(exc)}
         response = self._responses.get(key)
         if response is not None:
             self._counters["response_cache_hits"] += 1
+            _SERVICE_CACHE.inc(tier="response")
             self._record_latency(path, time.perf_counter() - start)
             return 200, response
         loop = asyncio.get_running_loop()
@@ -526,6 +634,7 @@ class EvaluationService:
             # Identical request already computing: one computation,
             # many responders.
             self._counters["dedup_hits"] += 1
+            _SERVICE_CACHE.inc(tier="dedup")
         else:
             future = loop.create_future()
             self._inflight[key] = future
@@ -534,6 +643,10 @@ class EvaluationService:
             response = await future
         except ReproError as exc:
             self._counters["errors"] += 1
+            _SERVICE_ERRORS.inc()
+            self._record_latency(
+                path, time.perf_counter() - start, outcome="errors"
+            )
             return 500, {"error": str(exc)}
         self._record_latency(path, time.perf_counter() - start)
         return 200, response
@@ -550,6 +663,7 @@ class EvaluationService:
             return
         self._inflight.pop(key, None)
         self._counters["computed"] += 1
+        _SERVICE_COMPUTED.inc()
         self._remember(key, response)
         if not future.cancelled():
             future.set_result(response)
@@ -655,22 +769,59 @@ class EvaluationService:
             self._responses.pop(next(iter(self._responses)))
         self._responses[key] = response
 
-    def _record_latency(self, path: str, seconds: float) -> None:
+    def _record_latency(
+        self, path: str, seconds: float, outcome: str = "ok"
+    ) -> None:
+        """Fold one request's latency into the per-endpoint aggregates.
+
+        Failing requests land in a separate ``<path>#errors`` class so
+        error latencies never skew the healthy aggregates — and are
+        never silently dropped.
+        """
+        key = path if outcome == "ok" else f"{path}#{outcome}"
         stats = self._latency.setdefault(
-            path, {"count": 0, "total_s": 0.0, "max_s": 0.0, "last_s": 0.0}
+            key,
+            {
+                "count": 0,
+                "total_s": 0.0,
+                "mean_s": 0.0,
+                "min_s": None,
+                "max_s": 0.0,
+                "last_s": 0.0,
+            },
         )
         stats["count"] += 1
         stats["total_s"] = round(stats["total_s"] + seconds, 6)
+        stats["mean_s"] = round(stats["total_s"] / stats["count"], 6)
+        previous_min = stats["min_s"]
+        stats["min_s"] = round(
+            seconds if previous_min is None else min(previous_min, seconds), 6
+        )
         stats["max_s"] = round(max(stats["max_s"], seconds), 6)
         stats["last_s"] = round(seconds, 6)
+        _REQUEST_SECONDS.observe(seconds, endpoint=path, outcome=outcome)
 
     # -- observability ------------------------------------------------------
 
+    def _sync_registry(self) -> None:
+        """Refresh registry series derived from live service state."""
+        _IN_FLIGHT.set(len(self._inflight))
+
     def metrics(self) -> dict:
-        """Request/cache counters and per-endpoint latency aggregates."""
+        """Request/cache counters, latency aggregates and the registry.
+
+        ``counters``/``latency`` keep their original shapes;
+        ``registry`` is the process-wide observability registry — every
+        solver/cache/executor series, including telemetry merged back
+        from pool workers.  ``GET /metrics`` with an ``Accept`` header
+        naming ``text/plain`` (or ``prometheus``/``openmetrics``)
+        serves the same registry in Prometheus text exposition format.
+        """
+        self._sync_registry()
         return {
             "counters": dict(self._counters, in_flight=len(self._inflight)),
             "latency": {path: dict(stats) for path, stats in self._latency.items()},
+            "registry": observability.REGISTRY.to_dict(),
         }
 
     def healthz(self) -> dict:
@@ -711,8 +862,19 @@ class ServiceClient:
         self.port = int(port)
         self.timeout = timeout
 
-    def request(self, method: str, path: str, payload: dict | None = None):
-        """``(status, parsed body)`` of one request (no status check)."""
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        headers: dict | None = None,
+    ):
+        """``(status, parsed body)`` of one request (no status check).
+
+        JSON responses are parsed; text responses (e.g. the Prometheus
+        exposition negotiated via ``headers={"Accept": "text/plain"}``)
+        come back as the raw string.
+        """
         import http.client
 
         connection = http.client.HTTPConnection(
@@ -720,13 +882,20 @@ class ServiceClient:
         )
         try:
             body = None if payload is None else json.dumps(payload).encode()
-            headers = {"Content-Type": "application/json"} if body else {}
-            connection.request(method, path, body=body, headers=headers)
+            request_headers = dict(headers or {})
+            if body:
+                request_headers.setdefault("Content-Type", "application/json")
+            connection.request(
+                method, path, body=body, headers=request_headers
+            )
             response = connection.getresponse()
             data = response.read()
             status = response.status
+            content_type = response.getheader("Content-Type", "")
         finally:
             connection.close()
+        if not content_type.startswith("application/json"):
+            return status, data.decode()
         try:
             return status, json.loads(data.decode())
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -756,6 +925,17 @@ class ServiceClient:
 
     def metrics(self) -> dict:
         return self._checked("GET", "/metrics")
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition of ``GET /metrics``."""
+        status, text = self.request(
+            "GET", "/metrics", headers={"Accept": "text/plain"}
+        )
+        if status != 200 or not isinstance(text, str):
+            raise EvaluationError(
+                f"Prometheus /metrics request failed (HTTP {status})"
+            )
+        return text
 
     def wait_until_ready(self, timeout: float = 30.0, interval: float = 0.2) -> dict:
         """Poll ``/healthz`` until the service answers (or *timeout*)."""

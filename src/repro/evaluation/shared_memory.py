@@ -30,15 +30,18 @@ superseded by one covering more designs (see
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro import observability
 from repro.availability.aggregation import ServiceAggregate
 from repro.availability.grouped import CanonicalLayout, CoaStructure
 from repro.availability.measures import ServerMeasures
 from repro.errors import EvaluationError, ReproError
+from repro.observability import tracing
 
 __all__ = [
     "pack_arrays",
@@ -48,6 +51,17 @@ __all__ = [
     "shared_evaluate_chunk",
     "shared_timeline_chunk",
 ]
+
+_logger = logging.getLogger(__name__)
+
+_SEGMENTS_BUILT = observability.counter(
+    "repro_shared_segments_built_total",
+    "Shared-memory sweep contexts built by the parent process.",
+).labels()
+_SEGMENT_BYTES = observability.gauge(
+    "repro_shared_segment_bytes",
+    "Size of the most recently built shared-memory segment.",
+).labels()
 
 #: Field order of one aggregate-table row (all float64).
 _AGGREGATE_FIELDS = (
@@ -158,6 +172,17 @@ class SharedSweepContext:
         whose caches persist across sweeps (the engine passes its own),
         so repeated calls only solve what they have not seen before.
         """
+        with tracing.span(
+            "shared:build_context", designs=len(designs)
+        ) as build_span:
+            return cls._build(
+                case_study, policy, database, designs, evaluator, build_span
+            )
+
+    @classmethod
+    def _build(
+        cls, case_study, policy, database, designs, evaluator, build_span
+    ):
         from repro.evaluation.availability import AvailabilityEvaluator
 
         if evaluator is None:
@@ -218,6 +243,23 @@ class SharedSweepContext:
                 arrays[f"structure{position}:{name}"] = array
 
         segment, index = pack_arrays(arrays)
+        _SEGMENTS_BUILT.inc()
+        _SEGMENT_BYTES.set(segment.size)
+        _logger.debug(
+            "built shared context %s: %d roles, %d variants, "
+            "%d structures, %d bytes",
+            segment.name,
+            len(role_names),
+            len(variant_keys),
+            len(structures),
+            segment.size,
+        )
+        build_span.add(
+            roles=len(role_names),
+            variants=len(variant_keys),
+            structures=len(structures),
+            bytes=segment.size,
+        )
         payload = {
             "case_study": case_study,
             "policy": policy,
@@ -386,6 +428,14 @@ def initialize_worker(payload: dict) -> None:
     )
     availability.prime_aggregates(roles=roles, variants=variants)
     availability.prime_structures(structures)
+    _logger.debug(
+        "worker primed from segment %s: %d roles, %d variants, "
+        "%d structures",
+        payload["segment"],
+        len(roles),
+        len(variants),
+        len(structures),
+    )
     _WORKER = {
         "security": SecurityEvaluator(case_study, database=database),
         "availability": availability,
@@ -403,35 +453,53 @@ def _worker_state() -> dict:
     return _WORKER
 
 
-def shared_evaluate_chunk(designs):
+def shared_evaluate_chunk(designs, telemetry=None):
     """Worker entry point: evaluate one chunk with the primed evaluators."""
+    return observability.capture(
+        telemetry, lambda: _shared_evaluate(designs)
+    )
+
+
+def _shared_evaluate(designs):
     from repro.evaluation.combined import evaluate_designs_shared
 
     state = _worker_state()
-    return evaluate_designs_shared(
-        designs,
-        state["case_study"],
-        state["policy"],
-        security_evaluator=state["security"],
-        availability_evaluator=state["availability"],
-    )
+    with tracing.span("chunk:evaluate", designs=len(designs)):
+        return evaluate_designs_shared(
+            designs,
+            state["case_study"],
+            state["policy"],
+            security_evaluator=state["security"],
+            availability_evaluator=state["availability"],
+        )
 
 
 def shared_timeline_chunk(
-    times, tolerance, designs, campaign=None, method="uniformisation"
+    times, tolerance, designs, campaign=None, method="uniformisation",
+    telemetry=None,
 ):
     """Worker entry point: patch timelines with the primed evaluators."""
+    return observability.capture(
+        telemetry,
+        lambda: _shared_timeline(times, tolerance, designs, campaign, method),
+    )
+
+
+def _shared_timeline(times, tolerance, designs, campaign, method):
     from repro.evaluation.timeline import evaluate_timelines_shared
 
     state = _worker_state()
-    return evaluate_timelines_shared(
-        designs,
-        times,
-        state["case_study"],
-        state["policy"],
-        tolerance=tolerance,
-        security_evaluator=state["security"],
-        availability_evaluator=state["availability"],
-        campaign=campaign,
-        method=method,
-    )
+    with tracing.span(
+        "chunk:timeline", designs=len(designs), points=len(times)
+    ):
+        return evaluate_timelines_shared(
+            designs,
+            times,
+            state["case_study"],
+            state["policy"],
+            tolerance=tolerance,
+            security_evaluator=state["security"],
+            availability_evaluator=state["availability"],
+            campaign=campaign,
+            method=method,
+        )

@@ -27,6 +27,7 @@ from scipy.sparse import linalg as sparse_linalg
 
 from repro.ctmc import Ctmc
 from repro.errors import SrnError, StateSpaceError
+from repro.observability import metrics, tracing
 from repro.srn.marking import Marking
 from repro.srn.net import StochasticRewardNet, TransitionKind
 
@@ -37,12 +38,26 @@ DEFAULT_MAX_MARKINGS = 200_000
 #: Process-wide count of reachability explorations, incremented by
 #: :func:`explore`.  Benchmarks diff it around a sweep to measure how
 #: many state-space generations the structure-sharing pipeline saved.
-_EXPLORATIONS = 0
+#: Backed by the observability registry so process-pool sweeps merge
+#: worker explorations into the parent's count.
+_EXPLORATIONS = metrics.counter(
+    "repro_srn_explorations_total",
+    "Reachability-graph explorations (state-space generations).",
+).labels()
+_VANISHING = metrics.counter(
+    "repro_srn_vanishing_eliminated_total",
+    "Vanishing markings eliminated during reachability exploration.",
+).labels()
 
 
 def exploration_count() -> int:
-    """Number of :func:`explore` calls made by this process so far."""
-    return _EXPLORATIONS
+    """Number of :func:`explore` calls recorded by this process so far.
+
+    After a process-pool sweep the engine merges worker telemetry into
+    the parent registry, so worker-side explorations are included once
+    the sweep returns.
+    """
+    return int(_EXPLORATIONS.value)
 
 
 @dataclass(frozen=True)
@@ -135,8 +150,21 @@ def explore(
     SrnError
         On timeless traps or dead (no enabled transition) vanishing nets.
     """
-    global _EXPLORATIONS
-    _EXPLORATIONS += 1
+    _EXPLORATIONS.inc()
+    with tracing.span("srn:explore") as sp:
+        graph = _explore(net, initial, max_markings)
+        sp.add(
+            tangible=graph.number_of_states, vanishing=graph.vanishing_count
+        )
+    _VANISHING.inc(graph.vanishing_count)
+    return graph
+
+
+def _explore(
+    net: StochasticRewardNet,
+    initial: Marking | None,
+    max_markings: int,
+) -> ReachabilityGraph:
     net.validate()
     start = initial if initial is not None else net.initial_marking()
     place_count = len(net.places)

@@ -301,3 +301,128 @@ class TestLifecycle:
         client = ServiceClient("127.0.0.1", 1, timeout=2)
         with pytest.raises(EvaluationError, match="not ready"):
             client.wait_until_ready(timeout=0.5, interval=0.1)
+
+
+class TestObservability:
+    def test_metrics_includes_registry(self, serial_service):
+        _, client = serial_service
+        client.sweep(roles=["dns"], max_replicas=1)
+        payload = client.metrics()
+        registry = payload["registry"]
+        assert "repro_service_requests_total" in registry
+        entry = registry["repro_service_requests_total"]
+        assert entry["kind"] == "counter"
+        assert any(
+            series["labels"].get("endpoint") == "/sweep"
+            for series in entry["series"]
+        )
+
+    def test_latency_aggregate_shape(self, serial_service):
+        _, client = serial_service
+        client.sweep(roles=["dns"], max_replicas=1)
+        stats = client.metrics()["latency"]["/sweep"]
+        assert set(stats) == {
+            "count",
+            "total_s",
+            "mean_s",
+            "min_s",
+            "max_s",
+            "last_s",
+        }
+        assert stats["count"] >= 1
+        assert 0 <= stats["min_s"] <= stats["mean_s"] <= stats["max_s"]
+        assert stats["mean_s"] == pytest.approx(
+            stats["total_s"] / stats["count"], abs=1e-5
+        )
+
+    def test_counter_monotonicity_across_request_mix(self, serial_service):
+        _, client = serial_service
+        payload = {"roles": ["web"], "max_replicas": 2}
+        client.sweep(**payload)  # computed (or already cached)
+        before = client.metrics()["counters"]
+
+        client.sweep(**payload)  # response-memory hit
+        status, _ = client.request("POST", "/sweep", {"roles": []})  # error
+        assert status == 400
+        after = client.metrics()["counters"]
+
+        assert after["requests_total"] > before["requests_total"]
+        assert after["response_cache_hits"] == before["response_cache_hits"] + 1
+        assert after["errors"] == before["errors"] + 1
+        assert after["computed"] == before["computed"]
+        for key in ("requests_total", "response_cache_hits", "errors"):
+            assert after[key] >= before[key]
+
+    def test_error_requests_record_latency(self, serial_service):
+        _, client = serial_service
+        before = (
+            client.metrics()["latency"].get("/sweep#errors", {}).get("count", 0)
+        )
+        status, _ = client.request("POST", "/sweep", {"roles": []})
+        assert status == 400
+        stats = client.metrics()["latency"]["/sweep#errors"]
+        assert stats["count"] == before + 1
+        assert stats["min_s"] >= 0
+
+    def test_prometheus_exposition(self, serial_service):
+        _, client = serial_service
+        client.sweep(roles=["dns"], max_replicas=1)
+        text = client.metrics_text()
+        lines = text.splitlines()
+        assert "# TYPE repro_service_requests_total counter" in lines
+        assert any(
+            line.startswith("repro_service_requests_total{")
+            and 'endpoint="/metrics"' in line
+            for line in lines
+        )
+        assert "# TYPE repro_service_request_seconds histogram" in lines
+        assert any(
+            line.startswith("repro_service_request_seconds_bucket{")
+            and 'le="+Inf"' in line
+            for line in lines
+        )
+        # Every sample line parses as <name>{labels} <number> or <name> <number>
+        for line in lines:
+            if not line or line.startswith("#"):
+                continue
+            name_part, _, value = line.rpartition(" ")
+            assert name_part
+            float(value)
+
+    def test_metrics_without_accept_header_stays_json(self, serial_service):
+        _, client = serial_service
+        status, payload = client.request("GET", "/metrics")
+        assert status == 200
+        assert isinstance(payload, dict)
+        assert set(payload) >= {"counters", "latency", "registry"}
+
+    def test_healthz_reports_registry(self, serial_service):
+        _, client = serial_service
+        health = client.healthz()
+        assert "registry" in health
+        assert "repro_service_requests_total" in health["registry"]
+
+    def test_access_log_line_shape(self, serial_service, caplog):
+        import logging
+
+        _, client = serial_service
+        with caplog.at_level(logging.INFO, logger="repro.serve.access"):
+            client.healthz()
+            # The access line is written by the server thread after the
+            # response; give it a moment to land.
+            deadline = time.monotonic() + 5.0
+            records = []
+            while not records and time.monotonic() < deadline:
+                records = [
+                    r
+                    for r in caplog.records
+                    if r.name == "repro.serve.access"
+                ]
+                if not records:
+                    time.sleep(0.01)
+        assert records
+        line = json.loads(records[-1].getMessage())
+        assert line["method"] == "GET"
+        assert line["path"] == "/healthz"
+        assert line["status"] == 200
+        assert line["duration_ms"] >= 0

@@ -619,3 +619,80 @@ class TestCacheSubcommand:
         missing = str(tmp_path / "no-dir" / "cache.sqlite")
         assert main(["cache", "stats", "--cache", missing]) == 2
         assert "cache failed" in capsys.readouterr().err
+
+
+class TestObservabilityCli:
+    def test_sweep_trace_writes_chrome_trace(self, tmp_path, capsys):
+        trace = tmp_path / "sweep-trace.json"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--roles",
+                    "dns",
+                    "--max-replicas",
+                    "1",
+                    "--trace",
+                    str(trace),
+                ]
+            )
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "trace: wrote" in err
+        payload = json.loads(trace.read_text())
+        events = payload["traceEvents"]
+        names = {e["name"] for e in events if e.get("ph") == "X"}
+        assert "engine:evaluate" in names
+        assert any(e["name"] == "process_name" for e in events)
+
+    def test_trace_disabled_after_run(self, tmp_path):
+        from repro.observability import tracing
+
+        trace = tmp_path / "t.json"
+        main(["sweep", "--roles", "dns", "--max-replicas", "1",
+              "--trace", str(trace)])
+        assert not tracing.is_enabled()
+        assert tracing.events() == []
+
+    def test_timeline_trace_writes_file(self, tmp_path, capsys):
+        trace = tmp_path / "timeline-trace.json"
+        assert (
+            main(
+                [
+                    "timeline",
+                    "--roles",
+                    "dns",
+                    "--max-replicas",
+                    "1",
+                    "--points",
+                    "3",
+                    "--trace",
+                    str(trace),
+                ]
+            )
+            == 0
+        )
+        names = {
+            e["name"]
+            for e in json.loads(trace.read_text())["traceEvents"]
+            if e.get("ph") == "X"
+        }
+        assert "engine:timeline" in names
+
+    def test_sweep_without_trace_leaves_no_file(self, tmp_path, capsys):
+        assert main(["sweep", "--roles", "dns", "--max-replicas", "1"]) == 0
+        assert "trace:" not in capsys.readouterr().err
+
+    def test_verbose_flag_accepted_before_subcommand(self, capsys):
+        import logging
+
+        root = logging.getLogger()
+        previous_level = root.level
+        previous_handlers = list(root.handlers)
+        try:
+            assert main(["-v", "sweep", "--roles", "dns",
+                         "--max-replicas", "1"]) == 0
+        finally:
+            root.setLevel(previous_level)
+            root.handlers[:] = previous_handlers
