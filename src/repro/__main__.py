@@ -53,6 +53,18 @@ for ``text/plain`` — and emits a structured JSON access log line per
 request on stderr.  Results are byte-identical with instrumentation on
 or off.
 
+Resilience
+----------
+``sweep`` and ``timeline`` accept ``--deadline MS`` (wall-clock budget,
+checked between chunk dispatches; exceeded deadlines exit 3) and
+``--metrics FILE`` (JSON snapshot of the process metrics registry after
+the run).  Worker crashes, cache lock contention and iterative-solver
+failures are retried/degraded/circuit-broken rather than failing the
+run; ``REPRO_FAULTS`` injects deterministic faults to exercise those
+paths (see the ``--help`` epilog).  ``serve`` sheds load with 503 +
+``Retry-After`` once ``--max-queue`` distinct computations are in
+flight, and drains gracefully on SIGTERM (``--drain-grace``).
+
 Both space commands accept ``--cache PATH``: a sqlite file that
 persists results across invocations, so re-running a sweep or timeline
 only pays for designs not seen before.  They also accept
@@ -242,10 +254,41 @@ def _finish_trace(args: argparse.Namespace) -> None:
     print(f"trace: wrote {count} span(s) to {args.trace}", file=sys.stderr)
 
 
+def _deadline_from_args(args: argparse.Namespace):
+    """The ``--deadline MS`` budget as a started clock, or ``None``.
+
+    The clock starts here — immediately before the engine call — so the
+    budget covers evaluation, not argument parsing or imports.
+    """
+    ms = getattr(args, "deadline", None)
+    if ms is None:
+        return None
+    from repro.errors import ValidationError
+    from repro.resilience import Deadline
+
+    try:
+        return Deadline.after_ms(ms)
+    except ValueError as exc:
+        raise ValidationError(f"--deadline: {exc}") from None
+
+
+def _dump_metrics(args: argparse.Namespace) -> None:
+    """Write the process metrics registry as JSON (``--metrics FILE``)."""
+    path = getattr(args, "metrics", None)
+    if not path:
+        return
+    from repro.observability import REGISTRY
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(REGISTRY.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"metrics: wrote registry snapshot to {path}", file=sys.stderr)
+
+
 def _sweep(args: argparse.Namespace) -> int:
     from repro.evaluation.report import design_comparison_table
 
-    from repro.errors import ReproError
+    from repro.errors import DeadlineExceeded, ReproError
 
     roles = _parse_roles(args.roles)
     if not roles and not args.scaled:
@@ -254,12 +297,19 @@ def _sweep(args: argparse.Namespace) -> int:
     tracing_on = _start_trace(args)
     try:
         engine, designs, roles = _space_engine_and_designs(args, roles)
-        evaluations = engine.evaluate(designs)
+        evaluations = engine.evaluate(
+            designs, deadline=_deadline_from_args(args)
+        )
+    except DeadlineExceeded as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        _dump_metrics(args)
+        return 3
     except ReproError as exc:
         print(f"sweep failed: {exc}", file=sys.stderr)
         return 2
     if tracing_on:
         _finish_trace(args)
+    _dump_metrics(args)
     if args.json:
         # The service envelope builder, so `repro sweep --json` and a
         # `repro serve` response agree by construction.
@@ -300,7 +350,7 @@ def _campaign_from_args(args: argparse.Namespace):
 
 
 def _timeline(args: argparse.Namespace) -> int:
-    from repro.errors import ReproError
+    from repro.errors import DeadlineExceeded, ReproError
     from repro.evaluation.timeline import default_time_grid
 
     roles = _parse_roles(args.roles)
@@ -324,13 +374,22 @@ def _timeline(args: argparse.Namespace) -> int:
         campaign = _campaign_from_args(args)
         engine, designs, roles = _space_engine_and_designs(args, roles)
         timelines = engine.timeline(
-            designs, times, campaign=campaign, method=args.method
+            designs,
+            times,
+            campaign=campaign,
+            method=args.method,
+            deadline=_deadline_from_args(args),
         )
+    except DeadlineExceeded as exc:
+        print(f"timeline failed: {exc}", file=sys.stderr)
+        _dump_metrics(args)
+        return 3
     except ReproError as exc:
         print(f"timeline failed: {exc}", file=sys.stderr)
         return 2
     if tracing_on:
         _finish_trace(args)
+    _dump_metrics(args)
     if args.json:
         from repro.evaluation.service import timeline_response
 
@@ -424,6 +483,9 @@ def _serve(args: argparse.Namespace) -> int:
             structure_sharing=args.shared_memory,
             cache_path=args.cache,
             max_designs=args.max_designs,
+            max_queue=args.max_queue if args.max_queue > 0 else None,
+            retry_after=args.retry_after,
+            drain_grace=args.drain_grace,
         )
     except ReproError as exc:
         print(f"serve failed: {exc}", file=sys.stderr)
@@ -506,7 +568,33 @@ def main(argv: Sequence[str] | None = None) -> int:
             "  pools.  'serve' reports the process-wide metrics registry\n"
             "  on GET /metrics (JSON, or Prometheus text with Accept:\n"
             "  text/plain) and logs one JSON access line per request.\n"
-            "  Results are byte-identical with instrumentation on or off."
+            "  Results are byte-identical with instrumentation on or off.\n"
+            "\n"
+            "resilience:\n"
+            "  'sweep'/'timeline' --deadline MS bounds the wall clock of a\n"
+            "  run: the budget is checked between chunk dispatches and an\n"
+            "  exceeded deadline exits with code 3 (other domain errors\n"
+            "  stay 2).  Transient faults are retried with deterministic\n"
+            "  exponential backoff: a crashed process-pool worker recycles\n"
+            "  the pool and replays the batch; a locked sqlite cache\n"
+            "  retries, then degrades to memory-only for the rest of the\n"
+            "  process (repro_cache_degraded gauge) instead of failing the\n"
+            "  run.  Repeated iterative steady-state failures open a\n"
+            "  circuit breaker that routes solves to the direct path\n"
+            "  (REPRO_BREAKER_THRESHOLD / REPRO_BREAKER_RECOVERY tune it).\n"
+            "  'serve' answers 503 + Retry-After when saturated\n"
+            "  (--max-queue) or draining, and on SIGTERM finishes in-flight\n"
+            "  requests (up to --drain-grace seconds) before exiting 0;\n"
+            "  GET /healthz reports draining/queue/breaker/cache state.\n"
+            "  REPRO_FAULTS='point:action@n;...' injects deterministic\n"
+            "  faults for chaos testing (points: cache.read, cache.write,\n"
+            "  solver.iterative, solver.transient, shared.attach,\n"
+            "  worker.chunk; actions: error, fail, kill) — each fault\n"
+            "  fires exactly once fleet-wide at the n-th hit of its\n"
+            "  point, and recovered runs are byte-identical to clean\n"
+            "  ones.  --metrics FILE snapshots the registry (recycles,\n"
+            "  degradations, breaker opens, injected faults) for\n"
+            "  assertions in CI."
         ),
     )
     parser.add_argument(
@@ -615,6 +703,27 @@ def main(argv: Sequence[str] | None = None) -> int:
                 "record span tracing for the run and write a Chrome "
                 "trace-event JSON file (viewable in Perfetto); "
                 "process-pool worker spans are merged in"
+            ),
+        )
+        command.add_argument(
+            "--deadline",
+            type=float,
+            default=None,
+            metavar="MS",
+            help=(
+                "abort the run once this many milliseconds of wall "
+                "clock are spent (checked between chunk dispatches); "
+                "an exceeded deadline exits with code 3 instead of 2"
+            ),
+        )
+        command.add_argument(
+            "--metrics",
+            default=None,
+            metavar="FILE",
+            help=(
+                "write the process metrics registry (counters, gauges, "
+                "histograms — pool recycles, cache degradation, breaker "
+                "opens, injected faults) as JSON after the run"
             ),
         )
 
@@ -738,6 +847,34 @@ def main(argv: Sequence[str] | None = None) -> int:
         type=int,
         default=512,
         help="per-request design-count budget (default: 512)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help=(
+            "saturation bound: new computations beyond this many "
+            "distinct in-flight keys are answered 503 + Retry-After "
+            "instead of queueing; 0 means unbounded (default: 64)"
+        ),
+    )
+    serve.add_argument(
+        "--retry-after",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="Retry-After hint sent with 503 rejections (default: 1)",
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help=(
+            "on SIGTERM, stop admitting new computations and wait up "
+            "to this long for in-flight requests before exiting "
+            "(default: 30)"
+        ),
     )
     serve.set_defaults(handler=_serve)
 

@@ -45,6 +45,8 @@ from repro.ctmc.chain import Ctmc
 from repro.errors import SolverError
 from repro.observability import metrics as _metrics
 from repro.observability import tracing as _tracing
+from repro.resilience.breaker import CircuitBreaker, breaker
+from repro.resilience.faults import fault_point
 
 __all__ = [
     "steady_state",
@@ -89,6 +91,59 @@ def _iterative_cutoff() -> int:
     return value
 
 
+#: Consecutive iterative failures before ``auto`` stops attempting the
+#: Krylov path and routes straight to the direct factorisation for
+#: ``REPRO_BREAKER_RECOVERY`` seconds.  The fallback is always correct
+#: (just slower at large n), so an open breaker degrades latency, never
+#: results.  Overridable via ``REPRO_BREAKER_THRESHOLD``.
+_BREAKER_THRESHOLD = 3
+_BREAKER_THRESHOLD_ENV = "REPRO_BREAKER_THRESHOLD"
+_BREAKER_RECOVERY = 60.0
+_BREAKER_RECOVERY_ENV = "REPRO_BREAKER_RECOVERY"
+
+
+def _env_number(env: str, default: float, kind=float) -> float:
+    raw = os.environ.get(env)
+    if raw is None:
+        return default
+    try:
+        value = kind(raw)
+    except ValueError:
+        raise SolverError(f"{env} must be a number, got {raw!r}") from None
+    if value < (1 if kind is int else 0.0):
+        raise SolverError(f"{env} is out of range: {value}")
+    return value
+
+
+def _iterative_breaker() -> CircuitBreaker:
+    # The registry caches the first construction, so the env knobs are
+    # read once per process (consistent with the cutoff envs, which
+    # workers inherit on fork).
+    return breaker(
+        "solver.iterative",
+        failure_threshold=int(_env_number(_BREAKER_THRESHOLD_ENV, _BREAKER_THRESHOLD, int)),
+        recovery_time=_env_number(_BREAKER_RECOVERY_ENV, _BREAKER_RECOVERY),
+    )
+
+
+def _try_iterative(solve, n: int, label: str):
+    """One breaker-guarded iterative attempt; ``None`` means "go direct"."""
+    brk = _iterative_breaker()
+    if not brk.allow():
+        _logger.debug(
+            "%s: n=%d iterative breaker open, routing direct", label, n
+        )
+        return None
+    try:
+        result = solve()
+    except SolverError:
+        brk.record_failure()
+        _logger.debug("%s: n=%d iterative failed, trying direct", label, n)
+        return None
+    brk.record_success()
+    return result
+
+
 def steady_state(chain: Ctmc, method: str = "auto") -> np.ndarray:
     """Steady-state probability vector of *chain* (indexed like states).
 
@@ -114,13 +169,12 @@ def _steady_state(chain: Ctmc, method: str) -> np.ndarray:
             _logger.debug("steady state: n=%d auto -> gth", n)
             return steady_state_gth(chain)
         if n > _iterative_cutoff():
-            try:
-                _logger.debug("steady state: n=%d auto -> iterative", n)
-                return steady_state_iterative(chain)
-            except SolverError:
-                _logger.debug(
-                    "steady state: n=%d iterative failed, trying direct", n
-                )
+            _logger.debug("steady state: n=%d auto -> iterative", n)
+            result = _try_iterative(
+                lambda: steady_state_iterative(chain), n, "steady state"
+            )
+            if result is not None:
+                return result
         try:
             _logger.debug("steady state: n=%d auto -> direct", n)
             return steady_state_direct(chain)
@@ -213,6 +267,10 @@ def _iterative_core(
     starting vector, avoiding the LU fill-in that makes the direct
     factorisation super-linear at large ``n``.
     """
+    fault_point(
+        "solver.iterative",
+        error=SolverError("injected iterative steady-state failure"),
+    )
     _STEADY_SOLVES.inc(path="iterative")
     n = q.shape[0]
     a = q.transpose().tocsr().astype(float)
@@ -429,14 +487,11 @@ class BatchSteadySolver:
                 return _gth_core(self.dense_generator(rates))
             q = self.generator(rates)
             if self.n > _iterative_cutoff():
-                try:
-                    return _iterative_core(q)
-                except SolverError:
-                    _logger.debug(
-                        "batch steady state: n=%d iterative failed, "
-                        "trying direct",
-                        self.n,
-                    )
+                result = _try_iterative(
+                    lambda: _iterative_core(q), self.n, "batch steady state"
+                )
+                if result is not None:
+                    return result
             try:
                 return _direct_core(q)
             except SolverError:

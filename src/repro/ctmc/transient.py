@@ -70,6 +70,7 @@ from repro.ctmc.chain import Ctmc, State
 from repro.errors import SolverError
 from repro.observability import metrics as _metrics
 from repro.observability import tracing as _tracing
+from repro.resilience.faults import fault_point
 
 _logger = logging.getLogger(__name__)
 
@@ -507,6 +508,10 @@ class BatchTransientSolver:
                 weights, left = row
                 active.append((i, left, weights))
         if active:
+            fault_point(
+                "solver.transient",
+                error=SolverError("injected transient solve failure"),
+            )
             _SOLVES.inc(method=self.resolved_method)
             with _tracing.span(
                 "ctmc:transient",

@@ -22,6 +22,8 @@ __all__ = [
     "StateSpaceError",
     "SolverError",
     "EvaluationError",
+    "DeadlineExceeded",
+    "FaultInjected",
 ]
 
 
@@ -75,3 +77,11 @@ class SolverError(ReproError, RuntimeError):
 
 class EvaluationError(ReproError):
     """An evaluation pipeline was asked for something it cannot compute."""
+
+
+class DeadlineExceeded(EvaluationError):
+    """A request's monotonic time budget ran out before the work finished."""
+
+
+class FaultInjected(ReproError):
+    """Raised by an armed fault point with no site-provided exception."""

@@ -34,6 +34,19 @@ the writer) with a busy timeout, so a contended write retries for up to
 locked``.  Using a cache after :meth:`~PersistentEvaluationCache.close`
 (which is idempotent) raises :class:`~repro.errors.EvaluationError`
 with a clear message rather than a raw ``sqlite3.ProgrammingError``.
+
+Degraded mode
+-------------
+A cache is an accelerator, never a correctness dependency — so sqlite
+contention must not fail a sweep.  ``busy``/``locked`` errors that
+survive the busy timeout are retried under a bounded
+:class:`~repro.resilience.RetryPolicy`; if they persist, the instance
+*degrades*: it stops touching the database and serves reads/writes
+from a process-local dict instead (``repro_cache_degraded`` gauge set
+to 1, :attr:`~PersistentEvaluationCache.degraded` property, surfaced
+through ``stats()`` and the service's ``/healthz``).  Degradation is
+one-way for the instance's lifetime — flapping between disk and memory
+would serve neither tier predictably.
 """
 
 from __future__ import annotations
@@ -48,6 +61,8 @@ from contextlib import contextmanager
 
 from repro import observability
 from repro.errors import EvaluationError
+from repro.resilience.faults import fault_point
+from repro.resilience.retry import RetryPolicy
 
 _logger = logging.getLogger(__name__)
 
@@ -61,6 +76,11 @@ _DISK_STALE = _DISK_LOOKUPS.labels(outcome="stale")
 _DISK_WRITES = observability.counter(
     "repro_disk_cache_writes_total",
     "Persistent (sqlite) cache entries written.",
+).labels()
+_DEGRADED = observability.gauge(
+    "repro_cache_degraded",
+    "Whether the persistent cache fell back to memory-only mode (1) "
+    "after exhausting its sqlite contention retries.",
 ).labels()
 
 __all__ = ["PersistentEvaluationCache", "context_fingerprint"]
@@ -135,11 +155,15 @@ class PersistentEvaluationCache:
     True
     """
 
+    #: Contention recovery: three attempts, 50 ms → 100 ms backoff.
+    DEFAULT_RETRY = RetryPolicy(attempts=3, base_delay=0.05)
+
     def __init__(
         self,
         path,
         max_entries: int | None = None,
         max_bytes: int | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.path = str(path)
         for bound, name in ((max_entries, "max_entries"), (max_bytes, "max_bytes")):
@@ -147,6 +171,11 @@ class PersistentEvaluationCache:
                 raise EvaluationError(f"{name} must be >= 1, got {bound}")
         self.max_entries = max_entries
         self.max_bytes = max_bytes
+        self.retry_policy = retry_policy or self.DEFAULT_RETRY
+        self._degraded = False
+        #: Memory-only fallback store once degraded: pickled payloads
+        #: keyed like the table, so served values stay copies.
+        self._fallback: dict[tuple[str, str], bytes] = {}
         self._seq: int | None = None
         # One instance may be shared across service threads: the lock
         # serialises every statement+commit pair, and the connection is
@@ -227,6 +256,38 @@ class PersistentEvaluationCache:
         """The canonical text key for a cache entry."""
         return repr((fingerprint, *parts))
 
+    # -- degraded-mode plumbing ----------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the cache fell back to memory-only operation."""
+        return self._degraded
+
+    @staticmethod
+    def _is_contention(exc: BaseException) -> bool:
+        if not isinstance(exc, sqlite3.OperationalError):
+            return False
+        text = str(exc).lower()
+        return "locked" in text or "busy" in text
+
+    def _rollback(self, *_ignored) -> None:
+        """Best-effort rollback between contention retries."""
+        try:
+            self._conn.rollback()
+        except sqlite3.Error:
+            pass
+
+    def _degrade(self, operation: str, exc: BaseException) -> None:
+        self._degraded = True
+        _DEGRADED.set(1)
+        _logger.warning(
+            "evaluation cache at %r degraded to memory-only after "
+            "persistent sqlite contention on %s: %s",
+            self.path,
+            operation,
+            exc,
+        )
+
     def _next_seq(self) -> int:
         # The counter lives in memory after one MAX scan at first use;
         # concurrent writers may hand out equal sequence numbers, which
@@ -243,29 +304,33 @@ class PersistentEvaluationCache:
         """The stored payload, or ``None`` on a miss (or stale pickle).
 
         A hit refreshes the entry's recency (best effort), so hot
-        entries survive LRU trimming.
+        entries survive LRU trimming.  Contended reads retry under the
+        cache's :class:`~repro.resilience.RetryPolicy`; persistent
+        contention degrades the instance to memory-only (a miss here,
+        never a failed sweep).
         """
-        with self._locked("get"):
+        if self._degraded:
+            row = (
+                (self._fallback[(scope, key)],)
+                if (scope, key) in self._fallback
+                else None
+            )
+        else:
             try:
-                row = self._conn.execute(
-                    "SELECT payload FROM entries WHERE scope = ? AND key = ?",
-                    (scope, key),
-                ).fetchone()
+                row = self.retry_policy.call(
+                    lambda: self._get_row(scope, key),
+                    retry_on=(sqlite3.OperationalError,),
+                    should_retry=self._is_contention,
+                    before_retry=self._rollback,
+                )
             except sqlite3.Error as exc:
+                if self._is_contention(exc):
+                    self._degrade("get", exc)
+                    _DISK_MISSES.inc()
+                    return None
                 raise EvaluationError(
                     f"evaluation cache read failed ({self.path!r}): {exc}"
                 ) from exc
-            if row is not None:
-                # Recency tracking must not turn reads into hard writes: a
-                # read-only or contended cache file still serves hits.
-                try:
-                    self._conn.execute(
-                        "UPDATE entries SET used_seq = ? WHERE scope = ? AND key = ?",
-                        (self._next_seq(), scope, key),
-                    )
-                    self._conn.commit()
-                except sqlite3.Error:
-                    pass
         if row is None:
             _DISK_MISSES.inc()
             return None
@@ -284,39 +349,98 @@ class PersistentEvaluationCache:
         _DISK_HITS.inc()
         return value
 
+    def _get_row(self, scope: str, key: str):
+        with self._locked("get"):
+            fault_point(
+                "cache.read",
+                error=sqlite3.OperationalError("database is locked (injected)"),
+            )
+            row = self._conn.execute(
+                "SELECT payload FROM entries WHERE scope = ? AND key = ?",
+                (scope, key),
+            ).fetchone()
+            if row is not None:
+                # Recency tracking must not turn reads into hard writes: a
+                # read-only or contended cache file still serves hits.
+                try:
+                    self._conn.execute(
+                        "UPDATE entries SET used_seq = ? WHERE scope = ? AND key = ?",
+                        (self._next_seq(), scope, key),
+                    )
+                    self._conn.commit()
+                except sqlite3.Error:
+                    pass
+        return row
+
     def put(self, scope: str, key: str, value: object) -> None:
         """Store (or replace) *value* under ``(scope, key)``.
 
         When size bounds are configured, least-recently-used entries are
-        evicted until the store fits again.
+        evicted until the store fits again.  Contended writes retry
+        under the cache's :class:`~repro.resilience.RetryPolicy`;
+        persistent contention degrades the instance to memory-only and
+        the write lands in the fallback dict instead of failing.
         """
         payload = pickle.dumps(value, protocol=4)
-        with self._locked("put"):
+        if not self._degraded:
             try:
-                self._conn.execute(
-                    "INSERT OR REPLACE INTO entries "
-                    "(scope, key, payload, used_seq, size_bytes) "
-                    "VALUES (?, ?, ?, ?, ?)",
-                    (scope, key, sqlite3.Binary(payload), self._next_seq(), len(payload)),
+                self.retry_policy.call(
+                    lambda: self._put_row(scope, key, payload),
+                    retry_on=(sqlite3.OperationalError,),
+                    should_retry=self._is_contention,
+                    before_retry=self._rollback,
                 )
-                self._trim_locked(self.max_entries, self.max_bytes)
-                self._conn.commit()
             except sqlite3.Error as exc:
-                raise EvaluationError(
-                    f"evaluation cache write failed ({self.path!r}): {exc}"
-                ) from exc
-        _DISK_WRITES.inc()
-        _logger.debug(
-            "cached %d-byte payload under (%s, %s…)",
-            len(payload),
-            scope,
-            key[:16],
-        )
+                if not self._is_contention(exc):
+                    raise EvaluationError(
+                        f"evaluation cache write failed ({self.path!r}): {exc}"
+                    ) from exc
+                self._degrade("put", exc)
+            else:
+                _DISK_WRITES.inc()
+                _logger.debug(
+                    "cached %d-byte payload under (%s, %s…)",
+                    len(payload),
+                    scope,
+                    key[:16],
+                )
+                return
+        self._fallback[(scope, key)] = payload
+
+    def _put_row(self, scope: str, key: str, payload: bytes) -> None:
+        with self._locked("put"):
+            fault_point(
+                "cache.write",
+                error=sqlite3.OperationalError("database is locked (injected)"),
+            )
+            self._conn.execute(
+                "INSERT OR REPLACE INTO entries "
+                "(scope, key, payload, used_seq, size_bytes) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (scope, key, sqlite3.Binary(payload), self._next_seq(), len(payload)),
+            )
+            self._trim_locked(self.max_entries, self.max_bytes)
+            self._conn.commit()
 
     # -- maintenance ----------------------------------------------------------
 
     def stats(self) -> dict:
         """Entry/byte counts, total and per scope (plus the bounds)."""
+        if self._degraded:
+            scopes: dict[str, dict[str, int]] = {}
+            for (scope, _key), payload in self._fallback.items():
+                entry = scopes.setdefault(scope, {"entries": 0, "bytes": 0})
+                entry["entries"] += 1
+                entry["bytes"] += len(payload)
+            return {
+                "path": self.path,
+                "entries": len(self._fallback),
+                "bytes": sum(len(p) for p in self._fallback.values()),
+                "scopes": dict(sorted(scopes.items())),
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+                "degraded": True,
+            }
         with self._locked("stats"):
             try:
                 total, total_bytes = self._conn.execute(
@@ -340,6 +464,7 @@ class PersistentEvaluationCache:
             "scopes": scopes,
             "max_entries": self.max_entries,
             "max_bytes": self.max_bytes,
+            "degraded": self._degraded,
         }
 
     def purge(

@@ -63,10 +63,17 @@ otherwise dominate every request.  A persistent
 the shared-memory segment for the pool's lifetime (so late-spawned
 workers can still attach) and re-primes through the same initializer
 when the pool is recycled.  A worker death (``BrokenExecutor``) in
-persistent mode recycles the pool — shutdown, respawn, re-run the
-initializer — and retries the dispatch once; chunk evaluation is pure
-and deterministic, so the retry is byte-identical to an undisturbed
-run.  Results with a warm pool are byte-identical to per-call pools.
+either pool mode recycles the pool — shutdown (or discard), respawn,
+re-run the initializer — and retries the dispatch under the executor's
+:class:`~repro.resilience.RetryPolicy` (one retry by default); chunk
+evaluation is pure and deterministic, so the retry is byte-identical
+to an undisturbed run.  Results with a warm pool are byte-identical to
+per-call pools.
+
+Sweeps can carry a :class:`~repro.resilience.Deadline`: the engine
+checks the budget between chunk dispatches and raises the typed
+:class:`~repro.errors.DeadlineExceeded` instead of finishing work
+nobody is waiting for.
 """
 
 from __future__ import annotations
@@ -91,6 +98,9 @@ from repro.enterprise.roles import ServerRole
 from repro.errors import EvaluationError
 from repro.evaluation.combined import DesignEvaluation, evaluate_designs_shared
 from repro.observability import tracing
+from repro.resilience.deadline import Deadline
+from repro.resilience.faults import active_plan, fault_point
+from repro.resilience.retry import RetryPolicy
 from repro.patching.policy import CriticalVulnerabilityPolicy, PatchPolicy
 from repro.vulnerability.database import VulnerabilityDatabase
 
@@ -147,20 +157,29 @@ class _PoolExecutor(Executor):
 
     With ``persistent=False`` (the default) every :meth:`run` spawns a
     fresh pool and tears it down afterwards.  With ``persistent=True``
-    one pool is created lazily, kept warm across calls, recycled (with
-    one automatic retry of the interrupted dispatch) when a worker dies,
-    and torn down by :meth:`close` — see the module docstring.
+    one pool is created lazily, kept warm across calls, recycled when a
+    worker dies, and torn down by :meth:`close` — see the module
+    docstring.  Either mode retries a dispatch interrupted by a worker
+    death under *retry_policy* (default: one immediate retry — the pool
+    respawn is itself the backoff).
     """
 
     _pool_factory: Callable[..., Any]
 
+    #: Recycle-and-retry after worker death: one retry, no sleep.
+    DEFAULT_RETRY = RetryPolicy(attempts=2, base_delay=0.0)
+
     def __init__(
-        self, max_workers: int | None = None, persistent: bool = False
+        self,
+        max_workers: int | None = None,
+        persistent: bool = False,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if max_workers is not None:
             check_positive_int(max_workers, "max_workers")
         self.max_workers = max_workers or os.cpu_count() or 1
         self.persistent = bool(persistent)
+        self.retry_policy = retry_policy or self.DEFAULT_RETRY
         self._pool = None
         #: Identity of the priming the current pool was built with; a
         #: differing key on the next primed dispatch recycles the pool.
@@ -181,8 +200,7 @@ class _PoolExecutor(Executor):
         if len(batches) == 1:
             # A single batch gains nothing from a pool; skip the spawn.
             return [fn(*batches[0])]
-        with self._pool_factory(max_workers=self.max_workers) as pool:
-            return self._collect(pool, fn, batches)
+        return self._run_fresh({"max_workers": self.max_workers}, fn, batches)
 
     def run_with_initializer(
         self,
@@ -206,12 +224,15 @@ class _PoolExecutor(Executor):
         if self.persistent:
             self._prime(initializer, initargs, key)
             return self._run_persistent(fn, batches)
-        with self._pool_factory(
-            max_workers=self.max_workers,
-            initializer=initializer,
-            initargs=initargs,
-        ) as pool:
-            return self._collect(pool, fn, batches)
+        return self._run_fresh(
+            {
+                "max_workers": self.max_workers,
+                "initializer": initializer,
+                "initargs": initargs,
+            },
+            fn,
+            batches,
+        )
 
     # -- persistent-pool lifecycle -------------------------------------------
 
@@ -234,36 +255,61 @@ class _PoolExecutor(Executor):
             self._pool = self._pool_factory(**kwargs)
         return self._pool
 
+    @staticmethod
+    def _worker_died(exc: BaseException) -> bool:
+        return isinstance(exc.__cause__, BrokenExecutor)
+
+    def _note_recycle(self, exc: BaseException, batch_count: int) -> None:
+        self.recycle_count += 1
+        _POOL_RECYCLES.inc(executor=self.name)
+        _logger.debug(
+            "%s pool broke (%r); recycling (recycle #%d) and "
+            "retrying %d batch(es)",
+            self.name,
+            exc.__cause__,
+            self.recycle_count,
+            batch_count,
+        )
+
     def _run_persistent(self, fn, batches: Sequence[tuple]) -> list:
-        try:
-            return self._collect(self._ensure_pool(), fn, batches)
-        except EvaluationError as exc:
-            if not isinstance(exc.__cause__, BrokenExecutor):
-                raise
-            # A worker died.  Recycle: respawn the pool (fresh workers
-            # re-run the stored initializer, re-priming from the
-            # still-alive shared segment) and retry the whole dispatch
-            # once — chunk evaluation is pure and deterministic, so
-            # re-running already-finished batches cannot change results.
+        # A worker death recycles: respawn the pool (fresh workers
+        # re-run the stored initializer, re-priming from the still-alive
+        # shared segment) and retry the whole dispatch under the retry
+        # policy — chunk evaluation is pure and deterministic, so
+        # re-running already-finished batches cannot change results.
+        def before_retry(_attempt: int, exc: BaseException) -> None:
             self._shutdown_pool()
-            self.recycle_count += 1
-            _POOL_RECYCLES.inc(executor=self.name)
-            _logger.debug(
-                "%s pool broke (%r); recycling (recycle #%d) and "
-                "retrying %d batch(es)",
-                self.name,
-                exc.__cause__,
-                self.recycle_count,
-                len(batches),
+            self._note_recycle(exc, len(batches))
+
+        try:
+            return self.retry_policy.call(
+                lambda: self._collect(self._ensure_pool(), fn, batches),
+                retry_on=(EvaluationError,),
+                should_retry=self._worker_died,
+                before_retry=before_retry,
             )
-            try:
-                return self._collect(self._ensure_pool(), fn, batches)
-            except EvaluationError as retry_exc:
-                if isinstance(retry_exc.__cause__, BrokenExecutor):
-                    # Broke twice in a row: something systematic (a
-                    # failing initializer, OOM); leave no zombie pool.
-                    self._shutdown_pool()
-                raise
+        except EvaluationError as exc:
+            if self._worker_died(exc):
+                # Broke on every attempt: something systematic (a
+                # failing initializer, OOM); leave no zombie pool.
+                self._shutdown_pool()
+            raise
+
+    def _run_fresh(self, pool_kwargs: dict, fn, batches: Sequence[tuple]) -> list:
+        """Per-call pool with the same recycle-and-retry as persistent
+        mode — each attempt gets a brand-new pool, so a worker death
+        mid-sweep costs one respawn instead of the whole run."""
+
+        def attempt() -> list:
+            with self._pool_factory(**pool_kwargs) as pool:
+                return self._collect(pool, fn, batches)
+
+        return self.retry_policy.call(
+            attempt,
+            retry_on=(EvaluationError,),
+            should_retry=self._worker_died,
+            before_retry=lambda _attempt, exc: self._note_recycle(exc, len(batches)),
+        )
 
     def _shutdown_pool(self) -> None:
         if self._pool is not None:
@@ -396,6 +442,12 @@ def _batch_labels(batch: tuple) -> str:
     return ""
 
 
+def _checked_chunk(deadline: Deadline, fn: Callable[..., Any], *args: Any) -> Any:
+    """In-process chunk wrapper: enforce the sweep deadline per chunk."""
+    deadline.check("chunk evaluation")
+    return fn(*args)
+
+
 def _evaluate_chunk(
     case_study: EnterpriseCaseStudy,
     policy: PatchPolicy,
@@ -405,6 +457,7 @@ def _evaluate_chunk(
     telemetry: dict | None = None,
 ) -> list[DesignEvaluation]:
     """Worker entry point: evaluate one chunk with shared evaluators."""
+    fault_point("worker.chunk", worker_only=True)
     return observability.capture(
         telemetry,
         lambda: evaluate_designs_shared(
@@ -432,6 +485,7 @@ def _timeline_chunk(
     """Worker entry point: patch timelines of one chunk, shared evaluators."""
     from repro.evaluation.timeline import evaluate_timelines_shared
 
+    fault_point("worker.chunk", worker_only=True)
     return observability.capture(
         telemetry,
         lambda: evaluate_timelines_shared(
@@ -498,6 +552,7 @@ def _map_chunk(
     telemetry: dict | None = None,
 ) -> list:
     """Worker entry point for :meth:`SweepEngine.map`."""
+    fault_point("worker.chunk", worker_only=True)
     return observability.capture(
         telemetry, lambda: [fn(item) for item in items]
     )
@@ -585,6 +640,12 @@ class SweepEngine:
         self._hits = 0
         self._misses = 0
         self._disk_hits = 0
+        #: Deadline of the in-flight evaluate/timeline call, if any.
+        self._deadline: Deadline | None = None
+        # Arm any REPRO_FAULTS plan now, in the coordinating process:
+        # this materialises the shared one-shot token directory before
+        # pool workers fork, so they inherit it through the environment.
+        active_plan()
         # Warm-pool (persistent executor) state: the retained
         # shared-memory context and the deduped designs folded into it.
         # The segment must outlive each dispatch so late-spawned or
@@ -595,9 +656,27 @@ class SweepEngine:
 
     # -- sweeping -----------------------------------------------------------
 
-    def evaluate(self, designs: Iterable[DesignSpec]) -> list[DesignEvaluation]:
-        """Evaluate *designs* (any mix of spec kinds), in input order."""
+    def evaluate(
+        self,
+        designs: Iterable[DesignSpec],
+        deadline: Deadline | None = None,
+    ) -> list[DesignEvaluation]:
+        """Evaluate *designs* (any mix of spec kinds), in input order.
+
+        *deadline* bounds the call: the budget is checked between chunk
+        dispatches (and between chunks on in-process executors), raising
+        :class:`~repro.errors.DeadlineExceeded` once spent.  Results
+        memoised by earlier calls are free, so a retried call only pays
+        for designs the deadline cut off.
+        """
         designs = list(designs)
+        self._deadline = deadline
+        try:
+            return self._evaluate(designs)
+        finally:
+            self._deadline = None
+
+    def _evaluate(self, designs: list[DesignSpec]) -> list[DesignEvaluation]:
         with tracing.span("engine:evaluate", designs=len(designs)) as sp:
             pending: list[DesignSpec] = []
             seen_pending: set[DesignSpec] = set()
@@ -642,6 +721,7 @@ class SweepEngine:
         tolerance: float = 1e-10,
         campaign=None,
         method: str = "uniformisation",
+        deadline: Deadline | None = None,
     ) -> list:
         """Patch timelines of *designs* over *times*, in input order.
 
@@ -653,9 +733,24 @@ class SweepEngine:
         on disk.  *campaign* optionally stages the rollout
         (:class:`~repro.patching.campaign.PatchCampaign`); *method*
         selects the transient backend (part of both cache keys); see
-        :func:`repro.evaluation.timeline.evaluate_timeline`.
+        :func:`repro.evaluation.timeline.evaluate_timeline`.  *deadline*
+        bounds the call exactly as in :meth:`evaluate`.
         """
         designs = list(designs)
+        self._deadline = deadline
+        try:
+            return self._timeline(designs, times, tolerance, campaign, method)
+        finally:
+            self._deadline = None
+
+    def _timeline(
+        self,
+        designs: list[DesignSpec],
+        times: Sequence[float],
+        tolerance: float,
+        campaign,
+        method: str,
+    ) -> list:
         times_key = tuple(float(t) for t in times)
         with tracing.span(
             "engine:timeline", designs=len(designs), points=len(times_key)
@@ -839,6 +934,7 @@ class SweepEngine:
         }
         if self.persistent_cache is not None:
             info["disk_hits"] = self._disk_hits
+            info["disk_degraded"] = int(self.persistent_cache.degraded)
         return info
 
     # -- internal -------------------------------------------------------------
@@ -941,7 +1037,22 @@ class SweepEngine:
         :class:`~repro.observability.ChunkTelemetry`; absorbing merges
         their metric deltas and spans into this process and unwraps the
         untouched results, so callers see the same shapes either way.
+
+        An active sweep deadline is checked here before any work is
+        submitted; on in-process executors (serial/thread) each chunk
+        additionally re-checks the budget at entry, so a sweep stops at
+        the next chunk boundary once the budget is spent.
         """
+        deadline = self._deadline
+        if deadline is not None:
+            deadline.check("chunk dispatch")
+            if runner is None and isinstance(
+                self.executor, (SerialExecutor, ThreadExecutor)
+            ):
+                # In-process execution: safe to close over the deadline
+                # (process pools would need to pickle it; the pre-submit
+                # check above still bounds those dispatches).
+                fn = partial(_checked_chunk, deadline, fn)
         if runner is None:
             runner = self.executor.run
         dispatched = time.time()
@@ -1104,7 +1215,9 @@ class SweepEngine:
             if workers is None:
                 # Serial executors gain nothing from splitting; one chunk
                 # keeps a single shared evaluator pair across all designs.
-                size = len(items)
+                # Under a deadline the chunk boundary is the abort point,
+                # so split enough for the budget check to actually run.
+                size = len(items) if self._deadline is None else 4
             else:
                 size = max(1, -(-len(items) // max(1, 4 * workers)))
         return [items[i : i + size] for i in range(0, len(items), size)]

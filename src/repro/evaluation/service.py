@@ -49,8 +49,30 @@ Request semantics
   in-memory memo and (when configured) the thread-safe sqlite store of
   :mod:`repro.evaluation.cache`.
 * **Resilience.**  A killed pool worker surfaces as one recycled pool
-  (respawn + re-prime + one retry) inside the engine, not as a failed
-  request; ``pool_recycles`` in ``/healthz`` counts the occurrences.
+  (respawn + re-prime + retry under the executor's
+  :class:`~repro.resilience.RetryPolicy`) inside the engine, not as a
+  failed request; ``pool_recycles`` in ``/healthz`` counts the
+  occurrences.  Beyond that:
+
+  * **Deadlines.**  ``/sweep`` and ``/timeline`` accept ``deadline_ms``
+    — a monotonic budget started at request receipt (queue wait
+    counts).  An exhausted budget answers a 504-style JSON error
+    promptly, even while the underlying computation is still finishing
+    on the compute thread; the engine also checks the budget between
+    chunk dispatches and aborts the sweep.
+  * **Saturation.**  With ``max_queue`` set, a service whose compute
+    queue is full answers 503 with a ``Retry-After`` header instead of
+    queueing unboundedly; deduplicated joins onto an in-flight request
+    and remembered responses are always served.
+  * **Graceful drain.**  SIGTERM (when serving via :meth:`run` on the
+    main thread) stops accepting new computations (503), finishes
+    in-flight requests up to ``drain_grace`` seconds, then closes the
+    engine, pool and segment cleanly; a second SIGTERM forces an
+    immediate stop.
+  * **Degraded cache.**  Persistent sqlite-cache contention degrades
+    the cache to memory-only (``repro_cache_degraded``) instead of
+    failing requests; ``/healthz`` surfaces the flag alongside circuit
+    -breaker states under ``resilience``.
 """
 
 from __future__ import annotations
@@ -58,6 +80,7 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+import signal
 import threading
 import time
 from collections.abc import Sequence
@@ -65,7 +88,15 @@ from concurrent.futures import ThreadPoolExecutor
 from functools import partial
 
 from repro import observability
-from repro.errors import EvaluationError, ReproError, ValidationError
+from repro.errors import (
+    DeadlineExceeded,
+    EvaluationError,
+    ReproError,
+    ValidationError,
+)
+from repro.resilience.breaker import breaker_states
+from repro.resilience.deadline import Deadline
+from repro.resilience.retry import RetryPolicy
 
 _logger = logging.getLogger(__name__)
 
@@ -98,6 +129,20 @@ _IN_FLIGHT = observability.gauge(
     "repro_service_in_flight",
     "Deduplicated computations currently in flight.",
 ).labels()
+_SERVICE_REJECTED = observability.counter(
+    "repro_service_rejected_total",
+    "Requests refused with 503 (queue saturated or draining).",
+).labels()
+_DRAINING = observability.gauge(
+    "repro_service_draining",
+    "Whether the service is draining after SIGTERM (1) or serving (0).",
+).labels()
+
+
+def _swallow_abandoned_error(future) -> None:
+    """Retrieve an abandoned future's exception so asyncio never warns."""
+    if not future.cancelled():
+        future.exception()
 
 #: Accept-header fragments that select the Prometheus text exposition
 #: for ``GET /metrics`` (JSON stays the default).
@@ -123,6 +168,7 @@ def configure_access_logs() -> None:
 
 __all__ = [
     "DEFAULT_MAX_DESIGNS",
+    "DEFAULT_MAX_QUEUE",
     "DEFAULT_PORT",
     "EvaluationService",
     "ServiceClient",
@@ -155,7 +201,14 @@ _REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
+
+#: Default compute-queue bound: distinct computations admitted before
+#: the service answers 503 + ``Retry-After`` (dedup joins and response
+#: -memory hits are exempt — they add no compute load).
+DEFAULT_MAX_QUEUE = 64
 
 
 # -- response envelopes (shared with the CLI) ---------------------------------
@@ -217,7 +270,14 @@ def timeline_response(
 
 # -- request normalisation ----------------------------------------------------
 
-_SPACE_FIELDS = {"roles", "max_replicas", "max_total", "variants", "max_designs"}
+_SPACE_FIELDS = {
+    "roles",
+    "max_replicas",
+    "max_total",
+    "variants",
+    "max_designs",
+    "deadline_ms",
+}
 _TIMELINE_FIELDS = _SPACE_FIELDS | {
     "horizon",
     "points",
@@ -292,6 +352,16 @@ def _parse_times(payload: dict) -> tuple[float, ...]:
     return default_time_grid(float(horizon), points)
 
 
+def _parse_deadline_ms(value: object) -> float | None:
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)) or value <= 0:
+        raise ValidationError(
+            f"deadline_ms must be a positive number of milliseconds, got {value!r}"
+        )
+    return float(value)
+
+
 def _parse_campaign(payload: dict):
     """The request's staged rollout (``campaign`` spec or ``phases``)."""
     from repro.patching.campaign import PatchCampaign
@@ -331,11 +401,24 @@ class EvaluationService:
         thread-safe sqlite result store shared across restarts).
     max_designs:
         Per-request design-count budget (:data:`DEFAULT_MAX_DESIGNS`).
+    max_queue:
+        Bound on distinct computations admitted to the compute queue
+        (:data:`DEFAULT_MAX_QUEUE`); beyond it new computations get 503
+        with ``Retry-After``.  ``None`` queues unboundedly.
+    retry_after:
+        The ``Retry-After`` hint (seconds) sent with 503 responses.
+    drain_grace:
+        How long a SIGTERM-initiated drain waits for in-flight requests
+        before stopping anyway.
+    startup_timeout / shutdown_timeout:
+        Bounds on :meth:`start_in_thread` and :meth:`stop`; expiry
+        raises a descriptive :class:`~repro.errors.EvaluationError`
+        instead of hanging or silently returning.
 
-    Use :meth:`run` to serve blocking (the CLI), or
-    :meth:`start_in_thread`/:meth:`stop` for an in-process instance
-    (tests); :meth:`close` releases the engine's warm pool, segment and
-    cache.
+    Use :meth:`run` to serve blocking (the CLI; SIGTERM drains
+    gracefully), or :meth:`start_in_thread`/:meth:`stop` for an
+    in-process instance (tests); :meth:`close` releases the engine's
+    warm pool, segment and cache.
     """
 
     def __init__(
@@ -348,6 +431,11 @@ class EvaluationService:
         structure_sharing: bool = True,
         cache_path=None,
         max_designs: int = DEFAULT_MAX_DESIGNS,
+        max_queue: int | None = DEFAULT_MAX_QUEUE,
+        retry_after: float = 1.0,
+        drain_grace: float = 30.0,
+        startup_timeout: float = 30.0,
+        shutdown_timeout: float = 30.0,
     ) -> None:
         from repro._validation import check_positive_int
         from repro.evaluation.engine import (
@@ -359,6 +447,22 @@ class EvaluationService:
 
         check_positive_int(max_designs, "max_designs")
         self.max_designs = max_designs
+        if max_queue is not None:
+            check_positive_int(max_queue, "max_queue")
+        self.max_queue = max_queue
+        if retry_after <= 0:
+            raise EvaluationError(f"retry_after must be > 0, got {retry_after}")
+        self.retry_after = retry_after
+        for value, name in (
+            (drain_grace, "drain_grace"),
+            (startup_timeout, "startup_timeout"),
+            (shutdown_timeout, "shutdown_timeout"),
+        ):
+            if value <= 0:
+                raise EvaluationError(f"{name} must be > 0, got {value}")
+        self.drain_grace = drain_grace
+        self.startup_timeout = startup_timeout
+        self.shutdown_timeout = shutdown_timeout
         if executor == "process":
             executor = ProcessExecutor(max_workers=max_workers, persistent=True)
             max_workers = None
@@ -385,12 +489,21 @@ class EvaluationService:
         )
         self._inflight: dict[str, asyncio.Future] = {}
         self._responses: dict[str, dict] = {}
+        self._draining = False
+        self._active_requests = 0
+        #: Open client transports, so a forced stop can sever them
+        #: instead of leaving blocked clients to their own timeouts.
+        self._connections: set = set()
+        #: Monotonic suffix making deadline-bearing requests dedup-unique
+        #: (two requests with separate budgets must not share a future).
+        self._deadline_serial = 0
         self._counters = {
             "requests_total": 0,
             "dedup_hits": 0,
             "response_cache_hits": 0,
             "computed": 0,
             "errors": 0,
+            "rejected": 0,
         }
         self._latency: dict[str, dict] = {}
         self._started = time.monotonic()
@@ -415,6 +528,13 @@ class EvaluationService:
     async def _serve(self, host: str, port: int, announce: bool) -> None:
         self._loop = asyncio.get_running_loop()
         self._stop_event = asyncio.Event()
+        try:
+            # Graceful drain on SIGTERM.  Only possible when the loop
+            # runs on the main thread (the CLI `repro serve` path);
+            # start_in_thread services are stopped via stop() instead.
+            self._loop.add_signal_handler(signal.SIGTERM, self._begin_drain)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass
         server = await asyncio.start_server(self._handle, host, port)
         self.address = server.sockets[0].getsockname()[:2]
         if announce:
@@ -427,6 +547,42 @@ class EvaluationService:
             )
         async with server:
             await self._stop_event.wait()
+        # A forced stop can leave handlers mid-request; close their
+        # transports so blocked clients see EOF instead of hanging
+        # until their own timeout.
+        for writer in list(self._connections):
+            writer.close()
+
+    def _begin_drain(self) -> None:
+        """SIGTERM entry: drain gracefully; a second signal forces stop."""
+        if self._stop_event is None:
+            return
+        if self._draining:
+            _logger.info("second SIGTERM: forcing immediate stop")
+            self._stop_event.set()
+            return
+        self._draining = True
+        _DRAINING.set(1)
+        _logger.info(
+            "SIGTERM: draining (%d in flight, %d active request(s), "
+            "grace %.0fs)",
+            len(self._inflight),
+            self._active_requests,
+            self.drain_grace,
+        )
+        assert self._loop is not None
+        self._loop.create_task(self._drain())
+
+    async def _drain(self) -> None:
+        """Wait for in-flight work (bounded by ``drain_grace``), then stop."""
+        grace_ends = time.monotonic() + self.drain_grace
+        while (
+            (self._inflight or self._active_requests)
+            and time.monotonic() < grace_ends
+        ):
+            await asyncio.sleep(0.05)
+        assert self._stop_event is not None
+        self._stop_event.set()
 
     def start_in_thread(
         self, host: str = "127.0.0.1", port: int = 0
@@ -451,29 +607,57 @@ class EvaluationService:
             target=_target, name="repro-serve", daemon=True
         )
         self._thread.start()
-        if not started.wait(timeout=30.0):  # pragma: no cover - defensive
-            raise EvaluationError("service thread failed to start")
+        if not started.wait(timeout=self.startup_timeout):
+            raise EvaluationError(
+                f"service thread did not enter its event loop within "
+                f"the startup_timeout of {self.startup_timeout:.1f}s "
+                f"(thread alive: {self._thread.is_alive()})"
+            )
         # The event fires just before the socket binds; poll readiness.
-        deadline = time.monotonic() + 30.0
+        bind_deadline = time.monotonic() + self.startup_timeout
         while self.address is None:
-            if time.monotonic() > deadline:  # pragma: no cover - defensive
-                raise EvaluationError("service failed to bind its socket")
+            if not self._thread.is_alive():
+                raise EvaluationError(
+                    f"service thread died before binding {host}:{port} "
+                    "(bad address, port in use, or a loop-startup error "
+                    "— see the thread's traceback on stderr)"
+                )
+            if time.monotonic() > bind_deadline:
+                raise EvaluationError(
+                    f"service did not bind {host}:{port} within the "
+                    f"startup_timeout of {self.startup_timeout:.1f}s"
+                )
             time.sleep(0.01)
         client = ServiceClient(self.address[0], self.address[1])
-        client.wait_until_ready(timeout=30.0)
+        client.wait_until_ready(timeout=self.startup_timeout)
         return client
 
     def stop(self) -> None:
-        """Stop a :meth:`start_in_thread` server (idempotent)."""
+        """Stop a :meth:`start_in_thread` server (idempotent).
+
+        Raises a descriptive :class:`~repro.errors.EvaluationError` if
+        the serving thread is still alive after ``shutdown_timeout``
+        seconds (an in-flight request stuck past the bound) — the
+        thread is a daemon, so abandoning it cannot hang interpreter
+        exit.
+        """
         loop, event = self._loop, self._stop_event
         if loop is not None and event is not None and not loop.is_closed():
             try:
                 loop.call_soon_threadsafe(event.set)
             except RuntimeError:  # loop already closed
                 pass
-        if self._thread is not None:
-            self._thread.join(timeout=30.0)
-            self._thread = None
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=self.shutdown_timeout)
+            if thread.is_alive():
+                raise EvaluationError(
+                    f"service thread still serving after the "
+                    f"shutdown_timeout of {self.shutdown_timeout:.1f}s "
+                    f"({len(self._inflight)} computation(s) in flight, "
+                    f"{self._active_requests} active request(s)); "
+                    "abandoning the daemon thread"
+                )
 
     def close(self) -> None:
         """Stop serving and release the engine's warm-pool resources."""
@@ -496,40 +680,63 @@ class EvaluationService:
         started = time.perf_counter()
         request = None
         status, payload = 500, {"error": "internal error"}
+        extra_headers: dict[str, str] = {}
+        self._active_requests += 1
+        self._connections.add(writer)
         try:
-            request = await self._read_request(reader)
-            if request is None:
-                status, payload = 400, {"error": "malformed HTTP request"}
+            try:
+                request = await self._read_request(reader)
+                if request is None:
+                    status, payload = 400, {"error": "malformed HTTP request"}
+                else:
+                    result = await self._dispatch(*request)
+                    # Resilience paths (503/504) attach extra headers as
+                    # a third element; plain handlers return pairs.
+                    if len(result) == 3:
+                        status, payload, extra_headers = result
+                    else:
+                        status, payload = result
+            except (ConnectionError, asyncio.IncompleteReadError):
+                writer.close()
+                return
+            except asyncio.CancelledError:
+                # Forced-stop teardown cancelled this handler; end the
+                # task quietly (re-raising makes asyncio's stream
+                # callback log a spurious traceback at loop close).
+                writer.close()
+                return
+            except Exception as exc:  # never leak a traceback as a hang
+                self._counters["errors"] += 1
+                _SERVICE_ERRORS.inc()
+                status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+            if isinstance(payload, str):
+                # Pre-rendered text (the Prometheus exposition).
+                body = payload.encode()
+                content_type = _PROMETHEUS_CONTENT_TYPE
             else:
-                status, payload = await self._dispatch(*request)
-        except (ConnectionError, asyncio.IncompleteReadError):
-            writer.close()
-            return
-        except Exception as exc:  # never leak a traceback as a hang
-            self._counters["errors"] += 1
-            _SERVICE_ERRORS.inc()
-            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
-        if isinstance(payload, str):
-            # Pre-rendered text (the Prometheus exposition).
-            body = payload.encode()
-            content_type = _PROMETHEUS_CONTENT_TYPE
-        else:
-            body = (json.dumps(payload, indent=2) + "\n").encode()
-            content_type = "application/json"
-        head = (
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
-            f"Content-Type: {content_type}\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            "Connection: close\r\n\r\n"
-        ).encode()
-        try:
-            writer.write(head + body)
-            await writer.drain()
-            writer.close()
-            await writer.wait_closed()
-        except (ConnectionError, BrokenPipeError):  # client went away
-            pass
-        self._log_access(request, status, time.perf_counter() - started)
+                body = (json.dumps(payload, indent=2) + "\n").encode()
+                content_type = "application/json"
+            header_lines = "".join(
+                f"{name}: {value}\r\n" for name, value in extra_headers.items()
+            )
+            head = (
+                f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"{header_lines}"
+                "Connection: close\r\n\r\n"
+            ).encode()
+            try:
+                writer.write(head + body)
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):  # client went away
+                pass
+            self._log_access(request, status, time.perf_counter() - started)
+        finally:
+            self._active_requests -= 1
+            self._connections.discard(writer)
 
     @staticmethod
     def _log_access(request, status: int, seconds: float) -> None:
@@ -612,7 +819,7 @@ class EvaluationService:
             return 400, {"error": "request body must be a JSON object"}
         start = time.perf_counter()
         try:
-            key, job = self._prepare(path, request)
+            key, job, deadline = self._prepare(path, request)
         except ReproError as exc:
             self._counters["errors"] += 1
             _SERVICE_ERRORS.inc()
@@ -636,11 +843,56 @@ class EvaluationService:
             self._counters["dedup_hits"] += 1
             _SERVICE_CACHE.inc(tier="dedup")
         else:
+            rejection = self._admission_rejection()
+            if rejection is not None:
+                self._counters["rejected"] += 1
+                _SERVICE_REJECTED.inc()
+                self._record_latency(
+                    path, time.perf_counter() - start, outcome="rejected"
+                )
+                return 503, {
+                    "error": f"service saturated: {rejection}; "
+                    f"retry after {self.retry_after:g}s",
+                    "retry_after_s": self.retry_after,
+                }, {"Retry-After": str(max(1, round(self.retry_after)))}
             future = loop.create_future()
             self._inflight[key] = future
             loop.create_task(self._compute_job(key, job, future))
         try:
-            response = await future
+            if deadline is None:
+                response = await future
+            else:
+                # Shield the computation: a blown budget abandons the
+                # wait (prompt 504), never cancels the shared engine
+                # work — the memo still banks the eventual result.
+                remaining = deadline.remaining()
+                if remaining <= 0.0:
+                    raise DeadlineExceeded(
+                        f"deadline of {deadline.budget * 1000.0:.0f} ms "
+                        "exceeded before the request reached the engine"
+                    )
+                response = await asyncio.wait_for(
+                    asyncio.shield(future), timeout=remaining
+                )
+        except (DeadlineExceeded, asyncio.TimeoutError) as exc:
+            future.add_done_callback(_swallow_abandoned_error)
+            self._counters["errors"] += 1
+            _SERVICE_ERRORS.inc()
+            self._record_latency(
+                path, time.perf_counter() - start, outcome="deadline"
+            )
+            budget_ms = deadline.budget * 1000.0 if deadline else None
+            message = (
+                str(exc)
+                if isinstance(exc, DeadlineExceeded)
+                else f"deadline of {budget_ms:.0f} ms exceeded while the "
+                "request was queued or computing"
+            )
+            return 504, {
+                "error": message,
+                "deadline_ms": budget_ms,
+                "deadline_exceeded": True,
+            }
         except ReproError as exc:
             self._counters["errors"] += 1
             _SERVICE_ERRORS.inc()
@@ -650,6 +902,17 @@ class EvaluationService:
             return 500, {"error": str(exc)}
         self._record_latency(path, time.perf_counter() - start)
         return 200, response
+
+    def _admission_rejection(self) -> str | None:
+        """Why a *new* computation cannot be admitted now (None = admit)."""
+        if self._draining:
+            return "draining after SIGTERM, not accepting new computations"
+        if self.max_queue is not None and len(self._inflight) >= self.max_queue:
+            return (
+                f"compute queue full ({len(self._inflight)} computation(s) "
+                f"in flight >= max_queue {self.max_queue})"
+            )
+        return None
 
     async def _compute_job(self, key: str, job, future: asyncio.Future) -> None:
         """Run *job* on the compute thread; fan the result out."""
@@ -669,14 +932,19 @@ class EvaluationService:
             future.set_result(response)
 
     def _prepare(self, path: str, request: dict):
-        """Canonical dedup key + compute closure of one request.
+        """Canonical dedup key, compute closure and deadline of a request.
 
         Raises :class:`~repro.errors.ReproError` on validation
         failures, including a blown design-count budget — checked here,
-        before the request can occupy the queue.
+        before the request can occupy the queue.  The deadline's clock
+        starts here, at request receipt: queue wait spends the budget.
         """
         allowed = _SPACE_FIELDS if path == "/sweep" else _TIMELINE_FIELDS
         _require_fields(request, allowed, path.lstrip("/"))
+        deadline_ms = _parse_deadline_ms(request.get("deadline_ms"))
+        deadline = (
+            None if deadline_ms is None else Deadline.after_ms(deadline_ms)
+        )
         space = _normalize_space(request)
         designs = self._enumerate(space)
         budget = _parse_count(
@@ -700,10 +968,18 @@ class EvaluationService:
             job = partial(self._timeline_job, space, designs, times, campaign)
         else:
             job = partial(self._sweep_job, space, designs)
+        if deadline is not None:
+            # Deadline passed keyword-only so deadline-free jobs keep the
+            # historical two/four-argument shape (tests monkeypatch them).
+            job = partial(job, deadline=deadline)
+            # Each deadline carries its own budget: never share a
+            # computation (or a remembered response) across requests.
+            self._deadline_serial += 1
+            canonical["deadline_serial"] = self._deadline_serial
         key = json.dumps(
             {"endpoint": path, **canonical}, sort_keys=True, default=str
         )
-        return key, job
+        return key, job, deadline
 
     def _enumerate(self, space: dict) -> list:
         from repro.evaluation.sweep import (
@@ -740,8 +1016,8 @@ class EvaluationService:
     # The job bodies run on the dedicated compute thread — the only
     # place the engine is ever touched after construction.
 
-    def _sweep_job(self, space: dict, designs) -> dict:
-        evaluations = self.engine.evaluate(designs)
+    def _sweep_job(self, space: dict, designs, deadline=None) -> dict:
+        evaluations = self.engine.evaluate(designs, deadline=deadline)
         return sweep_response(
             space["roles"],
             space["max_replicas"],
@@ -751,8 +1027,12 @@ class EvaluationService:
             evaluations,
         )
 
-    def _timeline_job(self, space: dict, designs, times, campaign) -> dict:
-        timelines = self.engine.timeline(designs, times, campaign=campaign)
+    def _timeline_job(
+        self, space: dict, designs, times, campaign, deadline=None
+    ) -> dict:
+        timelines = self.engine.timeline(
+            designs, times, campaign=campaign, deadline=deadline
+        )
         return timeline_response(
             space["roles"],
             space["max_replicas"],
@@ -806,6 +1086,7 @@ class EvaluationService:
     def _sync_registry(self) -> None:
         """Refresh registry series derived from live service state."""
         _IN_FLIGHT.set(len(self._inflight))
+        _DRAINING.set(1 if self._draining else 0)
 
     def metrics(self) -> dict:
         """Request/cache counters, latency aggregates and the registry.
@@ -825,10 +1106,17 @@ class EvaluationService:
         }
 
     def healthz(self) -> dict:
-        """Liveness plus engine/pool observability."""
+        """Liveness plus engine/pool observability.
+
+        The ``resilience`` section reports degradation state: drain
+        status, queue occupancy against ``max_queue``, whether the
+        persistent cache fell back to memory-only, and every registered
+        circuit breaker (name → state/failures/opens).
+        """
         executor = self.engine.executor
+        cache = self.engine.persistent_cache
         return {
-            "status": "ok",
+            "status": "draining" if self._draining else "ok",
             "uptime_s": round(time.monotonic() - self._started, 3),
             "engine": {
                 "executor": executor.name,
@@ -838,6 +1126,16 @@ class EvaluationService:
                 "cache_info": self.engine.cache_info,
             },
             "max_designs": self.max_designs,
+            "resilience": {
+                "draining": self._draining,
+                "active_requests": self._active_requests,
+                "queue_depth": len(self._inflight),
+                "max_queue": self.max_queue,
+                "drain_grace_s": self.drain_grace,
+                "retry_after_s": self.retry_after,
+                "cache_degraded": bool(cache.degraded) if cache else False,
+                "breakers": breaker_states(),
+            },
             **self.metrics(),
         }
 
@@ -850,17 +1148,29 @@ class ServiceClient:
 
     Used by the test-suite, the CI smoke and scripts; any HTTP client
     works — the API is plain JSON over HTTP/1.1.
+
+    A saturated or draining service answers 503 with a ``Retry-After``
+    header; the client honours it under *retry* (a bounded
+    :class:`~repro.resilience.RetryPolicy`, deterministic backoff) so
+    benches and examples survive a briefly-unavailable server.  Pass
+    ``retry=None`` to observe 503s directly.
     """
+
+    #: Default 503 handling: three attempts, honouring ``Retry-After``
+    #: (capped at ``max_delay``) and falling back to 0.2 s → 0.4 s.
+    DEFAULT_RETRY = RetryPolicy(attempts=3, base_delay=0.2, max_delay=5.0)
 
     def __init__(
         self,
         host: str = "127.0.0.1",
         port: int = DEFAULT_PORT,
         timeout: float = 300.0,
+        retry: RetryPolicy | None = DEFAULT_RETRY,
     ) -> None:
         self.host = host
         self.port = int(port)
         self.timeout = timeout
+        self.retry = retry
 
     def request(
         self,
@@ -873,8 +1183,38 @@ class ServiceClient:
 
         JSON responses are parsed; text responses (e.g. the Prometheus
         exposition negotiated via ``headers={"Accept": "text/plain"}``)
-        come back as the raw string.
+        come back as the raw string.  503 responses are retried under
+        :attr:`retry`; the final attempt's response is returned as-is.
         """
+        attempts = self.retry.attempts if self.retry is not None else 1
+        for attempt in range(1, attempts + 1):
+            status, parsed, retry_after = self._request_once(
+                method, path, payload, headers
+            )
+            if status != 503 or attempt == attempts:
+                return status, parsed
+            pause = self.retry.delay(attempt)
+            if retry_after is not None:
+                pause = min(max(retry_after, pause), self.retry.max_delay)
+            _logger.debug(
+                "service %s answered 503 (attempt %d/%d); retrying in %.2fs",
+                path,
+                attempt,
+                attempts,
+                pause,
+            )
+            if pause > 0.0:
+                time.sleep(pause)
+        raise AssertionError("unreachable retry state")  # pragma: no cover
+
+    def _request_once(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None,
+        headers: dict | None,
+    ):
+        """One HTTP exchange: ``(status, parsed body, retry_after)``."""
         import http.client
 
         connection = http.client.HTTPConnection(
@@ -892,12 +1232,19 @@ class ServiceClient:
             data = response.read()
             status = response.status
             content_type = response.getheader("Content-Type", "")
+            retry_after_header = response.getheader("Retry-After")
         finally:
             connection.close()
+        retry_after = None
+        if retry_after_header is not None:
+            try:
+                retry_after = float(retry_after_header)
+            except ValueError:
+                pass
         if not content_type.startswith("application/json"):
-            return status, data.decode()
+            return status, data.decode(), retry_after
         try:
-            return status, json.loads(data.decode())
+            return status, json.loads(data.decode()), retry_after
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise EvaluationError(
                 f"service returned non-JSON for {path} (HTTP {status}): {exc}"

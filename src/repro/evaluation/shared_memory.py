@@ -42,6 +42,7 @@ from repro.availability.grouped import CanonicalLayout, CoaStructure
 from repro.availability.measures import ServerMeasures
 from repro.errors import EvaluationError, ReproError
 from repro.observability import tracing
+from repro.resilience.faults import fault_point
 
 __all__ = [
     "pack_arrays",
@@ -384,6 +385,7 @@ def initialize_worker(payload: dict) -> None:
     leak warnings.
     """
     global _WORKER
+    fault_point("shared.attach", worker_only=True)
     segment = shared_memory.SharedMemory(name=payload["segment"])
     # Fork-pool workers share the parent's resource tracker, whose cache
     # is a set: the attach's re-registration is idempotent and the
@@ -455,6 +457,7 @@ def _worker_state() -> dict:
 
 def shared_evaluate_chunk(designs, telemetry=None):
     """Worker entry point: evaluate one chunk with the primed evaluators."""
+    fault_point("worker.chunk", worker_only=True)
     return observability.capture(
         telemetry, lambda: _shared_evaluate(designs)
     )
@@ -479,6 +482,7 @@ def shared_timeline_chunk(
     telemetry=None,
 ):
     """Worker entry point: patch timelines with the primed evaluators."""
+    fault_point("worker.chunk", worker_only=True)
     return observability.capture(
         telemetry,
         lambda: _shared_timeline(times, tolerance, designs, campaign, method),

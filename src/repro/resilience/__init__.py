@@ -1,0 +1,50 @@
+"""Resilience layer: deadlines, retries, breakers, fault injection.
+
+The paper's subject is keeping redundant systems available while
+patches (and failures) roll through them; this package makes the
+evaluation stack itself practice that discipline.  Four small,
+orthogonal primitives, all stdlib-only and deterministic:
+
+* :class:`~repro.resilience.retry.RetryPolicy` — bounded attempts with
+  deterministic exponential backoff (no jitter, so tests and fault
+  drills replay identically).  Used by the pool executors (worker-death
+  recycle), the persistent sqlite cache (``busy``/``locked`` retries)
+  and :class:`~repro.evaluation.service.ServiceClient` (503 +
+  ``Retry-After``).
+* :class:`~repro.resilience.deadline.Deadline` — a monotonic time
+  budget carried through a request (``deadline_ms`` on ``/sweep`` and
+  ``/timeline``, ``--deadline`` on the CLI), checked between chunk
+  dispatches and raised as the typed
+  :class:`~repro.errors.DeadlineExceeded`.
+* :class:`~repro.resilience.breaker.CircuitBreaker` — consecutive
+  failures open the breaker; while open, callers route to their
+  fallback without re-attempting (the iterative steady-state solver
+  degrades to the direct factorisation this way).  Breaker state is
+  surfaced in ``/healthz`` and the metrics registry.
+* :mod:`~repro.resilience.faults` — a deterministic fault-injection
+  harness: ``REPRO_FAULTS="cache.write:error@2;worker.chunk:kill@1"``
+  arms named fault points wired into cache writes, shared-memory
+  attach, solver solves and worker chunk entry, so every recovery path
+  can be provoked on demand and asserted byte-identical to a fault-free
+  run.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DeadlineExceeded, FaultInjected
+from repro.resilience.breaker import CircuitBreaker, breaker, breaker_states
+from repro.resilience.deadline import Deadline
+from repro.resilience.faults import FaultPlan, fault_point
+from repro.resilience.retry import RetryPolicy
+
+__all__ = [
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "FaultInjected",
+    "FaultPlan",
+    "RetryPolicy",
+    "breaker",
+    "breaker_states",
+    "fault_point",
+]

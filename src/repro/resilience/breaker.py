@@ -1,0 +1,159 @@
+"""Circuit breakers for degradable subsystems.
+
+A :class:`CircuitBreaker` counts *consecutive* failures; once the
+threshold trips, ``allow()`` answers ``False`` until ``recovery_time``
+has elapsed, at which point a single probe is let through (half-open).
+A probe success closes the breaker, a probe failure re-opens it for a
+fresh recovery window.
+
+Breakers here guard paths that have a cheap, always-correct fallback —
+the iterative steady-state solver degrades to the direct factorisation
+— so "open" means "stop paying the failure latency and take the
+fallback", never "fail the request".  State changes are mirrored into
+the metrics registry (``repro_breaker_opens_total``,
+``repro_breaker_open``) and a process-wide registry feeds
+``/healthz``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+
+from repro import observability
+
+__all__ = ["CircuitBreaker", "breaker", "breaker_states", "reset_breakers"]
+
+_OPENS = observability.counter(
+    "repro_breaker_opens_total",
+    "Circuit breaker transitions to the open state.",
+)
+_OPEN_GAUGE = observability.gauge(
+    "repro_breaker_open",
+    "Whether a circuit breaker is currently open (1) or closed (0).",
+)
+
+_CLOSED = "closed"
+_OPEN = "open"
+_HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with timed half-open recovery."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        failure_threshold: int = 3,
+        recovery_time: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if recovery_time < 0.0:
+            raise ValueError(f"recovery_time must be >= 0, got {recovery_time}")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.recovery_time = recovery_time
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._opened_at: float | None = None
+        self._probing = False
+        self.opens = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if self._opened_at is None:
+            return _CLOSED
+        if self._clock() - self._opened_at >= self.recovery_time:
+            return _HALF_OPEN
+        return _OPEN
+
+    def allow(self) -> bool:
+        """May the guarded path be attempted right now?
+
+        In the half-open state only one caller wins the probe; others
+        keep taking the fallback until the probe resolves.
+        """
+
+        with self._lock:
+            state = self._state_locked()
+            if state == _CLOSED:
+                return True
+            if state == _HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._opened_at = None
+            self._probing = False
+            _OPEN_GAUGE.set(0, name=self.name)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._probing = False
+            self._failures += 1
+            was_open = self._opened_at is not None
+            if self._failures >= self.failure_threshold or was_open:
+                self._opened_at = self._clock()
+                if not was_open:
+                    self.opens += 1
+                    _OPENS.inc(name=self.name)
+                _OPEN_GAUGE.set(1, name=self.name)
+
+    def snapshot(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "state": self._state_locked(),
+                "failures": self._failures,
+                "failure_threshold": self.failure_threshold,
+                "opens": self.opens,
+            }
+
+
+_REGISTRY: dict[str, CircuitBreaker] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def breaker(
+    name: str,
+    *,
+    failure_threshold: int = 3,
+    recovery_time: float = 30.0,
+) -> CircuitBreaker:
+    """Fetch (or create) the process-wide breaker called ``name``."""
+
+    with _REGISTRY_LOCK:
+        found = _REGISTRY.get(name)
+        if found is None:
+            found = CircuitBreaker(
+                name,
+                failure_threshold=failure_threshold,
+                recovery_time=recovery_time,
+            )
+            _REGISTRY[name] = found
+        return found
+
+
+def breaker_states() -> dict[str, dict[str, object]]:
+    """Snapshot of every registered breaker, for ``/healthz``."""
+
+    with _REGISTRY_LOCK:
+        return {name: brk.snapshot() for name, brk in sorted(_REGISTRY.items())}
+
+
+def reset_breakers() -> None:
+    """Drop all registered breakers (test isolation)."""
+
+    with _REGISTRY_LOCK:
+        _REGISTRY.clear()

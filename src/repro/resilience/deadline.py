@@ -1,0 +1,59 @@
+"""Monotonic time budgets for requests.
+
+A :class:`Deadline` is created once at the edge (service request
+parsing, CLI flag) and carried down the stack; cheap ``check()`` calls
+at natural pause points — chunk-dispatch boundaries in
+:class:`~repro.evaluation.engine.SweepEngine` — convert an exhausted
+budget into the typed :class:`~repro.errors.DeadlineExceeded` so the
+service can answer a prompt 504 and the CLI a distinct exit code,
+instead of grinding through the remaining chunks of a sweep nobody is
+waiting for anymore.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.errors import DeadlineExceeded
+
+__all__ = ["Deadline"]
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """A fixed point on the monotonic clock that work must not outlive."""
+
+    expires_at: float
+    budget: float
+    clock: Callable[[], float] = field(default=time.monotonic, repr=False, compare=False)
+
+    @classmethod
+    def after(cls, seconds: float, *, clock: Callable[[], float] = time.monotonic) -> Deadline:
+        if seconds <= 0.0:
+            raise ValueError(f"deadline budget must be > 0 seconds, got {seconds}")
+        return cls(expires_at=clock() + seconds, budget=seconds, clock=clock)
+
+    @classmethod
+    def after_ms(cls, ms: float, *, clock: Callable[[], float] = time.monotonic) -> Deadline:
+        return cls.after(ms / 1000.0, clock=clock)
+
+    def remaining(self) -> float:
+        """Seconds left; negative once expired."""
+
+        return self.expires_at - self.clock()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self, label: str = "work") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+
+        remaining = self.remaining()
+        if remaining <= 0.0:
+            raise DeadlineExceeded(
+                f"deadline of {self.budget * 1000.0:.0f} ms exceeded "
+                f"({-remaining * 1000.0:.0f} ms over budget) during {label}"
+            )

@@ -1,0 +1,134 @@
+"""Unit tests for the circuit breaker and its process-wide registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import CircuitBreaker, breaker, breaker_states
+from repro.resilience.breaker import reset_breakers
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make(clock, threshold=3, recovery=30.0):
+    return CircuitBreaker(
+        "test",
+        failure_threshold=threshold,
+        recovery_time=recovery,
+        clock=clock,
+    )
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self):
+        brk = make(FakeClock())
+        assert brk.state == "closed"
+        assert brk.allow()
+
+    def test_opens_after_consecutive_failures(self):
+        brk = make(FakeClock(), threshold=3)
+        brk.record_failure()
+        brk.record_failure()
+        assert brk.state == "closed"
+        assert brk.allow()
+        brk.record_failure()
+        assert brk.state == "open"
+        assert not brk.allow()
+        assert brk.opens == 1
+
+    def test_success_resets_the_failure_streak(self):
+        brk = make(FakeClock(), threshold=2)
+        brk.record_failure()
+        brk.record_success()
+        brk.record_failure()
+        assert brk.state == "closed"
+
+    def test_half_open_lets_exactly_one_probe_through(self):
+        clock = FakeClock()
+        brk = make(clock, threshold=1, recovery=10.0)
+        brk.record_failure()
+        assert not brk.allow()
+        clock.now += 10.0
+        assert brk.state == "half-open"
+        assert brk.allow()  # the probe
+        assert not brk.allow()  # everyone else keeps the fallback
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        brk = make(clock, threshold=1, recovery=10.0)
+        brk.record_failure()
+        clock.now += 10.0
+        assert brk.allow()
+        brk.record_success()
+        assert brk.state == "closed"
+        assert brk.allow()
+
+    def test_probe_failure_reopens_for_a_fresh_window(self):
+        clock = FakeClock()
+        brk = make(clock, threshold=2, recovery=10.0)
+        brk.record_failure()
+        brk.record_failure()
+        clock.now += 10.0
+        assert brk.allow()
+        brk.record_failure()  # one failed probe re-opens despite threshold 2
+        assert brk.state == "open"
+        assert not brk.allow()
+        clock.now += 10.0
+        assert brk.state == "half-open"
+
+    def test_reopen_does_not_double_count_opens(self):
+        clock = FakeClock()
+        brk = make(clock, threshold=1, recovery=10.0)
+        brk.record_failure()
+        clock.now += 10.0
+        brk.allow()
+        brk.record_failure()
+        assert brk.opens == 1
+        brk.record_success()
+        brk.record_failure()
+        assert brk.opens == 2
+
+    def test_snapshot_shape(self):
+        brk = make(FakeClock(), threshold=2)
+        brk.record_failure()
+        assert brk.snapshot() == {
+            "state": "closed",
+            "failures": 1,
+            "failure_threshold": 2,
+            "opens": 0,
+        }
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"failure_threshold": 0}, {"recovery_time": -1.0}],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CircuitBreaker("bad", **kwargs)
+
+
+class TestRegistry:
+    def test_breaker_is_created_once_per_name(self):
+        first = breaker("subsystem", failure_threshold=5)
+        again = breaker("subsystem", failure_threshold=99)
+        assert again is first
+        assert again.failure_threshold == 5
+
+    def test_breaker_states_snapshots_every_breaker(self):
+        breaker("alpha").record_failure()
+        breaker("beta")
+        states = breaker_states()
+        assert sorted(states) == ["alpha", "beta"]
+        assert states["alpha"]["failures"] == 1
+        assert states["beta"]["state"] == "closed"
+
+    def test_reset_breakers_drops_everything(self):
+        breaker("gone")
+        reset_breakers()
+        assert breaker_states() == {}

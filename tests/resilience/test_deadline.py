@@ -1,0 +1,60 @@
+"""Unit tests for :class:`repro.resilience.Deadline`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeadlineExceeded, EvaluationError, ReproError
+from repro.resilience import Deadline
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestDeadline:
+    def test_after_counts_down_on_the_given_clock(self):
+        clock = FakeClock()
+        deadline = Deadline.after(2.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(2.0)
+        assert not deadline.expired
+        clock.now += 1.5
+        assert deadline.remaining() == pytest.approx(0.5)
+        clock.now += 1.0
+        assert deadline.expired
+        assert deadline.remaining() == pytest.approx(-0.5)
+
+    def test_after_ms_converts_budget(self):
+        clock = FakeClock()
+        deadline = Deadline.after_ms(250, clock=clock)
+        assert deadline.budget == pytest.approx(0.25)
+        assert deadline.remaining() == pytest.approx(0.25)
+
+    def test_check_passes_while_budget_remains(self):
+        deadline = Deadline.after(5.0, clock=FakeClock())
+        deadline.check("anything")  # no raise
+
+    def test_check_raises_typed_error_once_spent(self):
+        clock = FakeClock()
+        deadline = Deadline.after_ms(100, clock=clock)
+        clock.now += 0.15
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            deadline.check("chunk dispatch")
+        message = str(excinfo.value)
+        assert "100 ms" in message
+        assert "chunk dispatch" in message
+
+    def test_deadline_exceeded_is_an_evaluation_error(self):
+        # The service maps EvaluationError subclasses; the CLI separates
+        # exit code 3 (deadline) from 2 (other domain errors).
+        assert issubclass(DeadlineExceeded, EvaluationError)
+        assert issubclass(DeadlineExceeded, ReproError)
+
+    @pytest.mark.parametrize("budget", [0.0, -1.0])
+    def test_non_positive_budgets_rejected(self, budget):
+        with pytest.raises(ValueError):
+            Deadline.after(budget)

@@ -1,0 +1,148 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import FaultInjected, ValidationError
+from repro.resilience import FaultPlan, fault_point
+from repro.resilience.faults import ENV_PARENT, ENV_PLAN, ENV_STATE, FaultSpec
+from repro.resilience import faults as faults_mod
+
+
+class TestFaultSpec:
+    def test_parse_full_spec(self):
+        spec = FaultSpec.parse("cache.write:error@2")
+        assert spec == FaultSpec(point="cache.write", action="error", hit=2)
+
+    def test_hit_defaults_to_first_arrival(self):
+        assert FaultSpec.parse("worker.chunk:kill").hit == 1
+
+    def test_whitespace_and_case_tolerated(self):
+        spec = FaultSpec.parse("  solver.iterative : FAIL @ 3 ")
+        assert spec.action == "fail"
+        assert spec.hit == 3
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "nocolon",
+            ":error@1",
+            "point:explode@1",
+            "point:error@x",
+            "point:error@0",
+        ],
+    )
+    def test_invalid_specs_rejected(self, text):
+        with pytest.raises(ValidationError):
+            FaultSpec.parse(text)
+
+    def test_token_is_filesystem_safe(self):
+        assert os.sep not in FaultSpec.parse("a.b:error@2").token
+
+
+def plan_for(raw: str, tmp_path) -> FaultPlan:
+    specs = [FaultSpec.parse(part) for part in raw.split(";") if part.strip()]
+    return FaultPlan(specs, str(tmp_path), os.getpid())
+
+
+class TestFaultPlan:
+    def test_from_env_without_plan_is_none(self):
+        assert FaultPlan.from_env({}) is None
+        assert FaultPlan.from_env({ENV_PLAN: "  "}) is None
+
+    def test_from_env_materialises_shared_state(self):
+        environ = {ENV_PLAN: "cache.write:error@1"}
+        plan = FaultPlan.from_env(environ)
+        try:
+            assert plan is not None
+            # The first activating process exports the token dir and its
+            # pid so forked pool workers inherit one-shot state.
+            assert os.path.isdir(os.environ[ENV_STATE])
+            assert os.environ[ENV_PARENT] == str(os.getpid())
+        finally:
+            state = os.environ.pop(ENV_STATE, None)
+            os.environ.pop(ENV_PARENT, None)
+            if state and os.path.isdir(state):
+                os.rmdir(state)
+
+    def test_fires_on_the_named_hit_only(self, tmp_path):
+        plan = plan_for("solver.iterative:fail@3", tmp_path)
+        plan.trigger("solver.iterative")
+        plan.trigger("solver.iterative")
+        with pytest.raises(FaultInjected):
+            plan.trigger("solver.iterative")
+
+    def test_fires_exactly_once(self, tmp_path):
+        plan = plan_for("cache.write:error@1", tmp_path)
+        with pytest.raises(FaultInjected):
+            plan.trigger("cache.write")
+        # Hit counts keep advancing but the one-shot token is spent.
+        for _ in range(5):
+            plan.trigger("cache.write")
+
+    def test_one_shot_token_is_shared_across_plans(self, tmp_path):
+        # Two plans over one state dir model two processes of one tree:
+        # whichever arrives at the armed hit first wins the claim.
+        first = plan_for("cache.write:error@1", tmp_path)
+        second = plan_for("cache.write:error@1", tmp_path)
+        with pytest.raises(FaultInjected):
+            first.trigger("cache.write")
+        second.trigger("cache.write")  # token already claimed: no raise
+
+    def test_caller_supplied_error_is_raised(self, tmp_path):
+        plan = plan_for("cache.read:error@1", tmp_path)
+        with pytest.raises(OSError, match="injected lock"):
+            plan.trigger("cache.read", error=OSError("injected lock"))
+
+    def test_unarmed_points_are_free(self, tmp_path):
+        plan = plan_for("cache.write:error@1", tmp_path)
+        plan.trigger("solver.transient")  # nothing armed here
+
+    def test_worker_only_never_fires_in_the_parent(self, tmp_path):
+        plan = plan_for("worker.chunk:fail@1", tmp_path)
+        plan.trigger("worker.chunk", worker_only=True)  # parent: skipped
+        # A worker (different pid recorded as parent) does fire.
+        worker_view = FaultPlan(
+            [FaultSpec.parse("worker.chunk:fail@1")],
+            str(tmp_path),
+            os.getpid() + 1,
+        )
+        with pytest.raises(FaultInjected):
+            worker_view.trigger("worker.chunk", worker_only=True)
+
+    def test_separate_specs_for_consecutive_hits(self, tmp_path):
+        # The cache chaos drill arms one spec per retry attempt.
+        plan = plan_for(
+            "cache.write:error@1;cache.write:error@2;cache.write:error@3",
+            tmp_path,
+        )
+        for _ in range(3):
+            with pytest.raises(FaultInjected):
+                plan.trigger("cache.write")
+        plan.trigger("cache.write")  # fourth attempt sails through
+
+
+class TestActivePlan:
+    def test_fault_point_is_noop_without_a_plan(self):
+        fault_point("cache.write")
+        fault_point("anything.else", worker_only=True)
+
+    def test_fault_point_uses_the_env_plan(self, monkeypatch):
+        monkeypatch.setenv(ENV_PLAN, "demo.point:fail@1")
+        faults_mod.reset()
+        with pytest.raises(FaultInjected):
+            fault_point("demo.point")
+        fault_point("demo.point")  # one-shot
+
+    def test_plan_is_loaded_once_per_process(self, monkeypatch):
+        faults_mod.reset()
+        assert faults_mod.active_plan() is None
+        # Setting the env after the first load changes nothing...
+        monkeypatch.setenv(ENV_PLAN, "late.point:fail@1")
+        assert faults_mod.active_plan() is None
+        # ...until an explicit reset re-reads it.
+        faults_mod.reset()
+        assert faults_mod.active_plan() is not None

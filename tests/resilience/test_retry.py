@@ -1,0 +1,122 @@
+"""Unit tests for :class:`repro.resilience.RetryPolicy`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import RetryPolicy
+
+
+class TestSchedule:
+    def test_deterministic_exponential_backoff(self):
+        policy = RetryPolicy(attempts=4, base_delay=0.1, multiplier=2.0)
+        assert policy.delays() == (0.1, 0.2, 0.4)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(3) == pytest.approx(0.4)
+
+    def test_max_delay_caps_every_sleep(self):
+        policy = RetryPolicy(
+            attempts=6, base_delay=1.0, multiplier=10.0, max_delay=2.5
+        )
+        assert policy.delays() == (1.0, 2.5, 2.5, 2.5, 2.5)
+
+    def test_zero_base_delay_means_no_sleeping(self):
+        policy = RetryPolicy(attempts=3, base_delay=0.0)
+        assert policy.delays() == (0.0, 0.0)
+
+    def test_single_attempt_has_empty_schedule(self):
+        assert RetryPolicy(attempts=1).delays() == ()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"attempts": 0},
+            {"base_delay": -0.1},
+            {"multiplier": 0.5},
+            {"max_delay": -1.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_delay_index_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0)
+
+
+class TestCall:
+    def test_success_needs_no_retry(self):
+        calls = []
+        result = RetryPolicy(attempts=3).call(lambda: calls.append(1) or 42)
+        assert result == 42
+        assert len(calls) == 1
+
+    def test_retries_until_success_with_backoff(self):
+        attempts = []
+        sleeps = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise OSError("transient")
+            return "ok"
+
+        policy = RetryPolicy(attempts=4, base_delay=0.1)
+        result = policy.call(flaky, sleep=sleeps.append)
+        assert result == "ok"
+        assert len(attempts) == 3
+        assert sleeps == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_exhausted_attempts_reraise_the_last_error(self):
+        boom = OSError("still broken")
+
+        def always_fails():
+            raise boom
+
+        with pytest.raises(OSError) as excinfo:
+            RetryPolicy(attempts=3, base_delay=0.0).call(always_fails)
+        assert excinfo.value is boom
+
+    def test_non_matching_exception_is_not_retried(self):
+        calls = []
+
+        def fails():
+            calls.append(1)
+            raise ValueError("not retryable")
+
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=3, base_delay=0.0).call(
+                fails, retry_on=(OSError,)
+            )
+        assert len(calls) == 1
+
+    def test_should_retry_predicate_can_veto(self):
+        calls = []
+
+        def fails():
+            calls.append(1)
+            raise OSError("permanent")
+
+        with pytest.raises(OSError):
+            RetryPolicy(attempts=3, base_delay=0.0).call(
+                fails,
+                retry_on=(OSError,),
+                should_retry=lambda exc: "transient" in str(exc),
+            )
+        assert len(calls) == 1
+
+    def test_before_retry_runs_between_attempts(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 2:
+                raise OSError(f"failure {len(seen)}")
+            return "ok"
+
+        result = RetryPolicy(attempts=3, base_delay=0.0).call(
+            flaky,
+            before_retry=lambda index, exc: seen.append((index, str(exc))),
+        )
+        assert result == "ok"
+        assert seen == [(1, "failure 0"), (2, "failure 1")]
