@@ -27,12 +27,22 @@ Commands
     across phase boundaries; a single-phase multiplier-1 campaign is
     byte-identical to the stationary timeline.
 ``serve``
-    Resident evaluation service: one warm sweep engine (persistent
-    worker pool, retained shared-memory aggregates, result caches)
-    behind an HTTP/JSON API.  ``POST /sweep`` and ``POST /timeline``
-    take the CLI options as JSON fields and answer with exactly the
-    corresponding ``--json`` payload; ``GET /healthz`` reports
-    liveness, pool state and request counters.
+    Resident evaluation service: a bounded pool of warm sweep-engine
+    *lanes* (persistent worker pools, retained shared-memory
+    aggregates, result caches), one per evaluation context, behind a
+    versioned HTTP/JSON API.  ``POST /v1/sweep`` and ``POST
+    /v1/timeline`` take one request envelope (space / options /
+    priority / deadline_ms / stream) and answer with exactly the
+    corresponding ``--json`` payload — or stream it chunk by chunk as
+    newline-delimited JSON; ``GET /v1/healthz`` reports liveness,
+    per-lane state and request counters.  The unversioned paths keep
+    working with the flat legacy fields plus a ``Deprecation`` header.
+``shard``
+    Coordinator for horizontal scale-out: partition a design space
+    across several running ``serve`` processes by the stable design
+    cache-key hash, fan the requests out with retry/failover, and
+    merge the partial payloads byte-identically to a single-process
+    run.
 ``cache``
     Maintain a ``--cache`` sqlite file: ``stats``, ``purge``
     (everything, one scope or one context fingerprint) and ``trim``
@@ -311,9 +321,10 @@ def _sweep(args: argparse.Namespace) -> int:
         _finish_trace(args)
     _dump_metrics(args)
     if args.json:
-        # The service envelope builder, so `repro sweep --json` and a
-        # `repro serve` response agree by construction.
-        from repro.evaluation.service import sweep_response
+        # The shared schema module, so `repro sweep --json`, a `repro
+        # serve` response and a `repro shard` merge agree by
+        # construction.
+        from repro.evaluation.api import sweep_response
 
         payload = sweep_response(
             roles,
@@ -391,7 +402,7 @@ def _timeline(args: argparse.Namespace) -> int:
         _finish_trace(args)
     _dump_metrics(args)
     if args.json:
-        from repro.evaluation.service import timeline_response
+        from repro.evaluation.api import timeline_response
 
         payload = timeline_response(
             roles,
@@ -482,6 +493,7 @@ def _serve(args: argparse.Namespace) -> int:
             max_workers=args.jobs,
             structure_sharing=args.shared_memory,
             cache_path=args.cache,
+            lanes=args.lanes,
             max_designs=args.max_designs,
             max_queue=args.max_queue if args.max_queue > 0 else None,
             retry_after=args.retry_after,
@@ -498,6 +510,66 @@ def _serve(args: argparse.Namespace) -> int:
     except (ReproError, OSError) as exc:
         print(f"serve failed: {exc}", file=sys.stderr)
         return 2
+    return 0
+
+
+def _shard(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.evaluation.sharding import ShardCoordinator
+
+    roles = _parse_roles(args.roles)
+    if not roles and not args.scaled:
+        print("no roles given", file=sys.stderr)
+        return 2
+    endpoints = [
+        part.strip() for part in args.endpoints.split(",") if part.strip()
+    ]
+    fields: dict = {"roles": roles, "max_replicas": args.max_replicas}
+    if args.max_total is not None:
+        fields["max_total"] = args.max_total
+    if args.variants:
+        fields["variants"] = True
+    if args.scaled:
+        fields["scaled"] = args.scaled
+        fields.pop("roles")
+    if args.deadline is not None:
+        fields["deadline_ms"] = args.deadline
+    if args.priority != "interactive":
+        fields["priority"] = args.priority
+    try:
+        coordinator = ShardCoordinator(endpoints, timeout=args.timeout)
+        if args.timeline:
+            if args.times:
+                fields["times"] = [
+                    float(part)
+                    for part in args.times.split(",")
+                    if part.strip()
+                ]
+            else:
+                fields["horizon"] = args.horizon
+                fields["points"] = args.points
+            if args.phases:
+                fields["phases"] = args.phases
+            if args.method != "uniformisation":
+                fields["method"] = args.method
+            payload = coordinator.timeline(**fields)
+        else:
+            payload = coordinator.sweep(**fields)
+    except ReproError as exc:
+        print(f"shard failed: {exc}", file=sys.stderr)
+        # A blown deadline_ms surfaces as the service's 504 envelope in
+        # the client error; keep the CLI deadline exit-code contract.
+        return 3 if "deadline_exceeded" in str(exc) else 2
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        front = [d["label"] for d in payload["designs"] if d.get("pareto")]
+        print(
+            f"{payload['design_count']} designs merged from "
+            f"{coordinator.shard_count} shard(s)"
+        )
+        if front:
+            print(f"Pareto front (after patch): {', '.join(front)}")
     return 0
 
 
@@ -586,10 +658,15 @@ def main(argv: Sequence[str] | None = None) -> int:
             "  (--max-queue) or draining, and on SIGTERM finishes in-flight\n"
             "  requests (up to --drain-grace seconds) before exiting 0;\n"
             "  GET /healthz reports draining/queue/breaker/cache state.\n"
+            "  'shard' retries a failed shard request against the other\n"
+            "  endpoints (deterministic backoff) and, when the services\n"
+            "  share a --cache file, a survivor serves the dead shard's\n"
+            "  finished designs from the shared sqlite result tier.\n"
             "  REPRO_FAULTS='point:action@n;...' injects deterministic\n"
             "  faults for chaos testing (points: cache.read, cache.write,\n"
             "  solver.iterative, solver.transient, shared.attach,\n"
-            "  worker.chunk; actions: error, fail, kill) — each fault\n"
+            "  worker.chunk, shard.request; actions: error, fail, kill)\n"
+            "  — each fault\n"
             "  fires exactly once fleet-wide at the n-th hit of its\n"
             "  point, and recovered runs are byte-identical to clean\n"
             "  ones.  --metrics FILE snapshots the registry (recycles,\n"
@@ -799,15 +876,21 @@ def main(argv: Sequence[str] | None = None) -> int:
             "behind an HTTP/JSON API"
         ),
         description=(
-            "Serve POST /sweep, POST /timeline, GET /healthz and GET "
-            "/metrics over HTTP/1.1.  Request bodies mirror the sweep/"
-            "timeline CLI options as JSON fields (roles, max_replicas, "
-            "max_total, variants; timeline adds horizon/points or times, "
-            "and campaign or phases); responses are byte-identical to the "
-            "corresponding --json output.  Identical in-flight requests "
-            "share one computation, repeats are answered from a response "
-            "memory, and the engine's pool and shared-memory state stay "
-            "warm across requests."
+            "Serve POST /v1/sweep, POST /v1/timeline, GET /v1/healthz and "
+            "GET /v1/metrics over HTTP/1.1.  /v1 bodies use one envelope "
+            "({'space': {...}, 'options': {...}, 'priority', "
+            "'deadline_ms', 'stream'}); the unversioned paths keep the "
+            "flat legacy fields but answer with a Deprecation header.  "
+            "Responses are byte-identical to the corresponding --json "
+            "output.  Requests run on a bounded pool of warm engine "
+            "lanes keyed by evaluation context (--lanes), interactive "
+            "requests preempt batch ones at chunk boundaries, stream: "
+            "true answers newline-delimited JSON chunk by chunk, and "
+            "options.shard serves one hash partition of the space (the "
+            "server half of 'repro shard').  Identical in-flight "
+            "requests share one computation, repeats are answered from "
+            "a response memory, and every lane's pool and shared-memory "
+            "state stays warm across requests."
         ),
     )
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
@@ -841,6 +924,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         action=argparse.BooleanOptionalAction,
         default=True,
         help="structure-sharing pipeline (see sweep --help; default: on)",
+    )
+    serve.add_argument(
+        "--lanes",
+        type=int,
+        default=4,
+        help=(
+            "bound on concurrently-warm engine lanes (one per "
+            "evaluation context: case study, scaled space or campaign "
+            "fingerprint); least-recently-used idle lanes are evicted "
+            "to admit new contexts (default: 4)"
+        ),
     )
     serve.add_argument(
         "--max-designs",
@@ -877,6 +971,124 @@ def main(argv: Sequence[str] | None = None) -> int:
         ),
     )
     serve.set_defaults(handler=_serve)
+
+    shard = commands.add_parser(
+        "shard",
+        help=(
+            "fan a design space out across running 'repro serve' "
+            "processes and merge the partial results byte-identically"
+        ),
+        description=(
+            "Partition the enumerated design space across N service "
+            "processes by the stable design cache-key hash (one /v1 "
+            "request per shard with options.shard = {index, count}), "
+            "fail over to surviving endpoints on errors, and merge the "
+            "partial payloads into the exact single-process payload "
+            "(designs re-interleaved in enumeration order, the Pareto "
+            "front recomputed over the merged set).  Point the services "
+            "at one shared --cache file to serve a killed shard's "
+            "finished designs from the shared result tier."
+        ),
+    )
+    shard.add_argument(
+        "--endpoints",
+        required=True,
+        metavar="HOST:PORT,...",
+        help=(
+            "comma-separated service endpoints; the shard count is the "
+            "endpoint count"
+        ),
+    )
+    shard.add_argument(
+        "--roles",
+        default="dns,web,app,db",
+        help="comma-separated role names (default: dns,web,app,db)",
+    )
+    shard.add_argument(
+        "--max-replicas",
+        type=int,
+        default=2,
+        help="replica cap per role (default: 2)",
+    )
+    shard.add_argument(
+        "--max-total",
+        type=int,
+        default=None,
+        help="optional cap on total server count",
+    )
+    shard.add_argument(
+        "--variants",
+        action="store_true",
+        help="the heterogeneous variant space (see sweep --help)",
+    )
+    shard.add_argument(
+        "--scaled",
+        default=None,
+        metavar="HxT",
+        help="one generated chain enterprise (see sweep --help)",
+    )
+    shard.add_argument(
+        "--timeline",
+        action="store_true",
+        help="sharded timeline curves instead of a sweep",
+    )
+    shard.add_argument(
+        "--horizon",
+        type=float,
+        default=720.0,
+        help="timeline grid end in hours (default: 720)",
+    )
+    shard.add_argument(
+        "--points",
+        type=int,
+        default=24,
+        help="timeline grid points (default: 24)",
+    )
+    shard.add_argument(
+        "--times",
+        default=None,
+        help="explicit comma-separated times in hours (overrides the grid)",
+    )
+    shard.add_argument(
+        "--phases",
+        default=None,
+        metavar="SPEC",
+        help="inline campaign shorthand (see timeline --help)",
+    )
+    shard.add_argument(
+        "--method",
+        choices=("auto", "uniformisation", "krylov", "adaptive"),
+        default="uniformisation",
+        help="timeline transient backend (see timeline --help)",
+    )
+    shard.add_argument(
+        "--priority",
+        choices=("interactive", "batch"),
+        default="interactive",
+        help="request priority on each shard (default: interactive)",
+    )
+    shard.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "deadline_ms sent with every shard request (each shard "
+            "gets the full budget; they run concurrently); an exceeded "
+            "deadline exits with code 3"
+        ),
+    )
+    shard.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="per-request socket timeout (default: 300)",
+    )
+    shard.add_argument(
+        "--json", action="store_true", help="emit the merged JSON payload"
+    )
+    shard.set_defaults(handler=_shard)
 
     cache = commands.add_parser(
         "cache",

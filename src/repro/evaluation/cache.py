@@ -31,7 +31,12 @@ half-committed write or a cross-thread sqlite error.  Multiple
 instance: the database runs in WAL journal mode (readers never block
 the writer) with a busy timeout, so a contended write retries for up to
 :data:`_BUSY_TIMEOUT_S` seconds instead of surfacing ``database is
-locked``.  Using a cache after :meth:`~PersistentEvaluationCache.close`
+locked``.  That multi-process safety is what makes the sqlite store
+the *shared result tier* of the sharded service: engine lanes within
+one ``repro serve`` process, the shard processes behind ``repro shard
+--endpoints ...`` and restarted services all read and write the same
+per-design records, so a failed-over shard request finds the dead
+shard's finished designs already on disk.  Using a cache after :meth:`~PersistentEvaluationCache.close`
 (which is idempotent) raises :class:`~repro.errors.EvaluationError`
 with a clear message rather than a raw ``sqlite3.ProgrammingError``.
 

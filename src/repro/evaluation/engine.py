@@ -142,6 +142,18 @@ class Executor:
         """Apply *fn* to each argument tuple; results align with *batches*."""
         raise NotImplementedError
 
+    def iter_run(self, fn: Callable[..., Any], batches: Sequence[tuple]):
+        """Yield results in batch order as they complete.
+
+        The incremental companion of :meth:`run`, used by the engine
+        when a caller consumes chunk results as they arrive (streaming
+        responses, batch-priority preemption).  The default realises
+        :meth:`run` eagerly, so custom executors stay correct without
+        implementing it; the built-in executors override it with truly
+        lazy variants.
+        """
+        yield from self.run(fn, batches)
+
 
 class SerialExecutor(Executor):
     """In-process executor (the reference semantics)."""
@@ -150,6 +162,10 @@ class SerialExecutor(Executor):
 
     def run(self, fn: Callable[..., Any], batches: Sequence[tuple]) -> list:
         return [fn(*batch) for batch in batches]
+
+    def iter_run(self, fn: Callable[..., Any], batches: Sequence[tuple]):
+        for batch in batches:
+            yield fn(*batch)
 
 
 class _PoolExecutor(Executor):
@@ -233,6 +249,117 @@ class _PoolExecutor(Executor):
             fn,
             batches,
         )
+
+    def iter_run(self, fn: Callable[..., Any], batches: Sequence[tuple]):
+        if not batches:
+            return
+        if self.persistent:
+            yield from self._iter_pooled(fn, batches, persistent=True)
+            return
+        if len(batches) == 1:
+            yield fn(*batches[0])
+            return
+        yield from self._iter_pooled(
+            fn,
+            batches,
+            persistent=False,
+            pool_kwargs={"max_workers": self.max_workers},
+        )
+
+    def iter_run_with_initializer(
+        self,
+        fn: Callable[..., Any],
+        batches: Sequence[tuple],
+        initializer: Callable[..., None],
+        initargs: tuple,
+        key: object = None,
+    ):
+        """Incremental :meth:`run_with_initializer` (same priming rules)."""
+        if not batches:
+            return
+        if self.persistent:
+            self._prime(initializer, initargs, key)
+            yield from self._iter_pooled(fn, batches, persistent=True)
+            return
+        yield from self._iter_pooled(
+            fn,
+            batches,
+            persistent=False,
+            pool_kwargs={
+                "max_workers": self.max_workers,
+                "initializer": initializer,
+                "initargs": initargs,
+            },
+        )
+
+    def _iter_pooled(
+        self,
+        fn,
+        batches: Sequence[tuple],
+        persistent: bool,
+        pool_kwargs: dict | None = None,
+    ):
+        """Submit all batches, yield results in order, recycle on death.
+
+        The streaming core behind :meth:`iter_run`: a worker death
+        resubmits only the batches not yet *yielded* — already-consumed
+        results are never produced twice, so incremental consumers see
+        exactly one result per batch and the stream stays byte-identical
+        to an undisturbed run (chunk evaluation is pure).
+        """
+        position = 0
+        attempt = 1
+        while True:
+            pool = (
+                self._ensure_pool()
+                if persistent
+                else self._pool_factory(**pool_kwargs)
+            )
+            try:
+                try:
+                    futures = [
+                        pool.submit(fn, *batch) for batch in batches[position:]
+                    ]
+                except BrokenExecutor as exc:
+                    raise EvaluationError(
+                        f"{self.name} pool broke before dispatching "
+                        f"{len(batches) - position} batch(es); a worker died "
+                        f"while the pool was idle: {exc!r}"
+                    ) from exc
+                for offset, future in enumerate(futures):
+                    try:
+                        result = future.result()
+                    except BrokenExecutor as exc:
+                        index = position + offset
+                        raise EvaluationError(
+                            f"{self.name} pool broke while batch "
+                            f"{index + 1}/{len(batches)}"
+                            f"{_batch_labels(batches[index])} was pending; a "
+                            "worker died before reporting a result (crash, "
+                            "out-of-memory or failed initializer) and may "
+                            f"have been running any unfinished batch: {exc!r}"
+                        ) from exc
+                    yield result
+                    position += 1
+                return
+            except EvaluationError as exc:
+                if (
+                    not self._worker_died(exc)
+                    or attempt >= self.retry_policy.attempts
+                ):
+                    if persistent and self._worker_died(exc):
+                        self._shutdown_pool()
+                    raise
+                if persistent:
+                    self._shutdown_pool()
+                self._note_recycle(exc, len(batches) - position)
+                pause = self.retry_policy.delay(attempt)
+                if pause > 0.0:
+                    time.sleep(pause)
+                attempt += 1
+            finally:
+                if not persistent:
+                    pool.shutdown(wait=True, cancel_futures=True)
 
     # -- persistent-pool lifecycle -------------------------------------------
 
@@ -442,9 +569,23 @@ def _batch_labels(batch: tuple) -> str:
     return ""
 
 
-def _checked_chunk(deadline: Deadline, fn: Callable[..., Any], *args: Any) -> Any:
-    """In-process chunk wrapper: enforce the sweep deadline per chunk."""
-    deadline.check("chunk evaluation")
+def _checked_chunk(
+    deadline: Deadline | None,
+    checkpoint: Callable[[], None] | None,
+    fn: Callable[..., Any],
+    *args: Any,
+) -> Any:
+    """In-process chunk wrapper: deadline and preemption per chunk.
+
+    *checkpoint* is the service's priority seam — it raises (a
+    preemption signal the caller catches) when a higher-priority
+    request is waiting, so batch sweeps stop at the next chunk boundary
+    exactly like an exhausted deadline does.
+    """
+    if deadline is not None:
+        deadline.check("chunk evaluation")
+    if checkpoint is not None:
+        checkpoint()
     return fn(*args)
 
 
@@ -642,6 +783,11 @@ class SweepEngine:
         self._disk_hits = 0
         #: Deadline of the in-flight evaluate/timeline call, if any.
         self._deadline: Deadline | None = None
+        #: Preemption checkpoint of the in-flight call (raises to stop
+        #: at the next chunk boundary), and the per-chunk progress
+        #: consumer — both set only for the duration of one call.
+        self._checkpoint: Callable[[], None] | None = None
+        self._progress: Callable[[list], None] | None = None
         # Arm any REPRO_FAULTS plan now, in the coordinating process:
         # this materialises the shared one-shot token directory before
         # pool workers fork, so they inherit it through the environment.
@@ -660,6 +806,8 @@ class SweepEngine:
         self,
         designs: Iterable[DesignSpec],
         deadline: Deadline | None = None,
+        checkpoint: Callable[[], None] | None = None,
+        progress: Callable[[list], None] | None = None,
     ) -> list[DesignEvaluation]:
         """Evaluate *designs* (any mix of spec kinds), in input order.
 
@@ -668,13 +816,26 @@ class SweepEngine:
         :class:`~repro.errors.DeadlineExceeded` once spent.  Results
         memoised by earlier calls are free, so a retried call only pays
         for designs the deadline cut off.
+
+        *checkpoint* is called at the same chunk boundaries as the
+        deadline check; raising from it aborts the sweep there — the
+        service's batch-priority preemption seam.  Chunks finished
+        before the abort stay memoised, so a resumed call pays only for
+        the rest.  *progress* receives each chunk's evaluations as they
+        complete (after memoisation; cached designs never reach it) —
+        the streaming-response seam.  Either one forces chunked
+        dispatch on the serial executor, like a deadline does.
         """
         designs = list(designs)
         self._deadline = deadline
+        self._checkpoint = checkpoint
+        self._progress = progress
         try:
             return self._evaluate(designs)
         finally:
             self._deadline = None
+            self._checkpoint = None
+            self._progress = None
 
     def _evaluate(self, designs: list[DesignSpec]) -> list[DesignEvaluation]:
         with tracing.span("engine:evaluate", designs=len(designs)) as sp:
@@ -712,6 +873,8 @@ class SweepEngine:
                                 self._disk_key(evaluation.design),
                                 evaluation,
                             )
+                    if self._progress is not None:
+                        self._progress(list(chunk_result))
             return [self._cache[design] for design in designs]
 
     def timeline(
@@ -722,6 +885,8 @@ class SweepEngine:
         campaign=None,
         method: str = "uniformisation",
         deadline: Deadline | None = None,
+        checkpoint: Callable[[], None] | None = None,
+        progress: Callable[[list], None] | None = None,
     ) -> list:
         """Patch timelines of *designs* over *times*, in input order.
 
@@ -734,14 +899,20 @@ class SweepEngine:
         (:class:`~repro.patching.campaign.PatchCampaign`); *method*
         selects the transient backend (part of both cache keys); see
         :func:`repro.evaluation.timeline.evaluate_timeline`.  *deadline*
-        bounds the call exactly as in :meth:`evaluate`.
+        bounds the call exactly as in :meth:`evaluate`, and
+        *checkpoint*/*progress* are the same preemption and streaming
+        seams.
         """
         designs = list(designs)
         self._deadline = deadline
+        self._checkpoint = checkpoint
+        self._progress = progress
         try:
             return self._timeline(designs, times, tolerance, campaign, method)
         finally:
             self._deadline = None
+            self._checkpoint = None
+            self._progress = None
 
     def _timeline(
         self,
@@ -801,6 +972,8 @@ class SweepEngine:
                                 ),
                                 result,
                             )
+                    if self._progress is not None:
+                        self._progress(list(chunk_result))
             return [
                 self._timelines[
                     (design, times_key, tolerance, campaign, method)
@@ -937,6 +1110,13 @@ class SweepEngine:
             info["disk_degraded"] = int(self.persistent_cache.degraded)
         return info
 
+    @property
+    def shared_context_info(self) -> dict | None:
+        """Telemetry of the retained shared-memory context (or None)."""
+        if self._warm_context is None:
+            return None
+        return self._warm_context.describe()
+
     # -- internal -------------------------------------------------------------
 
     def _shared_evaluators(self):
@@ -1025,12 +1205,24 @@ class SweepEngine:
             previous.unlink()
         return self._warm_context
 
+    @property
+    def _incremental(self) -> bool:
+        """Whether the in-flight call consumes chunk results one by one.
+
+        True when a checkpoint (preemption) or progress (streaming)
+        consumer is attached: dispatches then go through the executor's
+        ``iter_run`` generators so finished chunks are memoised — and
+        surfaced — before later ones compute.  Plain calls keep the
+        eager list path (identical results, one fewer moving part).
+        """
+        return self._checkpoint is not None or self._progress is not None
+
     def _dispatch(
         self,
         fn: Callable[..., Any],
         batches: Sequence[tuple],
         runner: Callable[..., list] | None = None,
-    ) -> list:
+    ):
         """Run *batches* through the executor, absorbing chunk telemetry.
 
         Worker-process chunks come back wrapped in
@@ -1040,19 +1232,30 @@ class SweepEngine:
 
         An active sweep deadline is checked here before any work is
         submitted; on in-process executors (serial/thread) each chunk
-        additionally re-checks the budget at entry, so a sweep stops at
-        the next chunk boundary once the budget is spent.
+        additionally re-checks the budget (and the preemption
+        checkpoint) at entry, so a sweep stops at the next chunk
+        boundary once the budget is spent or a higher-priority request
+        arrives.  Returns a list, or a lazy generator when the call is
+        :attr:`_incremental`.
         """
-        deadline = self._deadline
+        deadline, checkpoint = self._deadline, self._checkpoint
         if deadline is not None:
             deadline.check("chunk dispatch")
-            if runner is None and isinstance(
-                self.executor, (SerialExecutor, ThreadExecutor)
-            ):
-                # In-process execution: safe to close over the deadline
-                # (process pools would need to pickle it; the pre-submit
-                # check above still bounds those dispatches).
-                fn = partial(_checked_chunk, deadline, fn)
+        if checkpoint is not None:
+            checkpoint()
+        wrapped = False
+        if (
+            runner is None
+            and (deadline is not None or checkpoint is not None)
+            and isinstance(self.executor, (SerialExecutor, ThreadExecutor))
+        ):
+            # In-process execution: safe to close over the deadline and
+            # checkpoint (process pools would need to pickle them; the
+            # pre-submit check above still bounds those dispatches).
+            fn = partial(_checked_chunk, deadline, checkpoint, fn)
+            wrapped = True
+        if self._incremental:
+            return self._dispatch_iter(fn, batches, runner, wrapped)
         if runner is None:
             runner = self.executor.run
         dispatched = time.time()
@@ -1066,6 +1269,37 @@ class SweepEngine:
                 observability.absorb(result, dispatched)
                 for result in results
             ]
+
+    def _dispatch_iter(
+        self,
+        fn: Callable[..., Any],
+        batches: Sequence[tuple],
+        runner: Callable[..., Any] | None,
+        wrapped: bool,
+    ):
+        """The incremental dispatch: yield absorbed chunk results.
+
+        Pool-backed executors cannot close over the checkpoint (it is
+        not picklable), so for them the checkpoint also runs between
+        consumed results — a preemption there forfeits at most the one
+        chunk computed since the last boundary, which simply recomputes
+        on resume (chunk evaluation is pure).
+        """
+        checkpoint = self._checkpoint
+        if runner is None:
+            runner = self.executor.iter_run
+        dispatched = time.time()
+        with tracing.span(
+            "engine:dispatch",
+            executor=self.executor.name,
+            chunks=len(batches),
+        ):
+            first = True
+            for result in runner(fn, batches):
+                if not first and checkpoint is not None and not wrapped:
+                    checkpoint()
+                first = False
+                yield observability.absorb(result, dispatched)
 
     def _run_evaluate_chunks(self, chunks: Sequence[Sequence[Any]]) -> list:
         if not self.structure_sharing:
@@ -1115,25 +1349,55 @@ class SweepEngine:
         from repro.evaluation.shared_memory import initialize_worker
 
         designs = [design for chunk in chunks for design in chunk]
+        primed_runner = (
+            self.executor.iter_run_with_initializer
+            if self._incremental
+            else self.executor.run_with_initializer
+        )
         if self._persistent_pool:
             context = self._warm_shared_context(designs)
             return self._dispatch(
                 fn,
                 batches,
                 runner=partial(
-                    self.executor.run_with_initializer,
+                    primed_runner,
                     initializer=initialize_worker,
                     initargs=(context.worker_payload(),),
                     key=context.segment_name,
                 ),
             )
+        if self._incremental:
+            return self._iter_fresh_shared(fn, batches, designs, primed_runner)
         context = self._shared_context(designs)
         try:
             return self._dispatch(
                 fn,
                 batches,
                 runner=partial(
-                    self.executor.run_with_initializer,
+                    primed_runner,
+                    initializer=initialize_worker,
+                    initargs=(context.worker_payload(),),
+                ),
+            )
+        finally:
+            context.unlink()
+
+    def _iter_fresh_shared(self, fn, batches, designs, primed_runner):
+        """Incremental per-call shared-memory dispatch (generator).
+
+        The ``finally: unlink`` of the eager path would tear the
+        segment down before a lazy consumer ran anything; here the
+        unlink happens when the generator is exhausted (or closed).
+        """
+        from repro.evaluation.shared_memory import initialize_worker
+
+        context = self._shared_context(designs)
+        try:
+            yield from self._dispatch(
+                fn,
+                batches,
+                runner=partial(
+                    primed_runner,
                     initializer=initialize_worker,
                     initargs=(context.worker_payload(),),
                 ),
@@ -1215,9 +1479,15 @@ class SweepEngine:
             if workers is None:
                 # Serial executors gain nothing from splitting; one chunk
                 # keeps a single shared evaluator pair across all designs.
-                # Under a deadline the chunk boundary is the abort point,
-                # so split enough for the budget check to actually run.
-                size = len(items) if self._deadline is None else 4
+                # Under a deadline (or a preemption checkpoint, or a
+                # streaming consumer) the chunk boundary is the abort /
+                # hand-off point, so split enough for it to actually run.
+                split = (
+                    self._deadline is not None
+                    or self._checkpoint is not None
+                    or self._progress is not None
+                )
+                size = 4 if split else len(items)
             else:
                 size = max(1, -(-len(items) // max(1, 4 * workers)))
         return [items[i : i + size] for i in range(0, len(items), size)]

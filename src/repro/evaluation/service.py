@@ -1,64 +1,111 @@
-"""Resident evaluation service: a warm :class:`SweepEngine` behind HTTP.
+"""Resident evaluation service: warm :class:`SweepEngine` lanes behind HTTP.
 
 The CLI pays the full start-up bill on every invocation — interpreter,
 case-study solves, process-pool spawn, shared-memory priming.  This
 module keeps all of that resident: one :class:`EvaluationService` owns
-one warm :class:`~repro.evaluation.engine.SweepEngine` (persistent
-worker pool, retained shared-memory segment, in-memory and optional
-sqlite result caches) and fronts it with a small asyncio HTTP/JSON API
+a pool of warm :class:`~repro.evaluation.engine.SweepEngine` *lanes*
+(each with its own persistent worker pool, retained shared-memory
+segment and caches) and fronts them with a small asyncio HTTP/JSON API
 (stdlib only), multiplexing many concurrent sweep/timeline requests
-over the single engine.
+over per-context engines.
 
-Endpoints
----------
-``POST /sweep``
-    Body ``{"roles": [...], "max_replicas": N, "max_total": N|null,
-    "variants": bool, "max_designs": N}`` (all optional; defaults match
-    the CLI).  Responds with exactly the payload ``repro sweep --json``
-    prints (modulo the ``executor`` field naming the service's
-    executor) — both go through :func:`sweep_response`.
-``POST /timeline``
-    The sweep fields plus ``{"horizon": H, "points": P}`` or an
-    explicit ``"times": [...]``, and optionally a staged rollout as
-    ``"campaign": {...}`` (JSON spec) or ``"phases": "name:mult[:trig
-    [:canary]],..."`` shorthand (mutually exclusive).  Responds with
-    the ``repro timeline --json`` payload (:func:`timeline_response`).
-``GET /healthz``
-    Liveness plus observability: uptime, engine/pool state (executor,
-    structure sharing, pool recycles, cache hit counters) and the
-    per-endpoint request/latency/cache counters.
-``GET /metrics``
-    Just the counters and latency aggregates.
+/v1 API
+-------
+The versioned surface is ``POST /v1/sweep``, ``POST /v1/timeline``,
+``GET /v1/healthz`` and ``GET /v1/metrics``.  POST bodies use one
+canonical envelope::
+
+    {
+      "space":   {"roles": [...], "max_replicas": N, "max_total": N|null,
+                  "variants": bool, "scaled": "HxT" | [H, T]},
+      "options": {"max_designs": N, "shard": {"index": I, "count": C},
+                  # timeline only:
+                  "horizon": H, "points": P, "times": [...],
+                  "campaign": {...}, "phases": "...", "method": "..."},
+      "priority": "interactive" | "batch",
+      "deadline_ms": N,
+      "stream": bool
+    }
+
+Every part is optional; defaults match the CLI.  Errors answer with one
+stable envelope ``{"error": {"code", "message", "detail"}}`` where
+``code`` is machine-readable: ``invalid_request``, ``over_budget``,
+``not_found``, ``method_not_allowed``, ``saturated``,
+``deadline_exceeded`` or ``internal`` (see
+:mod:`repro.evaluation.api`).  Success payloads carry
+``schema_version`` 3.
+
+The unversioned paths (``/sweep``, ``/timeline``, ``/healthz``,
+``/metrics``) keep working with their historical flat request fields
+and flat error bodies, but every response carries a ``Deprecation:
+true`` header and increments ``repro_service_legacy_requests_total``.
+
+Engine lanes
+------------
+Requests are routed to an *engine lane* keyed by evaluation context —
+the default case study, a ``scaled`` space, or a campaign fingerprint —
+so unrelated workloads never serialise behind one engine.  The pool is
+bounded (``lanes``/``--lanes``, default :data:`DEFAULT_LANES`) with LRU
+eviction of idle lanes; when every lane is busy and the pool is full,
+new contexts park until a lane drains.  ``/healthz`` reports per-lane
+telemetry under ``lanes``.
+
+Priorities and streaming
+------------------------
+``priority: "batch"`` jobs run with a preemption checkpoint injected
+into the engine's chunk seams: the moment an interactive job arrives on
+the same lane, the batch job aborts at the next chunk boundary (its
+completed chunks stay banked in the engine memo), the interactive job
+runs, and the batch job resumes — paying only for its remaining
+chunks.  ``repro_service_preemptions_total`` counts the occurrences;
+per-priority lane waits land in the ``repro_chunk_queue_wait_seconds``
+histogram (labels ``queue="lane"``, ``priority=...``).
+
+``stream: true`` (``/v1`` only) switches the response to
+newline-delimited JSON (``application/x-ndjson``): a ``start`` event,
+one ``chunk`` event per engine chunk as it completes (designs already
+memoised/cached are folded into the final payload without a chunk
+event), then ``complete`` with the full canonical payload (or
+``error``).  Huge spaces start returning in milliseconds::
+
+    curl -N -XPOST localhost:8351/v1/sweep \
+      -d '{"space": {"roles": ["dns","web"]}, "stream": true}'
+
+Sharding
+--------
+``options.shard = {"index": I, "count": C}`` restricts a request to the
+designs whose stable hash (``repro.evaluation.api.shard_of``, over
+``design.cache_key()``) lands on shard ``I`` of ``C`` — the server-side
+half of ``repro shard``, whose coordinator fans a space out across
+several service processes and merges the partial payloads
+deterministically (see :mod:`repro.evaluation.sharding`).  Services
+sharing a sqlite ``--cache`` share results across shards and restarts.
 
 Request semantics
 -----------------
-* **Queueing.**  All engine work runs on one dedicated compute thread
-  (the engine is not thread-safe); requests queue FIFO behind it while
-  the asyncio loop keeps accepting connections and serving
-  ``/healthz``.
 * **Budgets.**  Every request's enumerated design count is checked
   against the service budget (``max_designs``, default
   :data:`DEFAULT_MAX_DESIGNS`); a request may lower — never raise — its
-  own budget with a ``max_designs`` field.  Over budget is a 400, not a
-  queue entry.
+  own budget with ``max_designs``.  Over budget is a 400, not a queue
+  entry.
 * **Dedup.**  Requests are canonicalised (defaults filled, grids
   resolved) and fingerprinted; identical in-flight requests share one
   computation — one engine call, many responders.  Completed responses
   are kept in a small FIFO memory, so repeats are served without
-  touching the compute queue at all; behind both sits the engine's
-  in-memory memo and (when configured) the thread-safe sqlite store of
-  :mod:`repro.evaluation.cache`.
+  touching any lane; behind both sit the engines' in-memory memos and
+  (when configured) the thread-safe sqlite store of
+  :mod:`repro.evaluation.cache`.  Streaming and deadline-bearing
+  requests are always computed fresh.
 * **Resilience.**  A killed pool worker surfaces as one recycled pool
   (respawn + re-prime + retry under the executor's
   :class:`~repro.resilience.RetryPolicy`) inside the engine, not as a
   failed request; ``pool_recycles`` in ``/healthz`` counts the
   occurrences.  Beyond that:
 
-  * **Deadlines.**  ``/sweep`` and ``/timeline`` accept ``deadline_ms``
-    — a monotonic budget started at request receipt (queue wait
-    counts).  An exhausted budget answers a 504-style JSON error
-    promptly, even while the underlying computation is still finishing
-    on the compute thread; the engine also checks the budget between
+  * **Deadlines.**  ``deadline_ms`` is a monotonic budget started at
+    request receipt (queue wait counts).  An exhausted budget answers a
+    504 promptly, even while the underlying computation is still
+    finishing on its lane; the engine also checks the budget between
     chunk dispatches and aborts the sweep.
   * **Saturation.**  With ``max_queue`` set, a service whose compute
     queue is full answers 503 with a ``Retry-After`` header instead of
@@ -67,7 +114,7 @@ Request semantics
   * **Graceful drain.**  SIGTERM (when serving via :meth:`run` on the
     main thread) stops accepting new computations (503), finishes
     in-flight requests up to ``drain_grace`` seconds, then closes the
-    engine, pool and segment cleanly; a second SIGTERM forces an
+    lanes, pools and segments cleanly; a second SIGTERM forces an
     immediate stop.
   * **Degraded cache.**  Persistent sqlite-cache contention degrades
     the cache to memory-only (``repro_cache_degraded``) instead of
@@ -83,8 +130,8 @@ import logging
 import signal
 import threading
 import time
-from collections.abc import Sequence
-from concurrent.futures import ThreadPoolExecutor
+from collections import OrderedDict, deque
+from concurrent.futures import Future, InvalidStateError
 from functools import partial
 
 from repro import observability
@@ -94,6 +141,8 @@ from repro.errors import (
     ReproError,
     ValidationError,
 )
+from repro.evaluation import api
+from repro.evaluation.api import sweep_response, timeline_response
 from repro.resilience.breaker import breaker_states
 from repro.resilience.deadline import Deadline
 from repro.resilience.retry import RetryPolicy
@@ -137,6 +186,24 @@ _DRAINING = observability.gauge(
     "repro_service_draining",
     "Whether the service is draining after SIGTERM (1) or serving (0).",
 ).labels()
+_LEGACY = observability.counter(
+    "repro_service_legacy_requests_total",
+    "Requests to deprecated unversioned paths, by endpoint.",
+)
+_PREEMPTIONS = observability.counter(
+    "repro_service_preemptions_total",
+    "Batch jobs preempted at a chunk boundary by an interactive job.",
+).labels()
+_LANE_EVENTS = observability.counter(
+    "repro_service_lane_events_total",
+    "Engine-lane pool events (created/evicted/parked).",
+)
+#: Joins the engine's chunk-wait family: lane queue waits appear next to
+#: executor queue waits, split by ``queue``/``priority`` labels.
+_LANE_WAIT = observability.histogram(
+    "repro_chunk_queue_wait_seconds",
+    "Wall-clock wait between chunk dispatch and worker pickup.",
+)
 
 
 def _swallow_abandoned_error(future) -> None:
@@ -167,10 +234,13 @@ def configure_access_logs() -> None:
         _access_logger.propagate = False
 
 __all__ = [
+    "DEFAULT_LANES",
     "DEFAULT_MAX_DESIGNS",
     "DEFAULT_MAX_QUEUE",
     "DEFAULT_PORT",
+    "EngineLane",
     "EvaluationService",
+    "LanePool",
     "ServiceClient",
     "sweep_response",
     "timeline_response",
@@ -182,11 +252,13 @@ DEFAULT_MAX_DESIGNS = 512
 #: Default TCP port of ``repro serve``.
 DEFAULT_PORT = 8351
 
-#: Version of the ``timeline`` JSON schema (shared with the CLI).
-#: Version 2 added ``schema_version`` itself plus the campaign metadata
-#: (top-level ``campaign``, per-design ``phase_starts``); consumers
-#: should treat a payload without the field as version 1.
-TIMELINE_SCHEMA_VERSION = 2
+#: Default bound on concurrently-warm engine lanes.
+DEFAULT_LANES = 4
+
+#: Version of the JSON payload schema (shared with the CLI); kept as a
+#: module attribute for backward compatibility — the authoritative
+#: constant is :data:`repro.evaluation.api.SCHEMA_VERSION`.
+TIMELINE_SCHEMA_VERSION = api.SCHEMA_VERSION
 
 #: Completed responses remembered for the fast path (FIFO-bounded; a
 #: fallen-out entry recomputes through the engine memo, still cheap).
@@ -210,195 +282,372 @@ _REASONS = {
 #: -memory hits are exempt — they add no compute load).
 DEFAULT_MAX_QUEUE = 64
 
-
-# -- response envelopes (shared with the CLI) ---------------------------------
-
-
-def sweep_response(
-    roles: Sequence[str],
-    max_replicas: int,
-    max_total: int | None,
-    variants: bool,
-    executor_name: str,
-    evaluations,
-) -> dict:
-    """The canonical ``sweep`` JSON payload (CLI and service)."""
-    from repro.evaluation.report import design_payload
-    from repro.evaluation.sweep import pareto_front
-
-    front = {id(e) for e in pareto_front(evaluations, after_patch=True)}
-    return {
-        "roles": list(roles),
-        "max_replicas": max_replicas,
-        "max_total": max_total,
-        "variants": bool(variants),
-        "executor": executor_name,
-        "design_count": len(evaluations),
-        "designs": [
-            design_payload(evaluation, id(evaluation) in front)
-            for evaluation in evaluations
-        ],
-    }
+_KNOWN_ENDPOINTS = ("/healthz", "/metrics", "/sweep", "/timeline")
 
 
-def timeline_response(
-    roles: Sequence[str],
-    max_replicas: int,
-    max_total: int | None,
-    variants: bool,
-    executor_name: str,
-    campaign,
-    times: Sequence[float],
-    timelines,
-) -> dict:
-    """The canonical ``timeline`` JSON payload (CLI and service)."""
-    from repro.evaluation.timeline import timeline_payload
-
-    return {
-        "schema_version": TIMELINE_SCHEMA_VERSION,
-        "roles": list(roles),
-        "max_replicas": max_replicas,
-        "max_total": max_total,
-        "variants": bool(variants),
-        "executor": executor_name,
-        "campaign": campaign.to_dict() if campaign is not None else None,
-        "times": list(times),
-        "design_count": len(timelines),
-        "designs": [timeline_payload(timeline) for timeline in timelines],
-    }
+def _ndjson(obj) -> bytes:
+    """One compact NDJSON line (the streaming wire format)."""
+    return (json.dumps(obj, separators=(",", ":")) + "\n").encode()
 
 
-# -- request normalisation ----------------------------------------------------
-
-_SPACE_FIELDS = {
-    "roles",
-    "max_replicas",
-    "max_total",
-    "variants",
-    "max_designs",
-    "deadline_ms",
-}
-_TIMELINE_FIELDS = _SPACE_FIELDS | {
-    "horizon",
-    "points",
-    "times",
-    "campaign",
-    "phases",
-}
+# -- engine lanes -------------------------------------------------------------
 
 
-def _require_fields(payload: dict, allowed: set, endpoint: str) -> None:
-    unknown = sorted(set(payload) - allowed)
-    if unknown:
-        raise ValidationError(
-            f"unknown {endpoint} request field(s) {unknown}; "
-            f"allowed: {sorted(allowed)}"
+class _Preempted(Exception):
+    """Internal: a batch job yielded its lane at a chunk boundary."""
+
+
+#: The engine a lane thread is currently executing against; job bodies
+#: (:meth:`EvaluationService._sweep_job`) resolve their engine through
+#: this so monkeypatched/legacy job signatures keep working unchanged.
+_LANE_ENGINE = threading.local()
+
+
+def _resolve_future(future: Future, result, exc) -> None:
+    """Settle *future*, tolerating a cancellation race (forced stop)."""
+    try:
+        if exc is not None:
+            future.set_exception(exc)
+        else:
+            future.set_result(result)
+    except InvalidStateError:
+        pass
+
+
+class EngineLane:
+    """One evaluation context's warm engine plus its worker thread.
+
+    Jobs arrive via :meth:`submit` in two priority classes.  The lane
+    thread always prefers the interactive queue; a *batch* job runs
+    with a ``checkpoint`` callable injected into the engine's chunk
+    seams, and the checkpoint raises the moment an interactive job is
+    waiting.  The preempted batch job goes back to the *front* of the
+    batch queue; when it re-runs, the engine memo already holds every
+    chunk completed before the preemption, so only the remaining
+    chunks are paid for again.
+
+    Lanes other than the default build their engine lazily *on the
+    lane thread* (``engine_factory``) so a cold context never blocks
+    the event loop, and close it at retirement; the default lane wraps
+    the service's own engine and never closes it.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        engine_factory,
+        on_idle,
+        engine=None,
+        owns_engine: bool = True,
+    ) -> None:
+        self.label = label
+        self._engine_factory = engine_factory
+        self._engine = engine
+        self._owns_engine = owns_engine
+        self._on_idle = on_idle
+        self._cond = threading.Condition()
+        self._interactive: deque = deque()
+        self._batch: deque = deque()
+        self._busy = False
+        self._retired = False
+        self.completed = 0
+        self.preemptions = 0
+        self.last_used = time.monotonic()
+        self._thread = threading.Thread(
+            target=self._run, name=f"repro-lane-{label}", daemon=True
         )
+        self._thread.start()
 
+    # -- submission (the pool holds its lock while calling) -----------------
 
-def _parse_roles(value: object) -> list[str]:
-    if value is None:
-        value = ["dns", "web", "app", "db"]
-    if isinstance(value, str):
-        value = [part.strip() for part in value.split(",")]
-    if not isinstance(value, (list, tuple)) or not all(
-        isinstance(role, str) for role in value
-    ):
-        raise ValidationError(
-            "roles must be a list of role names (or one comma-separated string)"
-        )
-    roles = list(dict.fromkeys(role for role in value if role))
-    if not roles:
-        raise ValidationError("no roles given")
-    return roles
+    def submit(self, job, priority: str, future: Future) -> None:
+        entry = (job, future, time.monotonic())
+        with self._cond:
+            if self._retired:
+                raise EvaluationError(f"lane {self.label!r} is retired")
+            if priority == "batch":
+                self._batch.append(entry)
+            else:
+                self._interactive.append(entry)
+            self.last_used = time.monotonic()
+            self._cond.notify()
 
+    def idle(self) -> bool:
+        with self._cond:
+            return not (self._busy or self._interactive or self._batch)
 
-def _parse_count(value: object, name: str, default: int | None) -> int | None:
-    if value is None:
-        return default
-    if isinstance(value, bool) or not isinstance(value, int) or value < 1:
-        raise ValidationError(f"{name} must be a positive integer, got {value!r}")
-    return value
+    def retire(self) -> None:
+        """Ask the lane to exit once its queues drain (idempotent)."""
+        with self._cond:
+            self._retired = True
+            self._cond.notify()
 
+    def join(self, timeout: float | None = None) -> None:
+        self._thread.join(timeout=timeout)
 
-def _normalize_space(payload: dict) -> dict:
-    """Fill defaults and validate the design-space half of a request."""
-    return {
-        "roles": _parse_roles(payload.get("roles")),
-        "max_replicas": _parse_count(payload.get("max_replicas"), "max_replicas", 2),
-        "max_total": _parse_count(payload.get("max_total"), "max_total", None),
-        "variants": bool(payload.get("variants", False)),
-    }
+    def describe(self) -> dict:
+        """Per-lane ``/healthz`` telemetry."""
+        with self._cond:
+            info = {
+                "context": self.label,
+                "busy": self._busy,
+                "queued_interactive": len(self._interactive),
+                "queued_batch": len(self._batch),
+                "completed": self.completed,
+                "preemptions": self.preemptions,
+                "idle_s": round(time.monotonic() - self.last_used, 3),
+            }
+        engine = self._engine
+        if engine is None:
+            info["engine"] = "pending"
+        else:
+            executor = engine.executor
+            info["engine"] = {
+                "executor": executor.name,
+                "persistent_pool": bool(getattr(executor, "persistent", False)),
+                "pool_recycles": getattr(executor, "recycle_count", 0),
+                "structure_sharing": engine.structure_sharing,
+                "cache_info": engine.cache_info,
+                "shared_context": engine.shared_context_info,
+            }
+        return info
 
+    # -- the lane thread ----------------------------------------------------
 
-def _parse_times(payload: dict) -> tuple[float, ...]:
-    """The resolved time grid of a timeline request."""
-    from repro.evaluation.timeline import default_time_grid
+    def _checkpoint(self) -> None:
+        """Chunk-boundary seam: yield to a waiting interactive job."""
+        with self._cond:
+            if self._interactive:
+                raise _Preempted()
 
-    times = payload.get("times")
-    if times is not None:
-        if not isinstance(times, (list, tuple)) or not times:
-            raise ValidationError("times must be a non-empty list of hours")
-        try:
-            return tuple(float(t) for t in times)
-        except (TypeError, ValueError) as exc:
-            raise ValidationError(f"bad time grid: {exc}") from exc
-    horizon = payload.get("horizon", 720.0)
-    points = payload.get("points", 24)
-    if not isinstance(horizon, (int, float)) or isinstance(horizon, bool):
-        raise ValidationError(f"horizon must be a number, got {horizon!r}")
-    if isinstance(points, bool) or not isinstance(points, int):
-        raise ValidationError(f"points must be an integer, got {points!r}")
-    return default_time_grid(float(horizon), points)
-
-
-def _parse_deadline_ms(value: object) -> float | None:
-    if value is None:
-        return None
-    if isinstance(value, bool) or not isinstance(value, (int, float)) or value <= 0:
-        raise ValidationError(
-            f"deadline_ms must be a positive number of milliseconds, got {value!r}"
-        )
-    return float(value)
-
-
-def _parse_campaign(payload: dict):
-    """The request's staged rollout (``campaign`` spec or ``phases``)."""
-    from repro.patching.campaign import PatchCampaign
-
-    campaign, phases = payload.get("campaign"), payload.get("phases")
-    if campaign is not None and phases is not None:
-        raise ValidationError("campaign and phases are mutually exclusive")
-    if campaign is not None:
-        return PatchCampaign.from_dict(campaign)
-    if phases is not None:
-        if not isinstance(phases, str):
-            raise ValidationError(
-                "phases must be a shorthand string like 'canary:0.1:48,fleet:1.0'"
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not (self._interactive or self._batch or self._retired):
+                    self._cond.wait()
+                if self._retired and not (self._interactive or self._batch):
+                    break
+                if self._interactive:
+                    entry, priority = self._interactive.popleft(), "interactive"
+                else:
+                    entry, priority = self._batch.popleft(), "batch"
+                self._busy = True
+            job, future, enqueued = entry
+            _LANE_WAIT.observe(
+                time.monotonic() - enqueued, queue="lane", priority=priority
             )
-        return PatchCampaign.parse(phases)
-    return None
+            preempted = False
+            try:
+                engine = self._engine
+                if engine is None:
+                    engine = self._engine = self._engine_factory()
+                _LANE_ENGINE.engine = engine
+                try:
+                    if priority == "batch":
+                        result = job(checkpoint=self._checkpoint)
+                    else:
+                        result = job()
+                except _Preempted:
+                    preempted = True
+                else:
+                    self.completed += 1
+                    _resolve_future(future, result, None)
+            except BaseException as exc:  # noqa: BLE001 — fan out to waiter
+                _resolve_future(future, None, exc)
+            finally:
+                _LANE_ENGINE.engine = None
+            with self._cond:
+                if preempted:
+                    self.preemptions += 1
+                    self._batch.appendleft((job, future, enqueued))
+                self._busy = False
+                self.last_used = time.monotonic()
+                drained = not (self._interactive or self._batch)
+                retired = self._retired
+            if preempted:
+                _PREEMPTIONS.inc()
+            elif drained and not retired:
+                self._on_idle(self)
+        if self._owns_engine and self._engine is not None:
+            self._engine.close()
+
+
+class LanePool:
+    """LRU-bounded pool of :class:`EngineLane`, keyed by context label.
+
+    ``submit`` routes to the context's lane, creating one (evicting the
+    least-recently-used *idle* lane when at capacity) or parking the
+    job until any lane drains — parked jobs are the serialisation
+    baseline a multi-lane service avoids.  The ``"default"`` label
+    wraps the engine passed at construction; it is never closed here.
+    """
+
+    def __init__(self, max_lanes: int, default_engine) -> None:
+        self.max_lanes = max_lanes
+        self._default_engine = default_engine
+        self._lock = threading.Lock()
+        self._lanes: "OrderedDict[str, EngineLane]" = OrderedDict()
+        self._parked: deque = deque()
+        self.evictions = 0
+        self.parked_total = 0
+        self._closed = False
+        self._retired: list[EngineLane] = []
+        self._create("default", None)
+
+    def submit(self, label: str, factory, job, priority: str) -> Future:
+        """Queue *job* on the *label* lane; returns its result future."""
+        future: Future = Future()
+        with self._lock:
+            if self._closed:
+                raise EvaluationError("lane pool is closed")
+            lane = self._lanes.get(label)
+            if lane is None:
+                lane = self._admit(label, factory)
+            else:
+                self._lanes.move_to_end(label)
+            if lane is None:
+                self.parked_total += 1
+                _LANE_EVENTS.inc(event="parked")
+                self._parked.append((label, factory, job, priority, future))
+                return future
+            lane.submit(job, priority, future)
+            return future
+
+    def _admit(self, label: str, factory) -> EngineLane | None:
+        """A lane for *label* under the cap, or None (park the job)."""
+        if len(self._lanes) < self.max_lanes:
+            return self._create(label, factory)
+        victim_label = next(
+            (
+                name
+                for name, lane in self._lanes.items()
+                if lane.idle()
+            ),
+            None,
+        )
+        if victim_label is None:
+            return None
+        victim = self._lanes.pop(victim_label)
+        victim.retire()
+        self._retired.append(victim)
+        self.evictions += 1
+        _LANE_EVENTS.inc(event="evicted")
+        return self._create(label, factory)
+
+    def _create(self, label: str, factory) -> EngineLane:
+        if label == "default":
+            lane = EngineLane(
+                label,
+                None,
+                self._lane_idle,
+                engine=self._default_engine,
+                owns_engine=False,
+            )
+        else:
+            lane = EngineLane(label, factory, self._lane_idle)
+        self._lanes[label] = lane
+        _LANE_EVENTS.inc(event="created")
+        return lane
+
+    def _lane_idle(self, lane: EngineLane) -> None:
+        """A lane drained: hand parked work to it (or a fresh lane)."""
+        while True:
+            with self._lock:
+                if self._closed or not self._parked:
+                    return
+                label, factory, job, priority, future = self._parked[0]
+                target = self._lanes.get(label)
+                if target is None:
+                    # The idle caller itself is an eviction candidate
+                    # here — an idle lane always unparks *something*.
+                    target = self._admit(label, factory)
+                else:
+                    self._lanes.move_to_end(label)
+                if target is None:
+                    return
+                self._parked.popleft()
+                target.submit(job, priority, future)
+
+    def describe(self) -> dict:
+        with self._lock:
+            return {
+                "max_lanes": self.max_lanes,
+                "active": len(self._lanes),
+                "evictions": self.evictions,
+                "parked": len(self._parked),
+                "parked_total": self.parked_total,
+                "lanes": [lane.describe() for lane in self._lanes.values()],
+            }
+
+    def close(self, timeout: float | None = None) -> None:
+        """Retire every lane, fail parked work, join the threads."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            lanes = list(self._lanes.values()) + self._retired
+            self._lanes.clear()
+            self._retired = []
+            parked, self._parked = list(self._parked), deque()
+        for entry in parked:
+            _resolve_future(
+                entry[4],
+                None,
+                EvaluationError("service closed before the parked request ran"),
+            )
+        for lane in lanes:
+            lane.retire()
+        for lane in lanes:
+            lane.join(timeout=timeout)
+
+
+class _StreamPlan:
+    """A streaming response handed from ``_dispatch`` to ``_handle``."""
+
+    def __init__(
+        self,
+        endpoint: str,
+        queue: "asyncio.Queue",
+        future: "asyncio.Future",
+        deadline: Deadline | None,
+        started: float,
+        design_count: int,
+        headers: dict,
+    ) -> None:
+        self.endpoint = endpoint
+        self.queue = queue
+        self.future = future
+        self.deadline = deadline
+        self.started = started
+        self.design_count = design_count
+        self.headers = headers
 
 
 # -- the service --------------------------------------------------------------
 
 
 class EvaluationService:
-    """One warm sweep engine behind an asyncio HTTP/JSON API.
+    """Warm engine lanes behind an asyncio HTTP/JSON API.
 
     Parameters
     ----------
     case_study / policy:
-        Evaluation context (defaults: the paper's).
+        Evaluation context of the default lane (defaults: the paper's).
     executor:
-        ``"process"`` (default) or ``"thread"`` build a *persistent*
-        pool executor — the warm pool the service exists for;
+        ``"process"`` (default) or ``"thread"`` build *persistent*
+        pool executors — the warm pools the service exists for;
         ``"serial"`` runs in-process (useful for tests); an
         :class:`~repro.evaluation.engine.Executor` instance is used
-        as-is.
+        as-is on the default lane (extra lanes then fall back to
+        serial engines).
     max_workers / chunk_size / structure_sharing / cache_path:
-        Passed through to the engine (``cache_path`` enables the
-        thread-safe sqlite result store shared across restarts).
+        Passed through to every lane engine (``cache_path`` enables the
+        thread-safe sqlite result store shared across lanes, restarts
+        and shard processes).
+    lanes:
+        Bound on concurrently-warm engine lanes
+        (:data:`DEFAULT_LANES`); least-recently-used idle lanes are
+        evicted to admit new contexts.
     max_designs:
         Per-request design-count budget (:data:`DEFAULT_MAX_DESIGNS`).
     max_queue:
@@ -417,7 +666,7 @@ class EvaluationService:
 
     Use :meth:`run` to serve blocking (the CLI; SIGTERM drains
     gracefully), or :meth:`start_in_thread`/:meth:`stop` for an
-    in-process instance (tests); :meth:`close` releases the engine's
+    in-process instance (tests); :meth:`close` releases every lane's
     warm pool, segment and cache.
     """
 
@@ -430,6 +679,7 @@ class EvaluationService:
         chunk_size: int | None = None,
         structure_sharing: bool = True,
         cache_path=None,
+        lanes: int = DEFAULT_LANES,
         max_designs: int = DEFAULT_MAX_DESIGNS,
         max_queue: int | None = DEFAULT_MAX_QUEUE,
         retry_after: float = 1.0,
@@ -447,6 +697,8 @@ class EvaluationService:
 
         check_positive_int(max_designs, "max_designs")
         self.max_designs = max_designs
+        check_positive_int(lanes, "lanes")
+        self.max_lanes = lanes
         if max_queue is not None:
             check_positive_int(max_queue, "max_queue")
         self.max_queue = max_queue
@@ -463,6 +715,25 @@ class EvaluationService:
         self.drain_grace = drain_grace
         self.startup_timeout = startup_timeout
         self.shutdown_timeout = shutdown_timeout
+        # Captured before the string→executor conversion: extra lanes
+        # build their own executors from the same spec (a caller-built
+        # Executor instance cannot be duplicated — they get serial).
+        self._case_study = case_study
+        self._policy = policy
+        self._chunk_size = chunk_size
+        self._structure_sharing = structure_sharing
+        self._cache_path = cache_path
+        if isinstance(executor, str):
+            self._executor_spec = (executor, max_workers)
+        elif getattr(executor, "name", None) in ("process", "thread") and getattr(
+            executor, "persistent", False
+        ):
+            self._executor_spec = (
+                executor.name,
+                getattr(executor, "max_workers", None),
+            )
+        else:
+            self._executor_spec = ("serial", None)
         if executor == "process":
             executor = ProcessExecutor(max_workers=max_workers, persistent=True)
             max_workers = None
@@ -482,11 +753,7 @@ class EvaluationService:
             structure_sharing=structure_sharing,
             cache_path=cache_path,
         )
-        # One compute thread: the engine is single-threaded by design,
-        # and the thread's FIFO work queue is the request queue.
-        self._compute = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-serve-compute"
-        )
+        self._lanes = LanePool(lanes, self.engine)
         self._inflight: dict[str, asyncio.Future] = {}
         self._responses: dict[str, dict] = {}
         self._draining = False
@@ -494,8 +761,9 @@ class EvaluationService:
         #: Open client transports, so a forced stop can sever them
         #: instead of leaving blocked clients to their own timeouts.
         self._connections: set = set()
-        #: Monotonic suffix making deadline-bearing requests dedup-unique
-        #: (two requests with separate budgets must not share a future).
+        #: Monotonic suffix making deadline-bearing and streaming
+        #: requests dedup-unique (separate budgets / separate wires
+        #: must not share a future).
         self._deadline_serial = 0
         self._counters = {
             "requests_total": 0,
@@ -504,6 +772,7 @@ class EvaluationService:
             "computed": 0,
             "errors": 0,
             "rejected": 0,
+            "legacy_requests": 0,
         }
         self._latency: dict[str, dict] = {}
         self._started = time.monotonic()
@@ -540,8 +809,9 @@ class EvaluationService:
         if announce:
             print(
                 f"repro serve: http://{self.address[0]}:{self.address[1]} "
-                f"(endpoints: POST /sweep, POST /timeline, GET /healthz; "
-                f"executor {self.engine.executor.name}, "
+                f"(endpoints: POST /v1/sweep, POST /v1/timeline, "
+                f"GET /v1/healthz; executor {self.engine.executor.name}, "
+                f"{self.max_lanes} lane(s), "
                 f"budget {self.max_designs} designs/request)",
                 flush=True,
             )
@@ -660,12 +930,12 @@ class EvaluationService:
                 )
 
     def close(self) -> None:
-        """Stop serving and release the engine's warm-pool resources."""
+        """Stop serving and release every lane's warm-pool resources."""
         if self._closed:
             return
         self._closed = True
         self.stop()
-        self._compute.shutdown(wait=True, cancel_futures=True)
+        self._lanes.close(timeout=self.shutdown_timeout)
         self.engine.close()
 
     def __enter__(self) -> "EvaluationService":
@@ -690,6 +960,12 @@ class EvaluationService:
                     status, payload = 400, {"error": "malformed HTTP request"}
                 else:
                     result = await self._dispatch(*request)
+                    if isinstance(result, _StreamPlan):
+                        status = await self._write_stream(writer, result)
+                        self._log_access(
+                            request, status, time.perf_counter() - started
+                        )
+                        return
                     # Resilience paths (503/504) attach extra headers as
                     # a third element; plain handlers return pairs.
                     if len(result) == 3:
@@ -788,53 +1064,91 @@ class EvaluationService:
 
     # -- dispatch -----------------------------------------------------------
 
+    @staticmethod
+    def _error(versioned: bool, code: str, message: str, detail=None) -> dict:
+        """An error body: the /v1 envelope or the legacy flat shape."""
+        if versioned:
+            return api.error_payload(code, message, detail)
+        return {"error": message}
+
     async def _dispatch(
         self, method: str, path: str, body: bytes, headers=None
     ):
         self._counters["requests_total"] += 1
-        known = ("/healthz", "/metrics", "/sweep", "/timeline")
-        _REQUESTS.inc(endpoint=path if path in known else "other")
-        if path in ("/healthz", "/metrics"):
+        versioned = path.startswith("/v1/")
+        base = path[3:] if versioned else path
+        _REQUESTS.inc(endpoint=base if base in _KNOWN_ENDPOINTS else "other")
+        extra: dict[str, str] = {}
+        if base in _KNOWN_ENDPOINTS and not versioned:
+            self._counters["legacy_requests"] += 1
+            _LEGACY.inc(endpoint=base)
+            extra["Deprecation"] = "true"
+        if base in ("/healthz", "/metrics"):
             if method != "GET":
-                return 405, {"error": f"{path} is GET-only"}
-            if path == "/healthz":
-                return 200, self.healthz()
+                return 405, self._error(
+                    versioned, api.ERROR_METHOD_NOT_ALLOWED, f"{path} is GET-only"
+                ), extra
+            if base == "/healthz":
+                return 200, self.healthz(), extra
             accept = (headers or {}).get("accept", "")
             if any(token in accept for token in _PROMETHEUS_ACCEPT):
                 self._sync_registry()
-                return 200, observability.REGISTRY.to_prometheus()
-            return 200, self.metrics()
-        if path not in ("/sweep", "/timeline"):
-            return 404, {
-                "error": f"unknown path {path!r}; "
-                "endpoints: POST /sweep, POST /timeline, GET /healthz, GET /metrics"
-            }
+                return 200, observability.REGISTRY.to_prometheus(), extra
+            return 200, self.metrics(), extra
+        if base not in ("/sweep", "/timeline"):
+            return 404, self._error(
+                versioned,
+                api.ERROR_NOT_FOUND,
+                f"unknown path {path!r}; endpoints: POST /v1/sweep, "
+                "POST /v1/timeline, GET /v1/healthz, GET /v1/metrics "
+                "(unversioned /sweep, /timeline, /healthz, /metrics are "
+                "deprecated)",
+            ), extra
         if method != "POST":
-            return 405, {"error": f"{path} is POST-only"}
+            return 405, self._error(
+                versioned, api.ERROR_METHOD_NOT_ALLOWED, f"{path} is POST-only"
+            ), extra
         try:
             request = json.loads(body.decode() or "{}")
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            return 400, {"error": f"invalid JSON body: {exc}"}
+            return 400, self._error(
+                versioned, api.ERROR_INVALID_REQUEST, f"invalid JSON body: {exc}"
+            ), extra
         if not isinstance(request, dict):
-            return 400, {"error": "request body must be a JSON object"}
+            return 400, self._error(
+                versioned,
+                api.ERROR_INVALID_REQUEST,
+                "request body must be a JSON object",
+            ), extra
         start = time.perf_counter()
         try:
-            key, job, deadline = self._prepare(path, request)
+            req, key, job, deadline, design_count = self._prepare(
+                base, request, versioned
+            )
         except ReproError as exc:
             self._counters["errors"] += 1
             _SERVICE_ERRORS.inc()
             # Failing requests must stay visible in latency aggregates:
             # record under the errors class before returning.
             self._record_latency(
-                path, time.perf_counter() - start, outcome="errors"
+                base, time.perf_counter() - start, outcome="errors"
             )
-            return 400, {"error": str(exc)}
+            code = (
+                api.ERROR_OVER_BUDGET
+                if "over the budget" in str(exc)
+                else api.ERROR_INVALID_REQUEST
+            )
+            return 400, self._error(versioned, code, str(exc)), extra
+        if req.stream:
+            return await self._start_stream(
+                base, req, key, job, deadline, design_count, start, extra
+            )
         response = self._responses.get(key)
         if response is not None:
             self._counters["response_cache_hits"] += 1
             _SERVICE_CACHE.inc(tier="response")
-            self._record_latency(path, time.perf_counter() - start)
-            return 200, response
+            self._record_latency(base, time.perf_counter() - start)
+            return 200, response, extra
         loop = asyncio.get_running_loop()
         future = self._inflight.get(key)
         if future is not None:
@@ -843,21 +1157,13 @@ class EvaluationService:
             self._counters["dedup_hits"] += 1
             _SERVICE_CACHE.inc(tier="dedup")
         else:
-            rejection = self._admission_rejection()
-            if rejection is not None:
-                self._counters["rejected"] += 1
-                _SERVICE_REJECTED.inc()
-                self._record_latency(
-                    path, time.perf_counter() - start, outcome="rejected"
-                )
-                return 503, {
-                    "error": f"service saturated: {rejection}; "
-                    f"retry after {self.retry_after:g}s",
-                    "retry_after_s": self.retry_after,
-                }, {"Retry-After": str(max(1, round(self.retry_after)))}
+            rejected = self._reject_new_computation(base, versioned, start, extra)
+            if rejected is not None:
+                return rejected
             future = loop.create_future()
             self._inflight[key] = future
-            loop.create_task(self._compute_job(key, job, future))
+            submit = self._lane_submit(req, job)
+            loop.create_task(self._compute_job(key, submit, future))
         try:
             if deadline is None:
                 response = await future
@@ -879,7 +1185,7 @@ class EvaluationService:
             self._counters["errors"] += 1
             _SERVICE_ERRORS.inc()
             self._record_latency(
-                path, time.perf_counter() - start, outcome="deadline"
+                base, time.perf_counter() - start, outcome="deadline"
             )
             budget_ms = deadline.budget * 1000.0 if deadline else None
             message = (
@@ -888,20 +1194,64 @@ class EvaluationService:
                 else f"deadline of {budget_ms:.0f} ms exceeded while the "
                 "request was queued or computing"
             )
+            if versioned:
+                return 504, api.error_payload(
+                    api.ERROR_DEADLINE_EXCEEDED,
+                    message,
+                    {"deadline_ms": budget_ms},
+                ), extra
             return 504, {
                 "error": message,
                 "deadline_ms": budget_ms,
                 "deadline_exceeded": True,
-            }
+            }, extra
         except ReproError as exc:
             self._counters["errors"] += 1
             _SERVICE_ERRORS.inc()
             self._record_latency(
-                path, time.perf_counter() - start, outcome="errors"
+                base, time.perf_counter() - start, outcome="errors"
             )
-            return 500, {"error": str(exc)}
-        self._record_latency(path, time.perf_counter() - start)
-        return 200, response
+            # An engine-raised ValidationError (e.g. an unknown role
+            # name, only detectable at evaluation time) is still the
+            # client's mistake, not a server fault.  Worker-crossing
+            # wraps erase the type but keep its name in the message.
+            if isinstance(exc, ValidationError) or "ValidationError" in str(exc):
+                return 400, self._error(
+                    versioned, api.ERROR_INVALID_REQUEST, str(exc)
+                ), extra
+            return 500, self._error(
+                versioned, api.ERROR_INTERNAL, str(exc)
+            ), extra
+        self._record_latency(base, time.perf_counter() - start)
+        return 200, response, extra
+
+    def _reject_new_computation(
+        self, base: str, versioned: bool, start: float, extra: dict
+    ):
+        """The 503 response if admission is refused, else None."""
+        rejection = self._admission_rejection()
+        if rejection is None:
+            return None
+        self._counters["rejected"] += 1
+        _SERVICE_REJECTED.inc()
+        self._record_latency(
+            base, time.perf_counter() - start, outcome="rejected"
+        )
+        message = (
+            f"service saturated: {rejection}; "
+            f"retry after {self.retry_after:g}s"
+        )
+        retry_extra = dict(extra)
+        retry_extra["Retry-After"] = str(max(1, round(self.retry_after)))
+        if versioned:
+            payload = api.error_payload(
+                api.ERROR_SATURATED,
+                message,
+                {"retry_after_s": self.retry_after, "reason": rejection},
+            )
+        else:
+            payload = {"error": message, "retry_after_s": self.retry_after}
+        return 503, payload, retry_extra
 
     def _admission_rejection(self) -> str | None:
         """Why a *new* computation cannot be admitted now (None = admit)."""
@@ -914,11 +1264,13 @@ class EvaluationService:
             )
         return None
 
-    async def _compute_job(self, key: str, job, future: asyncio.Future) -> None:
-        """Run *job* on the compute thread; fan the result out."""
-        loop = asyncio.get_running_loop()
+    async def _compute_job(
+        self, key: str, submit, future: asyncio.Future, remember: bool = True
+    ) -> None:
+        """Queue the job on its lane; fan the settled result out."""
         try:
-            response = await loop.run_in_executor(self._compute, job)
+            lane_future = submit()
+            response = await asyncio.wrap_future(lane_future)
         except BaseException as exc:
             self._inflight.pop(key, None)
             if not future.cancelled():
@@ -927,47 +1279,115 @@ class EvaluationService:
         self._inflight.pop(key, None)
         self._counters["computed"] += 1
         _SERVICE_COMPUTED.inc()
-        self._remember(key, response)
+        if remember:
+            self._remember(key, response)
         if not future.cancelled():
             future.set_result(response)
 
-    def _prepare(self, path: str, request: dict):
-        """Canonical dedup key, compute closure and deadline of a request.
+    def _lane_submit(self, req, job):
+        """A thunk queueing *job* on the request's context lane."""
+        return partial(
+            self._lanes.submit,
+            req.context_label(),
+            self._lane_engine_factory(req.space),
+            job,
+            req.priority,
+        )
+
+    def _lane_engine_factory(self, space):
+        """A builder for a fresh per-context engine (lane-thread-side)."""
+        scaled = space.scaled
+        spec, max_workers = self._executor_spec
+
+        def build():
+            from repro.evaluation.engine import (
+                ProcessExecutor,
+                SweepEngine,
+                ThreadExecutor,
+            )
+
+            if spec == "process":
+                executor = ProcessExecutor(
+                    max_workers=max_workers, persistent=True
+                )
+            elif spec == "thread":
+                executor = ThreadExecutor(
+                    max_workers=max_workers, persistent=True
+                )
+            else:
+                executor = "serial"
+            if scaled is not None:
+                from repro.enterprise.scaled import scaled_case_study
+
+                case_study, _ = scaled_case_study(*scaled)
+                database = None
+            else:
+                from repro.vulnerability.diversity import diversity_database
+
+                case_study = self._case_study
+                database = diversity_database()
+            return SweepEngine(
+                case_study=case_study,
+                policy=self._policy,
+                executor=executor,
+                chunk_size=self._chunk_size,
+                database=database,
+                structure_sharing=self._structure_sharing,
+                cache_path=self._cache_path,
+            )
+
+        return build
+
+    def _prepare(self, base: str, request: dict, versioned: bool):
+        """Parsed request, dedup key, compute closure and deadline.
 
         Raises :class:`~repro.errors.ReproError` on validation
         failures, including a blown design-count budget — checked here,
         before the request can occupy the queue.  The deadline's clock
         starts here, at request receipt: queue wait spends the budget.
         """
-        allowed = _SPACE_FIELDS if path == "/sweep" else _TIMELINE_FIELDS
-        _require_fields(request, allowed, path.lstrip("/"))
-        deadline_ms = _parse_deadline_ms(request.get("deadline_ms"))
+        cls = api.TimelineRequest if base == "/timeline" else api.SweepRequest
+        req = cls.from_payload(request, legacy=not versioned)
         deadline = (
-            None if deadline_ms is None else Deadline.after_ms(deadline_ms)
+            None
+            if req.deadline_ms is None
+            else Deadline.after_ms(req.deadline_ms)
         )
-        space = _normalize_space(request)
-        designs = self._enumerate(space)
-        budget = _parse_count(
-            request.get("max_designs"), "max_designs", self.max_designs
+        designs = api.enumerate_space(req.space)
+        if req.shard is not None:
+            designs = [d for d in designs if req.shard.owns(d)]
+        budget = (
+            self.max_designs
+            if req.max_designs is None
+            else min(req.max_designs, self.max_designs)
         )
-        budget = min(budget, self.max_designs)
         if len(designs) > budget:
             raise ValidationError(
                 f"request enumerates {len(designs)} designs, over the "
                 f"budget of {budget}; shrink the space or raise the "
                 "service's --max-designs"
             )
-        canonical = dict(space)
-        if path == "/timeline":
-            times = _parse_times(request)
-            campaign = _parse_campaign(request)
-            canonical["times"] = list(times)
-            canonical["campaign"] = (
-                campaign.to_dict() if campaign is not None else None
+        if req.space.scaled is not None and designs:
+            # Scaled spaces answer with the generated tier roles,
+            # exactly like `repro sweep --scaled`.
+            roles = list(designs[0].roles)
+        else:
+            roles = list(req.space.roles)
+        space = {
+            "roles": roles,
+            "max_replicas": req.space.max_replicas,
+            "max_total": req.space.max_total,
+            "variants": req.space.variants,
+        }
+        if base == "/timeline":
+            job = partial(
+                self._timeline_job, space, designs, req.times, req.campaign
             )
-            job = partial(self._timeline_job, space, designs, times, campaign)
+            if req.method != "uniformisation":
+                job = partial(job, method=req.method)
         else:
             job = partial(self._sweep_job, space, designs)
+        canonical = req.canonical()
         if deadline is not None:
             # Deadline passed keyword-only so deadline-free jobs keep the
             # historical two/four-argument shape (tests monkeypatch them).
@@ -976,69 +1396,229 @@ class EvaluationService:
             # computation (or a remembered response) across requests.
             self._deadline_serial += 1
             canonical["deadline_serial"] = self._deadline_serial
-        key = json.dumps(
-            {"endpoint": path, **canonical}, sort_keys=True, default=str
-        )
-        return key, job, deadline
+        if req.stream:
+            # A stream is produced incrementally on one wire; never
+            # share or remember it.
+            self._deadline_serial += 1
+            canonical["stream_serial"] = self._deadline_serial
+        key = api.canonical_json(canonical)
+        return req, key, job, deadline, len(designs)
 
-    def _enumerate(self, space: dict) -> list:
-        from repro.evaluation.sweep import (
-            enumerate_designs,
-            enumerate_heterogeneous_designs,
-        )
+    # -- streaming ----------------------------------------------------------
 
-        if space["variants"]:
-            from repro.enterprise import paper_variant_space
+    async def _start_stream(
+        self, base, req, key, job, deadline, design_count, start, extra
+    ):
+        """Admit a ``stream: true`` request and hand back its plan."""
+        rejected = self._reject_new_computation(base, True, start, extra)
+        if rejected is not None:
+            return rejected
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue = asyncio.Queue()
+        timeline = base == "/timeline"
 
-            pools = paper_variant_space()
-            unknown = [role for role in space["roles"] if role not in pools]
-            if unknown:
-                raise ValidationError(
-                    f"no variant pool for roles {unknown}; "
-                    f"choose from {sorted(pools)}"
+        def emit_chunk(chunk) -> None:
+            records = self._stream_records(chunk, timeline)
+            loop.call_soon_threadsafe(queue.put_nowait, ("chunk", records))
+
+        future: asyncio.Future = loop.create_future()
+        self._inflight[key] = future
+        submit = self._lane_submit(req, partial(job, progress=emit_chunk))
+        loop.create_task(self._compute_job(key, submit, future, remember=False))
+
+        def _finish(fut) -> None:
+            if fut.cancelled():
+                queue.put_nowait(
+                    ("error", EvaluationError("stream computation cancelled"))
                 )
-            return list(
-                enumerate_heterogeneous_designs(
-                    space["roles"],
-                    {role: pools[role] for role in space["roles"]},
-                    max_replicas=space["max_replicas"],
-                    max_total=space["max_total"],
+            elif fut.exception() is not None:
+                queue.put_nowait(("error", fut.exception()))
+            else:
+                queue.put_nowait(("complete", fut.result()))
+
+        future.add_done_callback(_finish)
+        return _StreamPlan(
+            endpoint=base,
+            queue=queue,
+            future=future,
+            deadline=deadline,
+            started=start,
+            design_count=design_count,
+            headers=extra,
+        )
+
+    @staticmethod
+    def _stream_records(chunk, timeline: bool) -> list[dict]:
+        """Serialised per-design records of one completed engine chunk."""
+        if timeline:
+            from repro.evaluation.timeline import timeline_payload
+
+            return [timeline_payload(entry) for entry in chunk]
+        from repro.evaluation.report import design_payload
+
+        # Streamed sweep records carry no `pareto` flag — the front is
+        # only known once the whole space is in; the `complete` event's
+        # payload has it.
+        return [design_payload(evaluation, False) for evaluation in chunk]
+
+    async def _write_stream(self, writer, plan: _StreamPlan) -> int:
+        """Write the NDJSON event stream; returns the logged status."""
+        header_lines = "".join(
+            f"{name}: {value}\r\n" for name, value in plan.headers.items()
+        )
+        outcome = "ok"
+        try:
+            writer.write(
+                (
+                    "HTTP/1.1 200 OK\r\n"
+                    "Content-Type: application/x-ndjson\r\n"
+                    f"{header_lines}"
+                    "Connection: close\r\n\r\n"
+                ).encode()
+            )
+            writer.write(
+                _ndjson(
+                    {
+                        "event": "start",
+                        "schema_version": api.SCHEMA_VERSION,
+                        "endpoint": plan.endpoint,
+                        "design_count": plan.design_count,
+                    }
                 )
             )
-        return list(
-            enumerate_designs(
-                space["roles"],
-                max_replicas=space["max_replicas"],
-                max_total=space["max_total"],
-            )
+            await writer.drain()
+            while True:
+                if plan.deadline is not None:
+                    remaining = plan.deadline.remaining()
+                    if remaining <= 0.0:
+                        raise asyncio.TimeoutError
+                    kind, value = await asyncio.wait_for(
+                        plan.queue.get(), timeout=remaining
+                    )
+                else:
+                    kind, value = await plan.queue.get()
+                if kind == "chunk":
+                    writer.write(_ndjson({"event": "chunk", "designs": value}))
+                    await writer.drain()
+                    continue
+                if kind == "complete":
+                    writer.write(
+                        _ndjson({"event": "complete", "response": value})
+                    )
+                else:
+                    exc = value
+                    outcome = "errors"
+                    self._counters["errors"] += 1
+                    _SERVICE_ERRORS.inc()
+                    if isinstance(exc, DeadlineExceeded):
+                        code = api.ERROR_DEADLINE_EXCEEDED
+                    elif (
+                        isinstance(exc, ValidationError)
+                        or "ValidationError" in str(exc)
+                    ):
+                        code = api.ERROR_INVALID_REQUEST
+                    else:
+                        code = api.ERROR_INTERNAL
+                    writer.write(
+                        _ndjson(
+                            {
+                                "event": "error",
+                                "error": api.error_payload(code, str(exc))[
+                                    "error"
+                                ],
+                            }
+                        )
+                    )
+                await writer.drain()
+                break
+        except asyncio.TimeoutError:
+            # The stream is already committed as 200; the deadline
+            # surfaces as a final error event instead of a 504 head.
+            plan.future.add_done_callback(_swallow_abandoned_error)
+            outcome = "deadline"
+            self._counters["errors"] += 1
+            _SERVICE_ERRORS.inc()
+            budget_ms = plan.deadline.budget * 1000.0
+            try:
+                writer.write(
+                    _ndjson(
+                        {
+                            "event": "error",
+                            "error": api.error_payload(
+                                api.ERROR_DEADLINE_EXCEEDED,
+                                f"deadline of {budget_ms:.0f} ms exceeded "
+                                "mid-stream",
+                                {"deadline_ms": budget_ms},
+                            )["error"],
+                        }
+                    )
+                )
+                await writer.drain()
+            except (ConnectionError, BrokenPipeError):
+                pass
+        except (ConnectionError, BrokenPipeError):
+            # Client went away mid-stream; the lane finishes and banks
+            # the result in the memo regardless.
+            plan.future.add_done_callback(_swallow_abandoned_error)
+            outcome = "aborted"
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        self._record_latency(
+            plan.endpoint, time.perf_counter() - plan.started, outcome=outcome
         )
+        return 200
 
-    # The job bodies run on the dedicated compute thread — the only
-    # place the engine is ever touched after construction.
+    # The job bodies run on lane threads — the only place engines are
+    # ever touched after construction.  They resolve their engine via
+    # the lane's thread-local so the historical signatures (which tests
+    # monkeypatch) stay intact.
 
-    def _sweep_job(self, space: dict, designs, deadline=None) -> dict:
-        evaluations = self.engine.evaluate(designs, deadline=deadline)
+    def _sweep_job(
+        self, space: dict, designs, deadline=None, checkpoint=None, progress=None
+    ) -> dict:
+        engine = getattr(_LANE_ENGINE, "engine", None) or self.engine
+        evaluations = engine.evaluate(
+            designs, deadline=deadline, checkpoint=checkpoint, progress=progress
+        )
         return sweep_response(
             space["roles"],
             space["max_replicas"],
             space["max_total"],
             space["variants"],
-            self.engine.executor.name,
+            engine.executor.name,
             evaluations,
         )
 
     def _timeline_job(
-        self, space: dict, designs, times, campaign, deadline=None
+        self,
+        space: dict,
+        designs,
+        times,
+        campaign,
+        method: str = "uniformisation",
+        deadline=None,
+        checkpoint=None,
+        progress=None,
     ) -> dict:
-        timelines = self.engine.timeline(
-            designs, times, campaign=campaign, deadline=deadline
+        engine = getattr(_LANE_ENGINE, "engine", None) or self.engine
+        timelines = engine.timeline(
+            designs,
+            times,
+            campaign=campaign,
+            method=method,
+            deadline=deadline,
+            checkpoint=checkpoint,
+            progress=progress,
         )
         return timeline_response(
             space["roles"],
             space["max_replicas"],
             space["max_total"],
             space["variants"],
-            self.engine.executor.name,
+            engine.executor.name,
             campaign,
             times,
             timelines,
@@ -1056,7 +1636,8 @@ class EvaluationService:
 
         Failing requests land in a separate ``<path>#errors`` class so
         error latencies never skew the healthy aggregates — and are
-        never silently dropped.
+        never silently dropped.  Versioned and unversioned requests
+        share one class per endpoint (the path here is the base path).
         """
         key = path if outcome == "ok" else f"{path}#{outcome}"
         stats = self._latency.setdefault(
@@ -1106,12 +1687,15 @@ class EvaluationService:
         }
 
     def healthz(self) -> dict:
-        """Liveness plus engine/pool observability.
+        """Liveness plus engine/lane/pool observability.
 
-        The ``resilience`` section reports degradation state: drain
-        status, queue occupancy against ``max_queue``, whether the
-        persistent cache fell back to memory-only, and every registered
-        circuit breaker (name → state/failures/opens).
+        The ``engine`` section reports the default lane's engine (kept
+        for compatibility); ``lanes`` reports the whole pool — bounds,
+        evictions, parked jobs and per-lane context/queue/preemption
+        telemetry.  The ``resilience`` section reports degradation
+        state: drain status, queue occupancy against ``max_queue``,
+        whether the persistent cache fell back to memory-only, and
+        every registered circuit breaker (name → state/failures/opens).
         """
         executor = self.engine.executor
         cache = self.engine.persistent_cache
@@ -1126,6 +1710,7 @@ class EvaluationService:
                 "cache_info": self.engine.cache_info,
             },
             "max_designs": self.max_designs,
+            "lanes": self._lanes.describe(),
             "resilience": {
                 "draining": self._draining,
                 "active_requests": self._active_requests,
@@ -1146,8 +1731,15 @@ class EvaluationService:
 class ServiceClient:
     """Small synchronous client for :class:`EvaluationService`.
 
-    Used by the test-suite, the CI smoke and scripts; any HTTP client
-    works — the API is plain JSON over HTTP/1.1.
+    Used by the test-suite, the CI smoke, the shard coordinator and
+    scripts; any HTTP client works — the API is plain JSON over
+    HTTP/1.1.  :meth:`sweep`/:meth:`timeline` build the typed ``/v1``
+    envelope from keyword arguments; :meth:`request` stays available
+    for raw (including legacy unversioned) exchanges.
+
+    Every request sends ``Connection: close`` explicitly — the service
+    closes the socket after one exchange, and advertising it keeps a
+    client from trying to reuse a drained server's half-open socket.
 
     A saturated or draining service answers 503 with a ``Retry-After``
     header; the client honours it under *retry* (a bounded
@@ -1159,6 +1751,20 @@ class ServiceClient:
     #: Default 503 handling: three attempts, honouring ``Retry-After``
     #: (capped at ``max_delay``) and falling back to 0.2 s → 0.4 s.
     DEFAULT_RETRY = RetryPolicy(attempts=3, base_delay=0.2, max_delay=5.0)
+
+    _SPACE_FIELDS = ("roles", "max_replicas", "max_total", "variants", "scaled")
+    _SWEEP_OPTIONS = ("max_designs", "shard")
+    _TIMELINE_OPTIONS = (
+        "max_designs",
+        "shard",
+        "horizon",
+        "points",
+        "times",
+        "campaign",
+        "phases",
+        "method",
+    )
+    _TOP_FIELDS = ("priority", "deadline_ms", "stream")
 
     def __init__(
         self,
@@ -1225,6 +1831,10 @@ class ServiceClient:
             request_headers = dict(headers or {})
             if body:
                 request_headers.setdefault("Content-Type", "application/json")
+            # One exchange per connection, stated on the wire: the
+            # service always closes, and an explicit header keeps any
+            # client stack from trying to reuse a dying socket.
+            request_headers.setdefault("Connection", "close")
             connection.request(
                 method, path, body=body, headers=request_headers
             )
@@ -1259,24 +1869,108 @@ class ServiceClient:
             )
         return parsed
 
+    def _envelope(self, fields: dict, timeline: bool) -> dict:
+        """The /v1 request envelope built from flat keyword arguments."""
+        option_names = self._TIMELINE_OPTIONS if timeline else self._SWEEP_OPTIONS
+        allowed = (
+            set(self._SPACE_FIELDS) | set(option_names) | set(self._TOP_FIELDS)
+        )
+        unknown = sorted(set(fields) - allowed)
+        if unknown:
+            endpoint = "timeline" if timeline else "sweep"
+            raise ValidationError(
+                f"unknown {endpoint} field(s) {unknown}; "
+                f"allowed: {sorted(allowed)}"
+            )
+        payload: dict = {}
+        space = {k: fields[k] for k in self._SPACE_FIELDS if k in fields}
+        options = {k: fields[k] for k in option_names if k in fields}
+        if space:
+            payload["space"] = space
+        if options:
+            payload["options"] = options
+        for k in self._TOP_FIELDS:
+            if k in fields:
+                payload[k] = fields[k]
+        return payload
+
     def sweep(self, **fields) -> dict:
-        """``POST /sweep`` with *fields* (see the module docstring)."""
-        return self._checked("POST", "/sweep", fields)
+        """``POST /v1/sweep`` built from flat keyword arguments."""
+        return self._checked(
+            "POST", "/v1/sweep", self._envelope(fields, timeline=False)
+        )
 
     def timeline(self, **fields) -> dict:
-        """``POST /timeline`` with *fields*."""
-        return self._checked("POST", "/timeline", fields)
+        """``POST /v1/timeline`` built from flat keyword arguments."""
+        return self._checked(
+            "POST", "/v1/timeline", self._envelope(fields, timeline=True)
+        )
+
+    def sweep_stream(self, **fields):
+        """Iterate ``POST /v1/sweep`` NDJSON events (``stream: true``)."""
+        fields["stream"] = True
+        return self._stream("/v1/sweep", self._envelope(fields, timeline=False))
+
+    def timeline_stream(self, **fields):
+        """Iterate ``POST /v1/timeline`` NDJSON events."""
+        fields["stream"] = True
+        return self._stream(
+            "/v1/timeline", self._envelope(fields, timeline=True)
+        )
+
+    def _stream(self, path: str, payload: dict):
+        """Yield parsed events from one streaming exchange."""
+        import http.client
+
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request(
+                "POST",
+                path,
+                body=json.dumps(payload).encode(),
+                headers={
+                    "Content-Type": "application/json",
+                    "Connection": "close",
+                },
+            )
+            response = connection.getresponse()
+            if response.status != 200:
+                data = response.read().decode()
+                try:
+                    parsed = json.loads(data)
+                except json.JSONDecodeError:
+                    parsed = data
+                detail = (
+                    parsed.get("error", parsed)
+                    if isinstance(parsed, dict)
+                    else parsed
+                )
+                raise EvaluationError(
+                    f"service {path} stream failed "
+                    f"(HTTP {response.status}): {detail}"
+                )
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode())
+        finally:
+            connection.close()
 
     def healthz(self) -> dict:
-        return self._checked("GET", "/healthz")
+        return self._checked("GET", "/v1/healthz")
 
     def metrics(self) -> dict:
-        return self._checked("GET", "/metrics")
+        return self._checked("GET", "/v1/metrics")
 
     def metrics_text(self) -> str:
         """The Prometheus text exposition of ``GET /metrics``."""
         status, text = self.request(
-            "GET", "/metrics", headers={"Accept": "text/plain"}
+            "GET", "/v1/metrics", headers={"Accept": "text/plain"}
         )
         if status != 200 or not isinstance(text, str):
             raise EvaluationError(

@@ -356,6 +356,18 @@ class SharedSweepContext:
         """The shared-memory segment's name (for leak diagnostics)."""
         return self.segment.name
 
+    def describe(self) -> dict | None:
+        """Telemetry for ``/healthz`` lanes (None once unlinked)."""
+        if self.segment is None:
+            return None
+        return {
+            "segment": self.segment.name,
+            "bytes": self.segment.size,
+            "roles": len(self.payload["role_names"]),
+            "variants": len(self.payload["variant_keys"]),
+            "layouts": len(self.payload["layouts"]),
+        }
+
     def unlink(self) -> None:
         """Release the segment (idempotent; called in ``finally``)."""
         if self.segment is None:

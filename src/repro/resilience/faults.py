@@ -34,6 +34,7 @@ Instrumented points:
 ``worker.chunk``          chunk-entry in pool workers (``worker_only``)
 ``solver.iterative``      iterative steady-state core
 ``solver.transient``      batch transient distribution solve
+``shard.request``         per-attempt send in the shard coordinator
 ========================  ====================================================
 
 With ``REPRO_FAULTS`` unset, :func:`fault_point` is a dictionary probe

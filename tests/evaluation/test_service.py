@@ -75,7 +75,7 @@ class TestEndpoints:
             ["dns"], 2, None, False, "serial", campaign, times, timelines
         )
         assert served == _wire(expected)
-        assert served["schema_version"] == 2
+        assert served["schema_version"] == 3
         assert served["campaign"]["phases"][0]["name"] == "canary"
 
     def test_variants_space_served(self, serial_service):
@@ -423,6 +423,6 @@ class TestObservability:
         assert records
         line = json.loads(records[-1].getMessage())
         assert line["method"] == "GET"
-        assert line["path"] == "/healthz"
+        assert line["path"] == "/v1/healthz"
         assert line["status"] == 200
         assert line["duration_ms"] >= 0

@@ -1,0 +1,475 @@
+"""Tests for the /v1 service surface: envelope, lanes, priorities,
+streaming, and the connection-handling regression."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.evaluation import SweepEngine, enumerate_designs
+from repro.evaluation.service import EvaluationService, sweep_response
+
+
+@pytest.fixture(scope="module")
+def serial_service():
+    """One in-process service (serial engine, two lanes) shared by the
+    read-only tests of this module."""
+    service = EvaluationService(executor="serial", max_designs=32, lanes=2)
+    client = service.start_in_thread()
+    yield service, client
+    service.close()
+
+
+def _wire(payload: dict) -> dict:
+    return json.loads(json.dumps(payload))
+
+
+class TestEnvelope:
+    def test_v1_sweep_matches_legacy(self, serial_service):
+        _, client = serial_service
+        status, legacy = client.request(
+            "POST", "/sweep", {"roles": ["dns", "web"], "max_replicas": 2}
+        )
+        assert status == 200
+        v1 = client.sweep(roles=["dns", "web"], max_replicas=2)
+        assert v1 == legacy
+        assert v1["schema_version"] == 3
+
+    def test_priority_and_deadline_fields_accepted(self, serial_service):
+        _, client = serial_service
+        served = client.sweep(
+            roles=["dns"],
+            max_replicas=2,
+            priority="batch",
+            deadline_ms=60_000,
+        )
+        assert served["design_count"] == 2
+
+    def test_unknown_envelope_field_is_invalid_request(self, serial_service):
+        _, client = serial_service
+        status, body = client.request(
+            "POST", "/v1/sweep", {"space": {"roles": ["dns"]}, "bogus": 1}
+        )
+        assert status == 400
+        assert body["error"]["code"] == "invalid_request"
+        assert "bogus" in body["error"]["message"]
+        assert set(body["error"]) == {"code", "message", "detail"}
+
+    def test_unknown_priority_rejected(self, serial_service):
+        _, client = serial_service
+        status, body = client.request(
+            "POST", "/v1/sweep", {"space": {"roles": ["dns"]}, "priority": "vip"}
+        )
+        assert status == 400
+        assert body["error"]["code"] == "invalid_request"
+
+    def test_over_budget_code(self, serial_service):
+        _, client = serial_service
+        status, body = client.request(
+            "POST",
+            "/v1/sweep",
+            {"space": {"roles": ["dns", "web", "app", "db"], "max_replicas": 3}},
+        )
+        assert status == 400
+        assert body["error"]["code"] == "over_budget"
+        assert "budget" in body["error"]["message"]
+
+    def test_evaluation_time_validation_error_is_invalid_request(
+        self, serial_service
+    ):
+        """An unknown role only fails once the engine evaluates it, but
+        it is still the client's mistake: 400, not 500/internal."""
+        _, client = serial_service
+        status, body = client.request(
+            "POST", "/v1/sweep", {"space": {"roles": ["bogus"]}}
+        )
+        assert status == 400
+        assert body["error"]["code"] == "invalid_request"
+        assert "unknown role" in body["error"]["message"]
+
+    def test_v1_unknown_path_is_not_found(self, serial_service):
+        _, client = serial_service
+        status, body = client.request("GET", "/v1/bogus")
+        assert status == 404
+        assert body["error"]["code"] == "not_found"
+
+    def test_v1_wrong_method_code(self, serial_service):
+        _, client = serial_service
+        status, body = client.request("GET", "/v1/sweep")
+        assert status == 405
+        assert body["error"]["code"] == "method_not_allowed"
+
+    def test_client_rejects_unknown_kwarg(self, serial_service):
+        _, client = serial_service
+        with pytest.raises(Exception, match="unknown sweep field"):
+            client.sweep(roles=["dns"], horizon=10)
+
+    def test_shard_option_filters_designs(self, serial_service):
+        from repro.evaluation import api
+
+        _, client = serial_service
+        designs = list(enumerate_designs(["dns", "web"], max_replicas=2))
+        full = client.sweep(roles=["dns", "web"], max_replicas=2)
+        parts = [
+            client.sweep(
+                roles=["dns", "web"],
+                max_replicas=2,
+                shard={"index": index, "count": 2},
+            )
+            for index in range(2)
+        ]
+        assert sum(p["design_count"] for p in parts) == full["design_count"]
+        for index, part in enumerate(parts):
+            owned = [d for d in designs if api.shard_of(d, 2) == index]
+            assert [d["label"] for d in part["designs"]] == [
+                d.label for d in owned
+            ]
+
+
+class TestDeprecation:
+    def test_legacy_path_answers_deprecation_header(self, serial_service):
+        import http.client
+
+        service, client = serial_service
+        for path, deprecated in (("/healthz", True), ("/v1/healthz", False)):
+            connection = http.client.HTTPConnection(
+                client.host, client.port, timeout=30
+            )
+            try:
+                connection.request("GET", path)
+                response = connection.getresponse()
+                response.read()
+                header = response.getheader("Deprecation")
+            finally:
+                connection.close()
+            assert (header == "true") is deprecated, path
+
+    def test_legacy_counter_increments(self, serial_service):
+        _, client = serial_service
+        before = client.metrics()["counters"]["legacy_requests"]
+        client.request("GET", "/healthz")
+        after = client.metrics()["counters"]["legacy_requests"]
+        assert after == before + 1
+        registry = client.metrics()["registry"]
+        entry = registry["repro_service_legacy_requests_total"]
+        assert any(
+            series["labels"].get("endpoint") == "/healthz"
+            for series in entry["series"]
+        )
+
+    def test_v1_requests_do_not_touch_legacy_counter(self, serial_service):
+        _, client = serial_service
+        before = client.metrics()["counters"]["legacy_requests"]
+        client.healthz()
+        # metrics() itself is a /v1 call too.
+        after = client.metrics()["counters"]["legacy_requests"]
+        assert after == before
+
+
+class TestLanes:
+    def test_healthz_reports_lane_pool(self, serial_service):
+        _, client = serial_service
+        lanes = client.healthz()["lanes"]
+        assert lanes["max_lanes"] == 2
+        assert lanes["active"] >= 1
+        contexts = [lane["context"] for lane in lanes["lanes"]]
+        assert "default" in contexts
+        default = lanes["lanes"][contexts.index("default")]
+        assert default["engine"]["executor"] == "serial"
+        assert {
+            "busy",
+            "queued_interactive",
+            "queued_batch",
+            "completed",
+            "preemptions",
+            "idle_s",
+        } <= set(default)
+
+    def test_scaled_request_runs_on_its_own_lane(self):
+        from repro.enterprise import scaled_case_study
+
+        with EvaluationService(
+            executor="serial", max_designs=8, lanes=2
+        ) as service:
+            client = service.start_in_thread()
+            served = client.sweep(scaled="3x2")
+            case_study, design = scaled_case_study(3, 2)
+            expected = sweep_response(
+                list(design.roles),
+                2,
+                None,
+                False,
+                "serial",
+                SweepEngine(case_study=case_study).evaluate([design]),
+            )
+            assert served == _wire(expected)
+            contexts = [
+                lane["context"] for lane in client.healthz()["lanes"]["lanes"]
+            ]
+            assert "scaled:3x2" in contexts
+
+    def test_lane_pool_evicts_idle_lru_lane(self):
+        with EvaluationService(
+            executor="serial", max_designs=8, lanes=2
+        ) as service:
+            client = service.start_in_thread()
+            client.sweep(scaled="2x2")
+            client.sweep(scaled="3x2")  # pool full: default + one scaled
+            lanes = client.healthz()["lanes"]
+            assert lanes["active"] == 2
+            assert lanes["evictions"] >= 1
+            contexts = [lane["context"] for lane in lanes["lanes"]]
+            assert "scaled:3x2" in contexts
+
+    def test_lane_pooled_sweep_matches_single_engine_27_designs(self):
+        roles = ["dns", "web", "app"]
+        with EvaluationService(
+            executor="serial", max_designs=64, lanes=2
+        ) as service:
+            client = service.start_in_thread()
+            served = client.sweep(roles=roles, max_replicas=3)
+            designs = list(enumerate_designs(roles, max_replicas=3))
+            expected = sweep_response(
+                roles, 3, None, False, "serial", SweepEngine().evaluate(designs)
+            )
+            assert served == _wire(expected)
+            assert served["design_count"] == 27
+
+
+class TestPriorities:
+    def test_interactive_preempts_batch_on_shared_lane(self):
+        """A batch sweep yields its lane at a chunk boundary (satellite:
+        mixed-priority fairness, same-lane case)."""
+        roles = ["dns", "web", "app", "db"]
+        with EvaluationService(
+            executor="serial", max_designs=128, lanes=1
+        ) as service:
+            client = service.start_in_thread()
+            done: dict[str, float] = {}
+
+            def run_batch():
+                client.sweep(roles=roles, max_replicas=3, priority="batch")
+                done["batch"] = time.monotonic()
+
+            batch = threading.Thread(target=run_batch)
+            batch.start()
+            # Wait for the batch job to occupy the default lane.
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                lanes = client.healthz()["lanes"]["lanes"]
+                if any(lane["busy"] for lane in lanes):
+                    break
+                time.sleep(0.005)
+            client.sweep(roles=["dns"], max_replicas=1)
+            done["interactive"] = time.monotonic()
+            batch.join(timeout=120)
+            assert "batch" in done
+            assert done["interactive"] < done["batch"]
+            lanes = client.healthz()["lanes"]
+            default = next(
+                lane
+                for lane in lanes["lanes"]
+                if lane["context"] == "default"
+            )
+            assert default["preemptions"] >= 1
+            # The lane-wait histogram joined the engine's chunk-wait
+            # family with queue="lane" children per priority.
+            entry = client.metrics()["registry"][
+                "repro_chunk_queue_wait_seconds"
+            ]
+            waits = {
+                series["labels"]["priority"]: series
+                for series in entry["series"]
+                if series["labels"].get("queue") == "lane"
+            }
+            assert waits["interactive"]["count"] >= 1
+            assert waits["batch"]["count"] >= 1
+
+    def test_preempted_batch_result_matches_uncontended_run(self):
+        """Preemption must not change the batch payload (chunks are
+        re-served from the engine memo, not recomputed differently)."""
+        roles = ["dns", "web", "app", "db"]
+        with EvaluationService(
+            executor="serial", max_designs=128, lanes=1
+        ) as service:
+            client = service.start_in_thread()
+            result: dict[str, dict] = {}
+
+            def run_batch():
+                result["batch"] = client.sweep(
+                    roles=roles, max_replicas=3, priority="batch"
+                )
+
+            batch = threading.Thread(target=run_batch)
+            batch.start()
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if any(
+                    lane["busy"]
+                    for lane in client.healthz()["lanes"]["lanes"]
+                ):
+                    break
+                time.sleep(0.005)
+            client.sweep(roles=["web"], max_replicas=1)
+            batch.join(timeout=120)
+        designs = list(enumerate_designs(roles, max_replicas=3))
+        expected = sweep_response(
+            roles, 3, None, False, "serial", SweepEngine().evaluate(designs)
+        )
+        assert result["batch"] == _wire(expected)
+
+    def test_scaled_batch_does_not_block_interactive(self):
+        """Satellite: a batch --scaled sweep in flight must not delay an
+        interactive 27-design request beyond one chunk boundary — with
+        two lanes they never even share a queue."""
+        with EvaluationService(
+            executor="serial", max_designs=64, lanes=2
+        ) as service:
+            client = service.start_in_thread()
+            order: list[str] = []
+
+            def run_batch():
+                client.sweep(scaled="6x4", priority="batch")
+                order.append("batch")
+
+            batch = threading.Thread(target=run_batch)
+            batch.start()
+            # Wait until the batch actually occupies its scaled lane.
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline and "batch" not in order:
+                lanes = client.healthz()["lanes"]["lanes"]
+                if any(
+                    lane["context"] != "default" and lane["busy"]
+                    for lane in lanes
+                ):
+                    break
+                time.sleep(0.005)
+            client.sweep(roles=["dns", "web", "app"], max_replicas=3)
+            order.append("interactive")
+            batch.join(timeout=180)
+            assert order[0] == "interactive"
+            entry = client.metrics()["registry"][
+                "repro_chunk_queue_wait_seconds"
+            ]
+            interactive_waits = [
+                series
+                for series in entry["series"]
+                if series["labels"].get("queue") == "lane"
+                and series["labels"].get("priority") == "interactive"
+            ]
+            assert interactive_waits
+            # The interactive request never queued behind the batch
+            # sweep: its lane wait is bounded by scheduling noise, far
+            # below one scaled chunk's solve time.
+            assert interactive_waits[0]["max"] < 1.0
+
+
+class TestStreaming:
+    def test_sweep_stream_events(self):
+        roles = ["dns", "web"]
+        with EvaluationService(
+            executor="serial", max_designs=16, lanes=1
+        ) as service:
+            client = service.start_in_thread()
+            events = list(client.sweep_stream(roles=roles, max_replicas=2))
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "start"
+        assert kinds[-1] == "complete"
+        assert "chunk" in kinds
+        start = events[0]
+        assert start["schema_version"] == 3
+        assert start["endpoint"] == "/sweep"
+        assert start["design_count"] == 4
+        streamed = [
+            design["label"]
+            for event in events
+            if event["event"] == "chunk"
+            for design in event["designs"]
+        ]
+        complete = events[-1]["response"]
+        assert streamed == [d["label"] for d in complete["designs"]]
+        designs = list(enumerate_designs(roles, max_replicas=2))
+        expected = sweep_response(
+            roles, 2, None, False, "serial", SweepEngine().evaluate(designs)
+        )
+        assert complete == _wire(expected)
+
+    def test_memoised_designs_do_not_stream_again(self):
+        with EvaluationService(
+            executor="serial", max_designs=16, lanes=1
+        ) as service:
+            client = service.start_in_thread()
+            first = list(client.sweep_stream(roles=["dns"], max_replicas=2))
+            second = list(client.sweep_stream(roles=["dns"], max_replicas=2))
+        assert any(event["event"] == "chunk" for event in first)
+        # Second run: every design is in the engine memo, so no chunk
+        # ever reaches the progress seam — but the complete payload is
+        # identical.
+        assert not any(event["event"] == "chunk" for event in second)
+        assert second[-1]["response"] == first[-1]["response"]
+
+    def test_timeline_stream_events(self):
+        with EvaluationService(
+            executor="serial", max_designs=16, lanes=1
+        ) as service:
+            client = service.start_in_thread()
+            events = list(
+                client.timeline_stream(
+                    roles=["dns"], max_replicas=2, horizon=100, points=4
+                )
+            )
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "start"
+        assert kinds[-1] == "complete"
+        streamed = [
+            design["label"]
+            for event in events
+            if event["event"] == "chunk"
+            for design in event["designs"]
+        ]
+        complete = events[-1]["response"]
+        assert complete["schema_version"] == 3
+        assert streamed == [d["label"] for d in complete["designs"]]
+
+    def test_stream_rejects_invalid_space(self, serial_service):
+        _, client = serial_service
+        with pytest.raises(EvaluationError, match="stream failed"):
+            list(client.sweep_stream(roles=[]))
+
+
+class TestConnectionHandling:
+    def test_requests_send_connection_close(self, serial_service, monkeypatch):
+        import http.client
+
+        _, client = serial_service
+        seen: list[dict] = []
+        original = http.client.HTTPConnection.request
+
+        def recording(self, method, url, body=None, headers=None, **kwargs):
+            seen.append(dict(headers or {}))
+            return original(
+                self, method, url, body=body, headers=headers or {}, **kwargs
+            )
+
+        monkeypatch.setattr(http.client.HTTPConnection, "request", recording)
+        client.healthz()
+        client.sweep(roles=["dns"], max_replicas=1)
+        assert seen
+        assert all(
+            headers.get("Connection") == "close" for headers in seen
+        )
+
+    def test_client_outlives_drained_server(self):
+        """Regression: a client holding the address of a stopped service
+        fails fast with a connection error, not a hang or a half-open
+        socket reuse."""
+        service = EvaluationService(executor="serial", max_designs=8)
+        client = service.start_in_thread()
+        assert client.healthz()["status"] == "ok"
+        service.close()
+        with pytest.raises(OSError):
+            client.request("GET", "/v1/healthz")

@@ -371,7 +371,7 @@ class TestCampaignCli:
     def test_schema_version_and_campaign_metadata(self, capsys):
         assert main(self.BASE + ["--phases", "canary:0.1:48,fleet:1.0", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema_version"] == 2
+        assert payload["schema_version"] == 3
         assert payload["campaign"]["phases"][0] == {
             "name": "canary",
             "rate_multiplier": 0.1,
@@ -383,7 +383,7 @@ class TestCampaignCli:
     def test_plain_timeline_has_null_campaign(self, capsys):
         assert main(self.BASE + ["--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema_version"] == 2
+        assert payload["schema_version"] == 3
         assert payload["campaign"] is None
         assert all("phase_starts" not in design for design in payload["designs"])
 
@@ -696,3 +696,76 @@ class TestObservabilityCli:
         finally:
             root.setLevel(previous_level)
             root.handlers[:] = previous_handlers
+
+
+class TestShardCli:
+    def test_sharded_sweep_json_matches_single_process_sweep(self, capsys):
+        from repro.evaluation.service import EvaluationService
+
+        services = [
+            EvaluationService(executor="serial", max_designs=64)
+            for _ in range(2)
+        ]
+        try:
+            for service in services:
+                service.start_in_thread()
+            endpoints = ",".join(
+                f"{s.address[0]}:{s.address[1]}" for s in services
+            )
+            args = ["--roles", "dns,web,app", "--max-replicas", "3", "--json"]
+            assert main(["sweep"] + args) == 0
+            single = capsys.readouterr().out
+            assert main(["shard", "--endpoints", endpoints] + args) == 0
+            merged = capsys.readouterr().out
+        finally:
+            for service in services:
+                service.close()
+        # Byte-identical stdout: the CI shard smoke `cmp`s these files.
+        assert merged == single
+
+    def test_shard_summary_output(self, capsys):
+        from repro.evaluation.service import EvaluationService
+
+        with EvaluationService(executor="serial", max_designs=8) as service:
+            service.start_in_thread()
+            endpoint = f"{service.address[0]}:{service.address[1]}"
+            assert (
+                main(
+                    [
+                        "shard",
+                        "--endpoints",
+                        endpoint,
+                        "--roles",
+                        "dns",
+                        "--max-replicas",
+                        "2",
+                    ]
+                )
+                == 0
+            )
+        out = capsys.readouterr().out
+        assert "designs merged from 1 shard(s)" in out
+        assert "Pareto front" in out
+
+    def test_unreachable_endpoints_exit_2(self, capsys):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        assert (
+            main(
+                [
+                    "shard",
+                    "--endpoints",
+                    f"127.0.0.1:{port}",
+                    "--roles",
+                    "dns",
+                    "--timeout",
+                    "2",
+                ]
+            )
+            == 2
+        )
+        assert "shard failed" in capsys.readouterr().err
